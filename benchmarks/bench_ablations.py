@@ -1,0 +1,91 @@
+"""Ablation benchmarks for design choices both papers call out.
+
+* ``case_dispatch``: the O(N)-per-row linear CASE evaluation real
+  optimizers perform versus the O(1) hash dispatch the papers propose
+  (Section 3.2 / DMKD Section 3.5).
+* ``join_index``: the division join of the vertical strategy with and
+  without the recommended index on the common subkey.
+* ``scaling``: direct versus indirect CASE as n grows (DMKD
+  Section 4.2's scalability discussion).
+"""
+
+import pytest
+
+from benchmarks.conftest import TL_N, run_once
+from repro import Database
+from repro.bench.harness import run_hagg_experiment, run_vpct_experiment
+from repro.bench.workloads import (DMKD_TRANSACTION_QUERIES,
+                                   SIGMOD_QUERIES, QuerySpec)
+from repro.core import HorizontalStrategy, VerticalStrategy
+from repro.datagen import load_transaction_line
+
+#: The 100-column pivot (subdeptId) stresses CASE dispatch most.
+_PIVOT_SPEC = DMKD_TRANSACTION_QUERIES[2]
+
+
+@pytest.fixture(scope="module")
+def linear_db():
+    db = Database(case_dispatch="linear")
+    load_transaction_line(db, TL_N)
+    return db
+
+
+@pytest.fixture(scope="module")
+def hash_db():
+    db = Database(case_dispatch="hash")
+    load_transaction_line(db, TL_N)
+    return db
+
+
+class TestCaseDispatch:
+    def test_linear(self, benchmark, linear_db):
+        result = run_once(benchmark, lambda: run_hagg_experiment(
+            linear_db, _PIVOT_SPEC, HorizontalStrategy(source="F"),
+            name="linear"))
+        benchmark.extra_info["case_evaluations"] = \
+            result.case_evaluations
+
+    def test_hash(self, benchmark, hash_db):
+        result = run_once(benchmark, lambda: run_hagg_experiment(
+            hash_db, _PIVOT_SPEC, HorizontalStrategy(source="F"),
+            name="hash"))
+        benchmark.extra_info["case_evaluations"] = \
+            result.case_evaluations
+
+
+class TestJoinIndex:
+    SPEC = SIGMOD_QUERIES[6]  # sales dept | dweek,monthNo
+
+    def test_with_index(self, benchmark, sigmod_db):
+        result = run_once(benchmark, lambda: run_vpct_experiment(
+            sigmod_db, self.SPEC, VerticalStrategy(),
+            name="with-index"))
+        assert result.result_rows > 0
+
+    def test_without_index(self, benchmark, sigmod_db):
+        result = run_once(benchmark, lambda: run_vpct_experiment(
+            sigmod_db, self.SPEC,
+            VerticalStrategy(create_indexes=False),
+            name="without-index"))
+        assert result.result_rows > 0
+
+
+class TestScaling:
+    """Direct vs indirect CASE while n doubles (same query shape)."""
+
+    SPEC = QuerySpec("transactionLine deptId | dow,month",
+                     "transactionline", "salesamt",
+                     totals=("deptid",),
+                     by=("dayofweekno", "monthno"))
+
+    @pytest.mark.parametrize("scale", [1, 2, 4])
+    @pytest.mark.parametrize("source", ["F", "FV"])
+    def test_scaling(self, benchmark, scale, source):
+        db = Database()
+        load_transaction_line(db, (TL_N // 4) * scale)
+        result = run_once(benchmark, lambda: run_hagg_experiment(
+            db, self.SPEC, HorizontalStrategy(source=source),
+            name=f"case_{source}@{scale}x"))
+        assert result.result_rows > 0
+        benchmark.extra_info["scale"] = scale
+        benchmark.extra_info["source"] = source

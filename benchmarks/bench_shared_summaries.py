@@ -1,0 +1,49 @@
+"""Ablation: shared summaries for percentage-query batches (the paper's
+Section 6 future work) versus evaluating each query separately.
+
+Expected shape: the batch scans F once for the whole set, so it wins
+by roughly the number of queries sharing the summary (modulo the
+summary's own size).
+"""
+
+import pytest
+
+from benchmarks.conftest import TL_N, run_once
+from repro import Database
+from repro.core import run_percentage_query
+from repro.core.shared import run_percentage_batch
+from repro.datagen import load_transaction_line
+
+BATCH = [
+    "SELECT regionid, dayofweekno, Vpct(salesamt BY dayofweekno) "
+    "FROM transactionline GROUP BY regionid, dayofweekno",
+    "SELECT regionid, Hpct(salesamt BY monthno) FROM transactionline "
+    "GROUP BY regionid",
+    "SELECT monthno, sum(salesamt BY regionid) FROM transactionline "
+    "GROUP BY monthno",
+    "SELECT yearno, Vpct(salesamt BY yearno) FROM transactionline "
+    "GROUP BY yearno",
+]
+
+
+@pytest.fixture(scope="module")
+def batch_db():
+    db = Database()
+    load_transaction_line(db, TL_N)
+    return db
+
+
+def test_separate_queries(benchmark, batch_db):
+    def run():
+        return [run_percentage_query(batch_db, sql) for sql in BATCH]
+
+    results = run_once(benchmark, run)
+    assert len(results) == len(BATCH)
+
+
+def test_shared_summary_batch(benchmark, batch_db):
+    def run():
+        return run_percentage_batch(batch_db, BATCH)
+
+    report = run_once(benchmark, run)
+    assert report.shared_groups == 1

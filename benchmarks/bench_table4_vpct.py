@@ -1,0 +1,51 @@
+"""SIGMOD 2004 Table 4: vertical percentage query optimizations.
+
+One benchmark per (query row, strategy column):
+
+* ``best``        -- column (1): Fj from Fk, INSERT, matching indexes;
+* ``mism_index``  -- column (2): index(Fj) != index(Fk);
+* ``update``      -- column (3): UPDATE Fk in place instead of INSERT;
+* ``fj_from_f``   -- column (4): no partial aggregate (Fj from F).
+
+Expected shape (paper): UPDATE blows up when |FV| ~ |F| (the
+dept,store row); skipping the partial aggregate costs most when Fk is
+much smaller than F; the index mismatch is marginal.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once, skip_unless_full
+from repro.bench.harness import run_vpct_experiment
+from repro.bench.workloads import SIGMOD_QUERIES
+from repro.core import VerticalStrategy
+
+STRATEGIES = {
+    "best": VerticalStrategy(),
+    "mism_index": VerticalStrategy(matching_indexes=False),
+    "update": VerticalStrategy(use_update=True),
+    "fj_from_f": VerticalStrategy(fj_from_fk=False),
+}
+
+_CASES = [
+    pytest.param(spec, name,
+                 marks=(skip_unless_full,) if "dept,store" in spec.label
+                 else (),
+                 id=f"{spec.label}--{name}")
+    for spec in SIGMOD_QUERIES
+    for name in STRATEGIES
+]
+
+
+@pytest.mark.parametrize("spec,strategy_name", _CASES)
+def test_table4(benchmark, sigmod_db, spec, strategy_name):
+    strategy = STRATEGIES[strategy_name]
+
+    def run():
+        return run_vpct_experiment(sigmod_db, spec, strategy,
+                                   name=strategy_name)
+
+    result = run_once(benchmark, run)
+    assert result.result_rows > 0
+    benchmark.extra_info["query"] = spec.label
+    benchmark.extra_info["strategy"] = strategy_name
+    benchmark.extra_info["logical_io"] = result.logical_io

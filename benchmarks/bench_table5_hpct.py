@@ -1,0 +1,43 @@
+"""SIGMOD 2004 Table 5: horizontal percentage strategies.
+
+One benchmark per (query row, source): ``from_FV`` (transpose the
+vertical percentage table) versus ``from_F`` (direct CASE evaluation).
+
+Expected shape (paper): direct-from-F is competitive for one or two
+low-selectivity BY columns; the FV route wins as BY columns multiply
+or grow selective.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once, skip_unless_full
+from repro.bench.harness import run_hpct_experiment
+from repro.bench.workloads import SIGMOD_QUERIES
+from repro.core import HorizontalStrategy
+
+SOURCES = {"from_FV": HorizontalStrategy(source="FV"),
+           "from_F": HorizontalStrategy(source="F")}
+
+_CASES = [
+    pytest.param(spec, name,
+                 marks=(skip_unless_full,) if "dept,store" in spec.label
+                 else (),
+                 id=f"{spec.label}--{name}")
+    for spec in SIGMOD_QUERIES
+    for name in SOURCES
+]
+
+
+@pytest.mark.parametrize("spec,source_name", _CASES)
+def test_table5(benchmark, sigmod_db, spec, source_name):
+    strategy = SOURCES[source_name]
+
+    def run():
+        return run_hpct_experiment(sigmod_db, spec, strategy,
+                                   name=source_name)
+
+    result = run_once(benchmark, run)
+    assert result.result_rows > 0
+    benchmark.extra_info["query"] = spec.label
+    benchmark.extra_info["strategy"] = source_name
+    benchmark.extra_info["logical_io"] = result.logical_io

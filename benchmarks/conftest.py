@@ -1,0 +1,71 @@
+"""Shared benchmark fixtures: the papers' synthetic tables at bench
+scale.
+
+The paper ran employee at 1M rows and sales at 10M on an 800 MHz
+Teradata node; the benchmarks default to 1/10-1/50 of that so the
+whole suite finishes in minutes.  Scale and rounds are tunable:
+
+* ``REPRO_BENCH_EMPLOYEE`` / ``REPRO_BENCH_SALES`` /
+  ``REPRO_BENCH_TL`` / ``REPRO_BENCH_CENSUS`` -- row counts;
+* ``REPRO_BENCH_ROUNDS`` -- pedantic rounds per benchmark (default 1);
+* ``REPRO_BENCH_FULL=1`` -- include the widest SIGMOD row
+  (sales dept,store: 10,000 result columns, tens of seconds per cell).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import Database
+from repro.datagen import (load_census, load_employee, load_sales,
+                           load_transaction_line)
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+EMPLOYEE_N = _env_int("REPRO_BENCH_EMPLOYEE", 100_000)
+SALES_N = _env_int("REPRO_BENCH_SALES", 300_000)
+TL_N = _env_int("REPRO_BENCH_TL", 100_000)
+CENSUS_N = _env_int("REPRO_BENCH_CENSUS", 50_000)
+ROUNDS = _env_int("REPRO_BENCH_ROUNDS", 1)
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+skip_unless_full = pytest.mark.skipif(
+    not FULL,
+    reason="10,000-column Hpct row; set REPRO_BENCH_FULL=1 to include")
+
+
+@pytest.fixture(scope="session")
+def sigmod_db() -> Database:
+    """employee + sales, as in the SIGMOD evaluation."""
+    db = Database()
+    load_employee(db, EMPLOYEE_N)
+    load_sales(db, SALES_N)
+    return db
+
+
+@pytest.fixture(scope="session")
+def dmkd_db() -> Database:
+    """uscensus + transactionLine at 1x, as in the DMKD evaluation."""
+    db = Database()
+    load_census(db, CENSUS_N)
+    load_transaction_line(db, TL_N)
+    return db
+
+
+@pytest.fixture(scope="session")
+def dmkd_db_2x() -> Database:
+    """transactionLine at the doubled scale (the paper's n = 2M run)."""
+    db = Database()
+    load_transaction_line(db, 2 * TL_N)
+    return db
+
+
+def run_once(benchmark, func):
+    """Run ``func`` under pytest-benchmark with bounded rounds."""
+    return benchmark.pedantic(func, rounds=ROUNDS, iterations=1,
+                              warmup_rounds=0)

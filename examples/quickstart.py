@@ -1,0 +1,73 @@
+"""Quickstart: the paper's two aggregations in five minutes.
+
+Builds the SIGMOD paper's Table 1 example, runs a vertical percentage
+query (reproducing Table 2), a horizontal one, and shows the standard
+SQL the code generator emits.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Database
+from repro.core import generate_plan, run_percentage_query
+
+
+def print_table(result):
+    names = result.column_names()
+    print("  " + " | ".join(f"{n:>14s}" for n in names))
+    for row in result.to_rows():
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(f"{value:>14.2f}")
+            else:
+                cells.append(f"{str(value):>14s}")
+        print("  " + " | ".join(cells))
+    print()
+
+
+def main() -> None:
+    db = Database()
+    db.execute("""
+        CREATE TABLE sales (
+            rid INT, state VARCHAR, city VARCHAR, salesAmt REAL,
+            PRIMARY KEY (rid))
+    """)
+    db.execute("""
+        INSERT INTO sales VALUES
+            (1, 'CA', 'San Francisco', 13), (2, 'CA', 'San Francisco', 3),
+            (3, 'CA', 'San Francisco', 67), (4, 'CA', 'Los Angeles', 23),
+            (5, 'TX', 'Houston', 5), (6, 'TX', 'Houston', 35),
+            (7, 'TX', 'Houston', 10), (8, 'TX', 'Houston', 14),
+            (9, 'TX', 'Dallas', 53), (10, 'TX', 'Dallas', 32)
+    """)
+
+    # ------------------------------------------------------------------
+    # Vertical percentages: one row per percentage (paper Table 2).
+    # ------------------------------------------------------------------
+    vertical = ("SELECT state, city, Vpct(salesAmt BY city) "
+                "FROM sales GROUP BY state, city")
+    print("Vertical percentage query:")
+    print(f"  {vertical}\n")
+    print("Result (what % of its state each city contributed):")
+    print_table(run_percentage_query(db, vertical))
+
+    # ------------------------------------------------------------------
+    # Horizontal percentages: each group's percentages on one row.
+    # ------------------------------------------------------------------
+    horizontal = ("SELECT state, Hpct(salesAmt BY city), "
+                  "sum(salesAmt) FROM sales GROUP BY state")
+    print("Horizontal percentage query:")
+    print(f"  {horizontal}\n")
+    print("Result (cities as columns, adding up to 100% per row):")
+    print_table(run_percentage_query(db, horizontal))
+
+    # ------------------------------------------------------------------
+    # What actually runs: the generated standard SQL.
+    # ------------------------------------------------------------------
+    print("Generated standard-SQL plan for the vertical query:")
+    plan = generate_plan(db, vertical)
+    print(plan.sql_script())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Sales analysis: percentage queries on the paper's synthetic sales
+table, comparing every evaluation strategy and the OLAP baseline.
+
+This is the workload family of the paper's Section 4: sales (dweek 7,
+monthNo 12, store 100, dept 100, ...) with percentage queries at
+several grouping levels.
+
+Run:  python examples/sales_analysis.py [n_rows]
+"""
+
+import sys
+import time
+
+from repro import Database
+from repro.core import (HorizontalStrategy, VerticalStrategy,
+                        run_percentage_query)
+from repro.datagen import load_sales
+from repro.olap import run_olap_percentage_query
+
+
+def timed(label, func):
+    started = time.perf_counter()
+    result = func()
+    elapsed = time.perf_counter() - started
+    print(f"  {label:<42s} {elapsed * 1000:8.1f} ms   "
+          f"({result.n_rows} rows x {result.schema.width()} cols)")
+    return result
+
+
+def main() -> None:
+    n_rows = int(sys.argv[1]) if len(sys.argv) > 1 else 200_000
+    db = Database()
+    print(f"Generating sales with n = {n_rows:,} ...")
+    load_sales(db, n_rows)
+
+    query = ("SELECT dweek, monthno, Vpct(salesamt BY monthno) "
+             "FROM sales GROUP BY dweek, monthno")
+    print(f"\nQuery: {query}\n")
+    print("Vertical strategies (paper Table 4 columns):")
+    timed("best (Fj<-Fk, INSERT, indexes)",
+          lambda: run_percentage_query(db, query, VerticalStrategy()))
+    timed("mismatched indexes",
+          lambda: run_percentage_query(
+              db, query, VerticalStrategy(matching_indexes=False)))
+    timed("UPDATE instead of INSERT",
+          lambda: run_percentage_query(
+              db, query, VerticalStrategy(use_update=True)))
+    timed("no partial aggregate (Fj<-F)",
+          lambda: run_percentage_query(
+              db, query, VerticalStrategy(fj_from_fk=False)))
+    timed("single-statement rephrasal",
+          lambda: run_percentage_query(
+              db, query, VerticalStrategy(single_statement=True)))
+
+    hquery = ("SELECT dweek, Hpct(salesamt BY monthno) FROM sales "
+              "GROUP BY dweek")
+    print(f"\nQuery: {hquery}\n")
+    print("Horizontal strategies (paper Table 5):")
+    timed("direct CASE from F",
+          lambda: run_percentage_query(db, hquery,
+                                       HorizontalStrategy(source="F")))
+    timed("indirect via FV",
+          lambda: run_percentage_query(db, hquery,
+                                       HorizontalStrategy(source="FV")))
+
+    print("\nOLAP-extensions baseline (paper Table 6):")
+    timed("sum() OVER (PARTITION BY ...) + DISTINCT",
+          lambda: run_olap_percentage_query(db, query))
+
+    # A peek at the actual numbers: December share per weekday.
+    result = run_percentage_query(db, query)
+    print("\nSample output (dweek = 1):")
+    for row in result.to_rows()[:12]:
+        print(f"  dweek={row[0]}  month={row[1]:>2}  "
+              f"share={row[2] * 100:5.2f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy shim so `pip install -e .` works offline (no wheel package
+available for PEP 517 editable builds)."""
+
+from setuptools import setup
+
+setup()

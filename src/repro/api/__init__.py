@@ -1,0 +1,9 @@
+"""Public API: the Database facade, the DB-API 2.0 driver, and the
+high-level percentage-query builder."""
+
+from repro.api.database import Database
+from repro.api.dbapi import Connection, Cursor, connect
+from repro.api.percentage import PercentageQueryBuilder
+
+__all__ = ["Database", "Connection", "Cursor", "PercentageQueryBuilder",
+           "connect"]

@@ -1,0 +1,179 @@
+"""The Database facade: one object bundling a catalog, a statistics
+collector and an executor behind a textual SQL interface.
+
+This plays the role of the Teradata DBMS in the paper's architecture;
+:mod:`repro.core` (the code generator) and :mod:`repro.api.dbapi` (the
+JDBC stand-in) both talk to it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.catalog import Catalog
+from repro.engine.column import ColumnData
+from repro.engine.executor import Executor, ExecutorOptions
+from repro.engine.schema import (DEFAULT_MAX_COLUMNS,
+                                 DEFAULT_MAX_NAME_LENGTH, TableSchema)
+from repro.engine.stats import StatementStats, StatsCollector
+from repro.engine.table import Table
+from repro.engine.types import SQLType, type_from_name
+from repro.sql import ast
+from repro.sql.parser import parse_script, parse_statement
+
+
+class Database:
+    """An in-memory SQL database.
+
+    Args:
+        max_columns: per-table column ceiling (the DBMS limit the
+            paper's vertical partitioning works around).
+        max_name_length: identifier length ceiling.
+        case_dispatch: ``"linear"`` (faithful DBMS behavior) or
+            ``"hash"`` (the paper's proposed O(1) CASE dispatch).
+        use_indexes: let joins reuse covering hash indexes.
+        keep_history: record per-statement stats in
+            ``db.stats.history``.
+    """
+
+    def __init__(self, max_columns: int = DEFAULT_MAX_COLUMNS,
+                 max_name_length: int = DEFAULT_MAX_NAME_LENGTH,
+                 case_dispatch: str = "linear",
+                 use_indexes: bool = True,
+                 keep_history: bool = False):
+        if case_dispatch not in ("linear", "hash"):
+            raise ValueError("case_dispatch must be 'linear' or 'hash'")
+        self.catalog = Catalog(max_columns=max_columns,
+                               max_name_length=max_name_length)
+        self.stats = StatsCollector(keep_history=keep_history)
+        self.options = ExecutorOptions(case_dispatch=case_dispatch,
+                                       use_indexes=use_indexes)
+        self.executor = Executor(self.catalog, self.stats, self.options)
+        # Statement-level serialization: concurrent sessions (the
+        # paper's closing scenario, "users concurrently submit
+        # percentage queries") interleave whole statements safely.
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # SQL execution
+    # ------------------------------------------------------------------
+    def execute(self, sql: str) -> Table | int:
+        """Run one SQL statement.
+
+        Returns a :class:`Table` for SELECT, a row count for DML/DDL.
+        Per-statement timing and counters are recorded when
+        ``keep_history`` is enabled.
+        """
+        statement = parse_statement(sql)
+        return self._run(statement, sql)
+
+    def execute_statement(self, statement: ast.Statement,
+                          sql: str = "") -> Table | int:
+        """Run an already-parsed statement (used by the code generator)."""
+        return self._run(statement, sql)
+
+    def execute_script(self, sql: str) -> list[Table | int]:
+        """Run a ';'-separated script, returning one result per
+        statement."""
+        return [self._run(s, sql) for s in parse_script(sql)]
+
+    def query(self, sql: str) -> list[tuple[Any, ...]]:
+        """Run a SELECT and return rows as Python tuples."""
+        result = self.execute(sql)
+        if not isinstance(result, Table):
+            raise TypeError("query() requires a SELECT statement")
+        return result.to_rows()
+
+    def _run(self, statement: ast.Statement, sql: str) -> Table | int:
+        with self._lock:
+            before = self.stats.snapshot()
+            started = time.perf_counter()
+            result = self.executor.execute(statement)
+            elapsed = time.perf_counter() - started
+            record = self.stats.diff_since(before)
+            record.sql = sql
+            record.elapsed_seconds = elapsed
+            self.stats.record_statement(record)
+            return result
+
+    def last_statement_stats(self) -> Optional[StatementStats]:
+        if self.stats.history:
+            return self.stats.history[-1]
+        return None
+
+    # ------------------------------------------------------------------
+    # Bulk loading
+    # ------------------------------------------------------------------
+    def load_table(self, name: str,
+                   columns: Sequence[tuple[str, str | SQLType]],
+                   data: dict[str, np.ndarray | Sequence[Any]]
+                   | Iterable[Sequence[Any]],
+                   primary_key: Sequence[str] = (),
+                   replace: bool = False) -> Table:
+        """Create and populate a table without going through SQL.
+
+        ``columns`` is a list of ``(name, type)`` pairs (types may be
+        names like ``"int"`` or :class:`SQLType` values).  ``data`` is
+        either a mapping of column name to array/sequence (the bulk
+        path: numpy arrays are wrapped without per-value validation) or
+        an iterable of row sequences.
+        """
+        resolved = [(n, t if isinstance(t, SQLType) else type_from_name(t))
+                    for n, t in columns]
+        schema = TableSchema.build(name, resolved, primary_key)
+        if isinstance(data, dict):
+            column_data = {}
+            for col_name, sql_type in resolved:
+                raw = _lookup_ci_dict(data, col_name)
+                if isinstance(raw, np.ndarray):
+                    column_data[col_name] = ColumnData.from_arrays(
+                        sql_type, raw)
+                else:
+                    column_data[col_name] = ColumnData.from_values(
+                        sql_type, raw)
+            table = Table(schema, column_data)
+        else:
+            table = Table.from_rows(schema, data)
+        with self._lock:
+            if replace:
+                self.catalog.drop_table(name, if_exists=True)
+            self.catalog.create_table(table)
+            self.stats.rows_written += table.n_rows
+        return table
+
+    # ------------------------------------------------------------------
+    # Introspection & options
+    # ------------------------------------------------------------------
+    def table(self, name: str) -> Table:
+        return self.catalog.table(name)
+
+    def has_table(self, name: str) -> bool:
+        return self.catalog.has_table(name)
+
+    def drop_table(self, name: str, if_exists: bool = True) -> None:
+        self.catalog.drop_table(name, if_exists=if_exists)
+
+    def table_names(self) -> list[str]:
+        return self.catalog.table_names()
+
+    def set_case_dispatch(self, mode: str) -> None:
+        if mode not in ("linear", "hash"):
+            raise ValueError("case_dispatch must be 'linear' or 'hash'")
+        self.options.case_dispatch = mode
+
+    def set_use_indexes(self, enabled: bool) -> None:
+        self.options.use_indexes = bool(enabled)
+
+
+def _lookup_ci_dict(mapping: dict, name: str):
+    if name in mapping:
+        return mapping[name]
+    lowered = name.lower()
+    for key, value in mapping.items():
+        if key.lower() == lowered:
+            return value
+    raise KeyError(f"no data supplied for column {name!r}")

@@ -1,0 +1,294 @@
+"""A PEP 249 (DB-API 2.0) driver for the in-memory engine.
+
+The paper's experiments ran "a Java program ... connecting to the DBMS
+through the JDBC interface"; this module is the Python equivalent of
+that client-side layer, so examples and benchmarks can talk to the
+engine the way any Python database application would:
+
+    >>> import repro.api.dbapi as dbapi
+    >>> conn = dbapi.connect()
+    >>> cur = conn.cursor()
+    >>> cur.execute("CREATE TABLE t (a INT, b VARCHAR)")
+    >>> cur.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+    >>> cur.execute("SELECT a, b FROM t WHERE a > ?", (1,))
+    >>> cur.fetchall()
+    [(2, 'y')]
+
+``paramstyle`` is ``qmark``; parameters are bound by literal
+substitution with proper quoting (the engine has no prepared-statement
+layer).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.api.database import Database
+from repro.engine.table import Table
+from repro.engine.types import SQLType
+from repro.errors import ReproError
+
+apilevel = "2.0"
+#: Threads may share the module and connections: the Database
+#: serializes statements under one lock.
+threadsafety = 2
+paramstyle = "qmark"
+
+
+class Error(Exception):
+    """DB-API base error."""
+
+
+class InterfaceError(Error):
+    pass
+
+
+class DatabaseError(Error):
+    pass
+
+
+class ProgrammingError(DatabaseError):
+    pass
+
+
+class OperationalError(DatabaseError):
+    pass
+
+
+#: DB-API type codes exposed in cursor.description.
+STRING = SQLType.VARCHAR
+NUMBER = SQLType.REAL
+ROWID = SQLType.INTEGER
+
+
+def connect(database: Optional[Database] = None, **options) -> "Connection":
+    """Open a connection.
+
+    Pass an existing :class:`Database` to share state between
+    connections (several cursors over one catalog), or keyword options
+    forwarded to the :class:`Database` constructor for a fresh one.
+    """
+    return Connection(database or Database(**options))
+
+
+class Connection:
+    """A DB-API connection wrapping one :class:`Database`."""
+
+    Error = Error
+    ProgrammingError = ProgrammingError
+
+    def __init__(self, database: Database):
+        self._database: Optional[Database] = database
+
+    @property
+    def database(self) -> Database:
+        if self._database is None:
+            raise InterfaceError("connection is closed")
+        return self._database
+
+    def cursor(self) -> "Cursor":
+        return Cursor(self)
+
+    def commit(self) -> None:
+        """No-op: the engine is non-transactional (auto-commit)."""
+        self.database  # raises if closed
+
+    def rollback(self) -> None:
+        raise OperationalError(
+            "the engine is non-transactional; rollback is unsupported")
+
+    def close(self) -> None:
+        self._database = None
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class Cursor:
+    """A DB-API cursor.
+
+    ``description`` is the 7-tuple sequence required by PEP 249 with
+    name and type_code filled in; ``rowcount`` is the DML row count or
+    the SELECT result size.
+    """
+
+    arraysize = 1
+
+    def __init__(self, connection: Connection):
+        self.connection = connection
+        self.description: Optional[list[tuple]] = None
+        self.rowcount: int = -1
+        self._rows: list[tuple[Any, ...]] = []
+        self._cursor_position = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def execute(self, operation: str,
+                parameters: Sequence[Any] = ()) -> "Cursor":
+        self._check_open()
+        sql = _bind_parameters(operation, parameters)
+        try:
+            result = self.connection.database.execute(sql)
+        except ReproError as exc:
+            raise ProgrammingError(str(exc)) from exc
+        if isinstance(result, Table):
+            self._rows = result.to_rows()
+            self._cursor_position = 0
+            self.rowcount = len(self._rows)
+            self.description = [
+                (col.name, col.sql_type, None, None, None, None, None)
+                for col in result.schema.columns]
+        else:
+            self._rows = []
+            self._cursor_position = 0
+            self.rowcount = int(result)
+            self.description = None
+        return self
+
+    def executemany(self, operation: str,
+                    seq_of_parameters: Iterable[Sequence[Any]]
+                    ) -> "Cursor":
+        for parameters in seq_of_parameters:
+            self.execute(operation, parameters)
+        return self
+
+    def executescript(self, script: str) -> "Cursor":
+        """Non-standard convenience: run a multi-statement script."""
+        self._check_open()
+        try:
+            self.connection.database.execute_script(script)
+        except ReproError as exc:
+            raise ProgrammingError(str(exc)) from exc
+        self._rows = []
+        self.description = None
+        self.rowcount = -1
+        return self
+
+    # ------------------------------------------------------------------
+    def fetchone(self) -> Optional[tuple[Any, ...]]:
+        self._check_open()
+        if self._cursor_position >= len(self._rows):
+            return None
+        row = self._rows[self._cursor_position]
+        self._cursor_position += 1
+        return row
+
+    def fetchmany(self, size: Optional[int] = None
+                  ) -> list[tuple[Any, ...]]:
+        self._check_open()
+        size = size or self.arraysize
+        chunk = self._rows[self._cursor_position:
+                           self._cursor_position + size]
+        self._cursor_position += len(chunk)
+        return chunk
+
+    def fetchall(self) -> list[tuple[Any, ...]]:
+        self._check_open()
+        chunk = self._rows[self._cursor_position:]
+        self._cursor_position = len(self._rows)
+        return chunk
+
+    def __iter__(self):
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    # ------------------------------------------------------------------
+    def setinputsizes(self, sizes) -> None:  # pragma: no cover - PEP 249
+        pass
+
+    def setoutputsize(self, size, column=None) -> None:  # pragma: no cover
+        pass
+
+    def close(self) -> None:
+        self._closed = True
+        self._rows = []
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("cursor is closed")
+        self.connection.database  # raises if connection closed
+
+
+# ----------------------------------------------------------------------
+def _bind_parameters(operation: str, parameters: Sequence[Any]) -> str:
+    """Substitute qmark placeholders with quoted literals.
+
+    The tokenizer is reused so '?' inside string literals or comments
+    is never touched.
+    """
+    if not parameters:
+        if "?" in _strip_literals(operation):
+            raise ProgrammingError(
+                "statement has placeholders but no parameters given")
+        return operation
+    parameters = list(parameters)
+    pieces: list[str] = []
+    used = 0
+    i = 0
+    text = operation
+    # Walk the raw text, but consult tokenization for literal spans.
+    literal_spans = _literal_spans(text)
+    while i < len(text):
+        ch = text[i]
+        if ch == "?" and not _in_spans(i, literal_spans):
+            if used >= len(parameters):
+                raise ProgrammingError(
+                    "more placeholders than parameters")
+            pieces.append(_quote(parameters[used]))
+            used += 1
+        else:
+            pieces.append(ch)
+        i += 1
+    if used != len(parameters):
+        raise ProgrammingError(
+            f"{len(parameters)} parameters supplied but {used} "
+            f"placeholders found")
+    return "".join(pieces)
+
+
+def _literal_spans(text: str) -> list[tuple[int, int]]:
+    spans = []
+    i = 0
+    while i < len(text):
+        if text[i] == "'":
+            start = i
+            i += 1
+            while i < len(text):
+                if text[i] == "'":
+                    if i + 1 < len(text) and text[i + 1] == "'":
+                        i += 2
+                        continue
+                    break
+                i += 1
+            spans.append((start, i))
+        i += 1
+    return spans
+
+
+def _in_spans(position: int, spans: list[tuple[int, int]]) -> bool:
+    return any(start <= position <= end for start, end in spans)
+
+
+def _strip_literals(text: str) -> str:
+    spans = _literal_spans(text)
+    return "".join(ch for i, ch in enumerate(text)
+                   if not _in_spans(i, spans))
+
+
+def _quote(value: Any) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    raise ProgrammingError(f"cannot bind parameter of type "
+                           f"{type(value).__name__}")

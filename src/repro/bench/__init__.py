@@ -1,0 +1,18 @@
+"""Experiment harness reproducing every results table of both papers."""
+
+from repro.bench.harness import (ExperimentResult, run_hagg_experiment,
+                                 run_hpct_experiment, run_olap_experiment,
+                                 run_vpct_experiment)
+from repro.bench.workloads import (DMKD_QUERIES, SIGMOD_QUERIES,
+                                   QuerySpec)
+
+__all__ = [
+    "DMKD_QUERIES",
+    "ExperimentResult",
+    "QuerySpec",
+    "SIGMOD_QUERIES",
+    "run_hagg_experiment",
+    "run_hpct_experiment",
+    "run_olap_experiment",
+    "run_vpct_experiment",
+]

@@ -1,0 +1,124 @@
+"""The exact query workloads of both evaluation sections.
+
+Each row of the papers' result tables lists the fact table, the
+grouping columns (``D1, ..., Dj``, set in italics in the papers) and
+the sub-grouping columns (``Dj+1, ..., Dk``).  A :class:`QuerySpec`
+captures one row and renders the three query forms the experiments
+compare:
+
+* ``vpct_sql()``  -- ``SELECT D1..Dk, Vpct(A BY Dj+1..Dk) FROM F
+  GROUP BY D1..Dk`` (Tables 4 and 6);
+* ``hpct_sql()``  -- ``SELECT D1..Dj, Hpct(A BY Dj+1..Dk) FROM F
+  GROUP BY D1..Dj`` (Tables 5 and 6);
+* ``hagg_sql()``  -- ``SELECT D1..Dj, sum(A BY Dj+1..Dk) FROM F
+  GROUP BY D1..Dj`` (DMKD Table 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One experiment row: a fact table, totals columns and BY columns."""
+
+    label: str
+    table: str
+    measure: str
+    totals: tuple[str, ...]     # D1..Dj (italics in the papers)
+    by: tuple[str, ...]         # Dj+1..Dk
+
+    @property
+    def group_by_all(self) -> tuple[str, ...]:
+        """D1..Dk for the vertical form (totals first, BY appended)."""
+        return self.totals + self.by
+
+    def vpct_sql(self) -> str:
+        dims = ", ".join(self.group_by_all)
+        by = f" BY {', '.join(self.by)}" if self.totals else ""
+        # With no totals columns the BY clause is omitted entirely:
+        # Vpct(A) computes percentages against the global total.
+        if not self.totals:
+            call = f"Vpct({self.measure})"
+        else:
+            call = f"Vpct({self.measure}{by})"
+        return (f"SELECT {dims}, {call} FROM {self.table} "
+                f"GROUP BY {dims}")
+
+    def hpct_sql(self) -> str:
+        call = f"Hpct({self.measure} BY {', '.join(self.by)})"
+        if not self.totals:
+            return f"SELECT {call} FROM {self.table}"
+        dims = ", ".join(self.totals)
+        return (f"SELECT {dims}, {call} FROM {self.table} "
+                f"GROUP BY {dims}")
+
+    def hagg_sql(self, func: str = "sum") -> str:
+        call = f"{func}({self.measure} BY {', '.join(self.by)})"
+        if not self.totals:
+            return f"SELECT {call} FROM {self.table}"
+        dims = ", ".join(self.totals)
+        return (f"SELECT {dims}, {call} FROM {self.table} "
+                f"GROUP BY {dims}")
+
+
+#: SIGMOD 2004 Tables 4/5/6: eight queries.  First line of each paper
+#: row = BY columns; italicized second line = totals columns.
+SIGMOD_QUERIES: list[QuerySpec] = [
+    QuerySpec("employee gender", "employee", "salary",
+              totals=(), by=("gender",)),
+    QuerySpec("employee gender | marstatus", "employee", "salary",
+              totals=("marstatus",), by=("gender",)),
+    QuerySpec("employee gender | educat,marstatus", "employee",
+              "salary", totals=("educat", "marstatus"), by=("gender",)),
+    QuerySpec("employee gender,educat | age,marstatus", "employee",
+              "salary", totals=("age", "marstatus"),
+              by=("gender", "educat")),
+    QuerySpec("sales dweek", "sales", "salesamt",
+              totals=(), by=("dweek",)),
+    QuerySpec("sales monthNo | dweek", "sales", "salesamt",
+              totals=("dweek",), by=("monthno",)),
+    QuerySpec("sales dept | dweek,monthNo", "sales", "salesamt",
+              totals=("dweek", "monthno"), by=("dept",)),
+    QuerySpec("sales dept,store | dweek,monthNo", "sales", "salesamt",
+              totals=("dweek", "monthno"), by=("dept", "store")),
+]
+
+#: DMKD 2004 Table 3 query shapes (the same six transactionLine rows
+#: run at two scales; the five census rows run at one).
+DMKD_CENSUS_QUERIES: list[QuerySpec] = [
+    QuerySpec("UScensus iSchool", "uscensus", "wage",
+              totals=(), by=("ischool",)),
+    QuerySpec("UScensus iClass", "uscensus", "wage",
+              totals=(), by=("iclass",)),
+    QuerySpec("UScensus iMarital", "uscensus", "wage",
+              totals=(), by=("imarital",)),
+    QuerySpec("UScensus dAge | iMarital", "uscensus", "wage",
+              totals=("dage",), by=("imarital",)),
+    QuerySpec("UScensus dAge,iClass | iSchool,iSex", "uscensus",
+              "wage", totals=("dage", "iclass"),
+              by=("ischool", "isex")),
+]
+
+DMKD_TRANSACTION_QUERIES: list[QuerySpec] = [
+    QuerySpec("transactionLine regionId", "transactionline",
+              "salesamt", totals=(), by=("regionid",)),
+    QuerySpec("transactionLine monthNo", "transactionline",
+              "salesamt", totals=(), by=("monthno",)),
+    QuerySpec("transactionLine subdeptId", "transactionline",
+              "salesamt", totals=(), by=("subdeptid",)),
+    QuerySpec("transactionLine monthNo | dayOfWeekNo",
+              "transactionline", "salesamt", totals=("monthno",),
+              by=("dayofweekno",)),
+    QuerySpec("transactionLine deptId | dayOfWeekNo,monthNo",
+              "transactionline", "salesamt", totals=("deptid",),
+              by=("dayofweekno", "monthno")),
+    QuerySpec("transactionLine deptId,storeId | dayOfWeekNo,monthNo",
+              "transactionline", "salesamt",
+              totals=("deptid", "storeid"),
+              by=("dayofweekno", "monthno")),
+]
+
+DMKD_QUERIES: list[QuerySpec] = (DMKD_CENSUS_QUERIES
+                                 + DMKD_TRANSACTION_QUERIES)

@@ -1,0 +1,39 @@
+"""The paper's contribution: percentage queries and their SQL code
+generation.
+
+Public entry points:
+
+* :func:`parse_percentage_query` -- parse the extended syntax into a
+  :class:`PercentageQuery` model and validate the paper's usage rules.
+* :func:`generate_plan` -- produce the standard-SQL statement sequence
+  implementing a chosen evaluation strategy.
+* :func:`run_percentage_query` -- end-to-end: parse, choose/validate a
+  strategy, execute, return the result table.
+"""
+
+from repro.core.execute import generate_plan, run_percentage_query
+from repro.core.hagg import HorizontalAggStrategy
+from repro.core.horizontal import HorizontalStrategy
+from repro.core.model import (AggregateTerm, PercentageQuery,
+                              parse_percentage_query)
+from repro.core.optimizer import (choose_horizontal_strategy,
+                                  choose_vertical_strategy)
+from repro.core.plan import GeneratedPlan
+from repro.core.shared import BatchReport, run_percentage_batch
+from repro.core.vertical import VerticalStrategy
+
+__all__ = [
+    "AggregateTerm",
+    "BatchReport",
+    "GeneratedPlan",
+    "HorizontalAggStrategy",
+    "HorizontalStrategy",
+    "PercentageQuery",
+    "VerticalStrategy",
+    "choose_horizontal_strategy",
+    "choose_vertical_strategy",
+    "generate_plan",
+    "parse_percentage_query",
+    "run_percentage_batch",
+    "run_percentage_query",
+]

@@ -1,0 +1,118 @@
+"""End-to-end percentage query evaluation.
+
+``run_percentage_query(db, sql)`` is the one-call entry point: it
+parses the extended syntax, validates the paper's usage rules, picks
+(or accepts) an evaluation strategy, generates the standard-SQL plan,
+executes it, and returns the result table -- dropping the temporary
+tables afterwards unless asked to keep them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.api.database import Database
+from repro.core import model, plan as plan_mod, validate as validate_mod
+from repro.core.hagg import HorizontalAggStrategy, generate_spj
+from repro.core.horizontal import HorizontalStrategy, generate_horizontal
+from repro.core.model import PercentageQuery, parse_percentage_query
+from repro.core.optimizer import (choose_horizontal_strategy,
+                                  choose_vertical_strategy)
+from repro.core.plan import GeneratedPlan
+from repro.core.vertical import VerticalStrategy, generate_vertical
+from repro.engine.table import Table
+from repro.errors import PercentageQueryError
+
+Strategy = Union[VerticalStrategy, HorizontalStrategy,
+                 HorizontalAggStrategy]
+
+#: Step purposes the runner never re-executes: they already ran during
+#: generation (schema/combination feedback).
+_GENERATION_TIME = frozenset({plan_mod.DISCOVER, plan_mod.MATERIALIZE})
+
+
+def generate_plan(db: Database, query: Union[str, PercentageQuery],
+                  strategy: Optional[Strategy] = None) -> GeneratedPlan:
+    """Parse/validate a percentage query and generate its plan.
+
+    With no explicit strategy the optimizer's recommendation is used.
+    The strategy type selects the generator: a
+    :class:`HorizontalAggStrategy` forces the SPJ form.
+    """
+    if isinstance(query, str):
+        query = parse_percentage_query(query)
+    validate_mod.validate(query)
+
+    if isinstance(strategy, HorizontalAggStrategy):
+        return generate_spj(db, query, strategy)
+    if query.has_vertical_pct:
+        if strategy is None:
+            strategy = choose_vertical_strategy(db, query)
+        if not isinstance(strategy, VerticalStrategy):
+            raise PercentageQueryError(
+                "a Vpct query needs a VerticalStrategy")
+        return generate_vertical(db, query, strategy)
+    if query.has_horizontal:
+        if strategy is None:
+            strategy = choose_horizontal_strategy(db, query)
+        if not isinstance(strategy, HorizontalStrategy):
+            raise PercentageQueryError(
+                "a horizontal query needs a HorizontalStrategy (or a "
+                "HorizontalAggStrategy for the SPJ form)")
+        return generate_horizontal(db, query, strategy)
+    raise PercentageQueryError(
+        "the query has neither Vpct/Hpct nor BY-extended aggregates; "
+        "run it directly with db.execute()")
+
+
+@dataclass
+class ExecutionReport:
+    """What executing a plan cost."""
+
+    result: Table
+    plan: GeneratedPlan
+    elapsed_seconds: float
+    statements_run: int
+
+
+def execute_plan(db: Database, plan: GeneratedPlan,
+                 keep_temps: bool = False) -> ExecutionReport:
+    """Run a generated plan and fetch its result."""
+    started = time.perf_counter()
+    statements = 0
+    try:
+        for step in plan.steps:
+            if step.purpose in _GENERATION_TIME:
+                continue
+            db.execute(step.sql)
+            statements += 1
+        result = db.execute(plan.result_select)
+        statements += 1
+    finally:
+        if not keep_temps:
+            cleanup_plan(db, plan)
+    if not isinstance(result, Table):
+        raise PercentageQueryError(
+            "the plan's result statement did not return rows")
+    elapsed = time.perf_counter() - started
+    return ExecutionReport(result=result, plan=plan,
+                           elapsed_seconds=elapsed,
+                           statements_run=statements)
+
+
+def cleanup_plan(db: Database, plan: GeneratedPlan) -> None:
+    """Drop every temp table the plan created (idempotent)."""
+    for table in reversed(plan.temp_tables):
+        db.drop_table(table, if_exists=True)
+
+
+def run_percentage_query(db: Database,
+                         query: Union[str, PercentageQuery],
+                         strategy: Optional[Strategy] = None,
+                         keep_temps: bool = False) -> Table:
+    """Parse, plan, execute; return the result table."""
+    plan = generate_plan(db, query, strategy)
+    report = execute_plan(db, plan, keep_temps=keep_temps)
+    return report.result

@@ -1,0 +1,321 @@
+"""The SPJ strategy for horizontal aggregations (companion paper,
+Section 3.4).
+
+The SPJ ("select-project-join") strategy evaluates a horizontal
+aggregation using relational operators only:
+
+1. optionally pre-aggregate into ``FV`` (grouped by
+   ``D1..Dj + BY columns``) -- the *indirect* sub-strategy;
+2. build ``F0``, the key table: every existing ``D1..Dj`` combination;
+3. build one projected table ``F_I`` per BY-combination, each holding
+   that combination's aggregate per group;
+4. assemble ``FH`` with N left outer joins of ``F0`` against every
+   ``F_I`` (missing combinations surface as NULL, replaced by DEFAULT
+   when given).
+
+The paper writes the chained joins as ``F1.D1 = F2.D1 AND ...``; we
+anchor every ON condition at ``F0`` instead, which is equivalent when
+all matches exist and correct when they do not (a NULL key from an
+earlier unmatched join can never match the next table).  This deviation
+is recorded in DESIGN.md.
+
+The strategy exists to reproduce the companion paper's Table 3, where
+SPJ loses to CASE by one to two orders of magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.api.database import Database
+from repro.core import common, model, plan as plan_mod
+from repro.core.horizontal import (_hagg_type_name, _match_condition,
+                                   _union_by_columns,
+                                   discover_combinations)
+from repro.core.naming import NamingPolicy, combo_column_name
+from repro.core.partitioning import split_result_columns
+from repro.core.plan import GeneratedPlan
+from repro.errors import PercentageQueryError
+from repro.sql.formatter import quote_ident
+
+
+@dataclass(frozen=True)
+class HorizontalAggStrategy:
+    """SPJ evaluation knobs (companion paper Table 3 columns).
+
+    ``source="F"`` aggregates every ``F_I`` straight from ``F``;
+    ``source="FV"`` pre-aggregates once and projects from ``FV``.
+    """
+
+    source: str = "F"
+    naming: NamingPolicy = field(default_factory=NamingPolicy)
+
+    def __post_init__(self) -> None:
+        if self.source not in ("F", "FV"):
+            raise ValueError("source must be 'F' or 'FV'")
+
+    def describe(self) -> str:
+        return f"horizontal SPJ from {self.source}"
+
+
+def generate_spj(db: Database, query: model.PercentageQuery,
+                 strategy: Optional[HorizontalAggStrategy] = None
+                 ) -> GeneratedPlan:
+    """Generate the SPJ statement sequence for a horizontal
+    aggregation query (Hagg terms and plain vertical terms; Hpct is
+    rejected -- the original paper evaluates percentages with the CASE
+    forms only)."""
+    strategy = strategy or HorizontalAggStrategy()
+    if not query.horizontal_terms():
+        raise PercentageQueryError("the query has no horizontal term")
+    if any(t.kind == model.HPCT for t in query.terms):
+        raise PercentageQueryError(
+            "the SPJ strategy applies to generalized horizontal "
+            "aggregations (sum/count/avg/min/max BY); use the CASE "
+            "strategies for Hpct()")
+    for term in query.terms:
+        if term.distinct and strategy.source == "FV":
+            raise PercentageQueryError(
+                "count(DISTINCT ...) is not distributive; SPJ from FV "
+                "cannot evaluate it")
+        if term.func in ("var", "stdev") and strategy.source == "FV":
+            raise PercentageQueryError(
+                f"{term.func}() is not distributive; SPJ from FV "
+                f"cannot evaluate it")
+
+    prefix = plan_mod.fresh_prefix("sp")
+    result = GeneratedPlan(strategy=strategy,
+                           description=strategy.describe())
+
+    from repro.core.vertical import (_materialize_if_needed,
+                                     replace_table)
+    table = _materialize_if_needed(db, query, prefix, result)
+    fact = replace_table(query, table)
+
+    combos = discover_combinations(db, fact, result)
+    base_columns: dict[int, dict[str, str]] = {}
+    if strategy.source == "FV":
+        source = _generate_plain_fv(db, fact, base_columns, prefix,
+                                    result)
+    else:
+        source = fact.table
+
+    f0 = _generate_f0(db, fact, source, prefix, result)
+    projected = _generate_projected_tables(db, fact, combos, source,
+                                           base_columns, strategy,
+                                           prefix, result)
+    _assemble(db, fact, f0, projected, prefix, result)
+    return result
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class _Projected:
+    """One per-combination table F_I (or a plain-term table)."""
+
+    table: str
+    column: str          # output column name
+    type_name: str
+    default: Optional[object]
+
+
+def _generate_plain_fv(db: Database, query: model.PercentageQuery,
+                       base_columns: dict[int, dict[str, str]],
+                       prefix: str, result: GeneratedPlan) -> str:
+    """The indirect sub-strategy's FV: a plain vertical aggregation at
+    the D1..Dj + allBY level, reusing the CASE module's layout."""
+    from repro.core.horizontal import _generate_fv, HorizontalStrategy
+
+    all_by = _union_by_columns(query)
+    fv_group = tuple(query.group_by) + all_by
+    return _generate_fv(db, query, all_by, fv_group, base_columns,
+                        HorizontalStrategy(source="FV"), prefix, result)
+
+
+def _generate_f0(db: Database, query: model.PercentageQuery,
+                 source: str, prefix: str,
+                 result: GeneratedPlan) -> str:
+    """F0 defines the result rows: every existing D1..Dj combination."""
+    f0 = f"{prefix}_f0"
+    if not query.group_by:
+        # Rule (1) of the companion paper: group by a constant so code
+        # generation always has a key ("rows can be grouped by a
+        # constant value, e.g. D1 = 0").
+        result.add(f"CREATE TABLE {f0} (_k INT) PRIMARY KEY (_k)",
+                   plan_mod.CREATE_TEMP)
+        result.temp_tables.append(f0)
+        result.add(f"INSERT INTO {f0} VALUES (0)", plan_mod.SPJ_PROJECT)
+        return f0
+    key = common.column_list(query.group_by)
+    defs = common.typed_columns_sql(db, query.table, query.group_by)
+    result.add(f"CREATE TABLE {f0} (" + ", ".join(defs)
+               + f") PRIMARY KEY ({key})", plan_mod.CREATE_TEMP)
+    result.temp_tables.append(f0)
+    result.add(f"INSERT INTO {f0} SELECT DISTINCT {key} FROM {source}"
+               + common.where_suffix(query.where
+                                     if source == query.table else None),
+               plan_mod.SPJ_PROJECT)
+    return f0
+
+
+def _generate_projected_tables(db: Database,
+                               query: model.PercentageQuery,
+                               combos: dict[int, list[tuple]],
+                               source: str,
+                               base_columns: dict[int, dict[str, str]],
+                               strategy: HorizontalAggStrategy,
+                               prefix: str, result: GeneratedPlan
+                               ) -> list[_Projected]:
+    """One aggregate table per (term, BY-combination), plus one table
+    per plain vertical term."""
+    used = {c.lower() for c in query.group_by}
+    multiple = len(query.horizontal_terms()) > 1
+    max_len = db.catalog.max_name_length
+    where_base = query.where if source == query.table else None
+
+    key = common.column_list(query.group_by)
+    key_defs = common.typed_columns_sql(db, query.table, query.group_by) \
+        if query.group_by else ["_k INT"]
+    key_select = key if query.group_by else "0"
+
+    projected: list[_Projected] = []
+    counter = 0
+    for term in query.terms:
+        if term.is_horizontal:
+            label = f"{term.label()}_" if multiple else ""
+            for values in combos[term.position]:
+                counter += 1
+                name = combo_column_name(term.by_columns, values,
+                                         strategy.naming, max_len, used,
+                                         prefix=label)
+                table = f"{prefix}_p{counter}"
+                aggregate = _aggregate_sql(term, base_columns,
+                                           strategy.source)
+                match = _match_condition(term.by_columns, values)
+                conditions = [match]
+                if where_base is not None:
+                    conditions.append(
+                        common.where_suffix(where_base)[7:])
+                type_name = _hagg_type_name(db, query.table, term)
+                _emit_projection(db, query, table, name, type_name,
+                                 aggregate, " AND ".join(conditions),
+                                 source, key_defs, key_select, result)
+                projected.append(_Projected(table, name, type_name,
+                                            term.default))
+        else:
+            counter += 1
+            name = common.vertical_term_name(term, used)
+            table = f"{prefix}_p{counter}"
+            aggregate = _aggregate_sql(term, base_columns,
+                                       strategy.source)
+            condition = common.where_suffix(where_base)[7:] \
+                if where_base is not None else ""
+            type_name = _hagg_type_name(db, query.table, term) \
+                if term.argument is not None else "INT"
+            _emit_projection(db, query, table, name, type_name,
+                             aggregate, condition, source, key_defs,
+                             key_select, result)
+            projected.append(_Projected(table, name, type_name, None))
+    return projected
+
+
+def _aggregate_sql(term: model.AggregateTerm,
+                   base_columns: dict[int, dict[str, str]],
+                   source: str) -> str:
+    if source == "F":
+        if term.argument is None:
+            return "count(*)"
+        distinct = "DISTINCT " if term.distinct else ""
+        return f"{term.func}({distinct}{common.argument_sql(term)})"
+    # From FV: distributive re-aggregation of the base columns.
+    from repro.core.horizontal import _distributive_sql
+    return _distributive_sql(term, base_columns[term.position],
+                             match=None)
+
+
+def _emit_projection(db: Database, query: model.PercentageQuery,
+                     table: str, column: str, type_name: str,
+                     aggregate: str, condition: str, source: str,
+                     key_defs: list[str], key_select: str,
+                     result: GeneratedPlan) -> None:
+    defs = key_defs + [f"{quote_ident(column)} {type_name}"]
+    key = common.column_list(query.group_by) if query.group_by else "_k"
+    result.add(f"CREATE TABLE {table} (" + ", ".join(defs)
+               + f") PRIMARY KEY ({key})", plan_mod.CREATE_TEMP)
+    result.temp_tables.append(table)
+    where = f" WHERE {condition}" if condition else ""
+    group = f" GROUP BY {common.column_list(query.group_by)}" \
+        if query.group_by else ""
+    result.add(f"INSERT INTO {table} SELECT {key_select}, {aggregate}"
+               f" FROM {source}{where}{group}", plan_mod.SPJ_PROJECT)
+
+
+def _assemble(db: Database, query: model.PercentageQuery, f0: str,
+              projected: list[_Projected], prefix: str,
+              result: GeneratedPlan) -> None:
+    """FH = F0 left-outer-joined with every projected table."""
+    keys = list(query.group_by) or ["_k"]
+    key_defs = common.typed_columns_sql(db, query.table, query.group_by) \
+        if query.group_by else ["_k INT"]
+    key = common.column_list(keys)
+
+    result_columns = []
+    for p in projected:
+        select = f"{p.table}.{quote_ident(p.column)}"
+        if p.default is not None:
+            select = (f"coalesce({select}, "
+                      f"{common.literal_sql(p.default)})")
+        result_columns.append((p, select))
+
+    partitions = split_result_columns(
+        n_keys=len(keys), columns=result_columns,
+        max_columns=db.catalog.max_columns)
+
+    tables = []
+    for i, chunk in enumerate(partitions):
+        fh = f"{prefix}_fh" if len(partitions) == 1 \
+            else f"{prefix}_fh{i + 1}"
+        tables.append(fh)
+        defs = key_defs + [f"{quote_ident(p.column)} {p.type_name}"
+                           for p, _ in chunk]
+        result.add(f"CREATE TABLE {fh} (" + ", ".join(defs)
+                   + f") PRIMARY KEY ({key})", plan_mod.CREATE_TEMP)
+        result.temp_tables.append(fh)
+        selects = [common.column_list(keys, prefix=f0)]
+        joins = []
+        for p, select in chunk:
+            selects.append(select)
+            joins.append(f" LEFT OUTER JOIN {p.table} ON "
+                         + common.equality_join(f0, p.table, keys))
+        result.add(f"INSERT INTO {fh} SELECT " + ", ".join(selects)
+                   + f" FROM {f0}" + "".join(joins), plan_mod.ASSEMBLE)
+
+    visible_keys = common.column_list(query.group_by) \
+        if query.group_by else ""
+    if len(tables) == 1:
+        result.result_table = tables[0]
+        if query.group_by:
+            result.result_select = (f"SELECT * FROM {tables[0]} "
+                                    f"ORDER BY {visible_keys}")
+        else:
+            names = ", ".join(quote_ident(p.column)
+                              for p, _ in partitions[0])
+            result.result_select = f"SELECT {names} FROM {tables[0]}"
+        return
+
+    first = tables[0]
+    selects = [common.column_list(keys, prefix=first)] if query.group_by \
+        else []
+    for table, chunk in zip(tables, partitions):
+        selects.extend(f"{table}.{quote_ident(p.column)}"
+                       for p, _ in chunk)
+    conditions = [common.equality_join(first, other, keys)
+                  for other in tables[1:]]
+    order = f" ORDER BY {common.column_list(query.group_by)}" \
+        if query.group_by else ""
+    result.result_table = None
+    result.result_select = ("SELECT " + ", ".join(selects) + " FROM "
+                            + ", ".join(tables)
+                            + f" WHERE {' AND '.join(conditions)}"
+                            + order)

@@ -1,0 +1,81 @@
+"""Strategy selection: the paper's optimization recommendations as
+executable rules.
+
+Vertical (Section 4.1): "we recommend creating indexes on the common
+subkey of Fk and Fj, using INSERT instead of UPDATE to compute FV,
+specially when |FV| ~ |F|, and computing Fj from Fk."
+
+Horizontal (Section 4.1, Table 5): "we recommend computing FH directly
+from F when there are no more than two columns in the list
+Dj+1, ..., Dk and each of them has low selectivity, and computing FH
+from FV using Vpct() when there are three or more grouping columns or
+when the grouping columns have high selectivity."
+
+Selectivity is measured with ``count(DISTINCT column)`` probes against
+the fact table (cheap in the columnar engine, and the kind of statistic
+a real optimizer keeps anyway).
+"""
+
+from __future__ import annotations
+
+from repro.api.database import Database
+from repro.core import model
+from repro.core.horizontal import HorizontalStrategy
+from repro.core.naming import NamingPolicy
+from repro.core.vertical import VerticalStrategy
+from repro.sql.formatter import quote_ident
+
+
+#: A BY column with more distinct values than this counts as
+#: high-selectivity (dweek=7 and monthNo=12 are low; dept=100,
+#: store=100 and age=100 are high in the paper's data sets).
+DEFAULT_SELECTIVITY_THRESHOLD = 50
+
+
+def choose_vertical_strategy(db: Database,
+                             query: model.PercentageQuery
+                             ) -> VerticalStrategy:
+    """The paper's recommended vertical strategy (Table 4 column (1))."""
+    return VerticalStrategy(fj_from_fk=True, use_update=False,
+                            create_indexes=True, matching_indexes=True)
+
+
+def choose_horizontal_strategy(
+        db: Database, query: model.PercentageQuery,
+        threshold: int = DEFAULT_SELECTIVITY_THRESHOLD,
+        naming: NamingPolicy | None = None) -> HorizontalStrategy:
+    """Pick direct-from-F versus indirect-via-FV per the paper's rule."""
+    naming = naming or NamingPolicy()
+    by_columns: set[str] = set()
+    for term in query.horizontal_terms():
+        by_columns.update(term.by_columns)
+    distinct_ok = not any(
+        t.distinct or t.func in ("var", "stdev")
+        for t in query.terms)
+
+    use_direct = True
+    if len(by_columns) > 2:
+        use_direct = False
+    else:
+        for column in by_columns:
+            if column_cardinality(db, query, column) > threshold:
+                use_direct = False
+                break
+    if not use_direct and not distinct_ok:
+        # count(DISTINCT ...) is not distributive; FV cannot serve it.
+        use_direct = True
+    return HorizontalStrategy(source="F" if use_direct else "FV",
+                              vertical=choose_vertical_strategy(db,
+                                                                query),
+                              naming=naming)
+
+
+def column_cardinality(db: Database, query: model.PercentageQuery,
+                       column: str) -> int:
+    """``count(DISTINCT column)`` over the fact table (the optimizer's
+    selectivity probe)."""
+    if not db.has_table(query.table):
+        return 0
+    rows = db.query(f"SELECT count(DISTINCT {quote_ident(column)}) "
+                    f"FROM {query.table}")
+    return int(rows[0][0])

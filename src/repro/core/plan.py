@@ -1,0 +1,96 @@
+"""Generated evaluation plans: ordered standard-SQL statement lists.
+
+A :class:`GeneratedPlan` is what the code generator hands back -- the
+Python equivalent of the SQL script the paper's Java program sent to
+Teradata.  Plans are inspectable (``plan.sql_script()``) and replayable
+against any :class:`~repro.api.database.Database`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+#: Step purposes, used by tests and by the harness to attribute time.
+MATERIALIZE = "materialize-view"
+CREATE_TEMP = "create-temp"
+AGGREGATE_FK = "aggregate-fk"
+AGGREGATE_FJ = "aggregate-fj"
+INDEX = "index"
+DIVIDE = "divide"
+UPDATE_DIVIDE = "update-divide"
+DISCOVER = "discover"
+TRANSPOSE = "transpose"
+SPJ_PROJECT = "spj-project"
+ASSEMBLE = "assemble"
+MISSING_ROWS = "missing-rows"
+RESULT = "result"
+
+
+@dataclass
+class GeneratedStep:
+    """One statement of a plan."""
+
+    sql: str
+    purpose: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"-- {self.purpose}\n{self.sql};"
+
+
+@dataclass
+class GeneratedPlan:
+    """An executable plan for one percentage query.
+
+    Attributes:
+        steps: statements to run, in order.
+        result_table: temp table holding the final result, or None
+            when ``result_select`` returns it directly.
+        result_select: final SELECT text returning the result rows
+            (always set; reads ``result_table`` when one exists).
+        temp_tables: every temporary table the plan creates, in
+            creation order (dropped by the runner unless kept).
+        description: human-readable strategy summary.
+        strategy: the strategy object that produced the plan.
+        discovered: per-term discovered BY-combination lists (set by
+            horizontal generators; empty for vertical plans).
+    """
+
+    steps: list[GeneratedStep] = field(default_factory=list)
+    result_table: Optional[str] = None
+    result_select: str = ""
+    temp_tables: list[str] = field(default_factory=list)
+    description: str = ""
+    strategy: Any = None
+    discovered: dict[int, list[tuple]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def add(self, sql: str, purpose: str) -> None:
+        self.steps.append(GeneratedStep(sql, purpose))
+
+    def extend(self, other: "GeneratedPlan") -> None:
+        """Splice another plan's steps and temp tables in front of this
+        plan's own bookkeeping (used when the FV step is itself a
+        generated vertical plan)."""
+        self.steps.extend(other.steps)
+        self.temp_tables.extend(other.temp_tables)
+
+    def sql_script(self) -> str:
+        """The full plan as annotated SQL text."""
+        lines = [str(step) for step in self.steps]
+        if self.result_select:
+            lines.append(f"-- {RESULT}\n{self.result_select};")
+        return "\n".join(lines)
+
+    def statement_count(self) -> int:
+        return len(self.steps) + (1 if self.result_select else 0)
+
+
+_counter = itertools.count(1)
+
+
+def fresh_prefix(tag: str) -> str:
+    """A unique temp-table prefix (``_vp3``, ``_hp7``, ...)."""
+    return f"_{tag}{next(_counter)}"

@@ -1,0 +1,122 @@
+"""Usage-rule validation for percentage queries.
+
+Implements the rules of Section 3.1 (``Vpct``), Section 3.2 (``Hpct``)
+and the companion paper's Section 3.1 (generalized horizontal
+aggregations), with the paper's stated relaxations:
+
+Vpct (Section 3.1):
+  (1) GROUP BY is required (two-level aggregation needs it).
+  (2) BY is optional; when present its columns must be a subset of the
+      GROUP BY columns.  (The text says "proper subset ... as many as
+      k-1 columns" but immediately discusses the BY == GROUP BY case,
+      "each row will have 100%", so equality is accepted here.)
+  (3) Vpct may be combined with other aggregates on the same GROUP BY.
+  (4) Multiple Vpct terms may use different BY subsets.
+
+Hpct (Section 3.2):
+  (1) GROUP BY is optional.
+  (2) BY is required, non-empty, and disjoint from GROUP BY.
+  (3)-(5) other aggregates on the same grouping, any column order,
+      multiple Hpct terms with different (disjoint) BY lists.
+
+Hagg (DMKD Section 3.1): same shape as Hpct; additionally the argument
+is required (count(*) is expressed as count(1 BY ...)-style calls are
+not needed -- plain ``count(*)`` stays vertical), and DEFAULT must be a
+literal.
+
+Mixing vertical and horizontal percentage aggregations in one query is
+rejected: the paper lists it under future work ("Combining horizontal
+and vertical percentage aggregations on the same query creates new
+challenges for query optimization", Section 6).
+"""
+
+from __future__ import annotations
+
+from repro.core import model
+from repro.errors import PercentageQueryError
+
+
+def validate(query: model.PercentageQuery) -> None:
+    """Raise :class:`PercentageQueryError` on any rule violation."""
+    _validate_dimensions(query)
+    if query.has_vertical_pct and query.has_horizontal:
+        raise PercentageQueryError(
+            "combining Vpct() with horizontal aggregations in one query "
+            "is future work in the paper and is not supported")
+    for term in query.terms:
+        if term.kind == model.VPCT:
+            _validate_vpct(term, query)
+        elif term.is_horizontal:
+            _validate_horizontal(term, query)
+        else:
+            _validate_vertical(term, query)
+    if query.has_horizontal:
+        _validate_horizontal_query(query)
+
+
+def _validate_dimensions(query: model.PercentageQuery) -> None:
+    group_set = set(query.group_by)
+    for dim in query.dimensions:
+        if dim not in group_set:
+            raise PercentageQueryError(
+                f"select column {dim!r} must appear in GROUP BY")
+
+
+def _validate_vpct(term: model.AggregateTerm,
+                   query: model.PercentageQuery) -> None:
+    if not query.group_by:
+        raise PercentageQueryError(
+            "Vpct() requires a GROUP BY clause (rule 1): two-level "
+            "aggregation needs the fine grouping")
+    group_set = set(query.group_by)
+    for column in term.by_columns:
+        if column not in group_set:
+            raise PercentageQueryError(
+                f"Vpct() BY column {column!r} must be a subset of the "
+                f"GROUP BY columns (rule 2)")
+    if term.default is not None:
+        raise PercentageQueryError("Vpct() does not accept DEFAULT")
+
+
+def _validate_horizontal(term: model.AggregateTerm,
+                         query: model.PercentageQuery) -> None:
+    name = term.func if term.kind == model.HAGG else "Hpct"
+    if not term.by_columns:
+        raise PercentageQueryError(
+            f"{name}() requires a non-empty BY clause (rule 2)")
+    overlap = set(term.by_columns) & set(query.group_by)
+    if overlap:
+        raise PercentageQueryError(
+            f"{name}() BY columns must be disjoint from GROUP BY "
+            f"(rule 2); offending: {sorted(overlap)}")
+    if term.kind == model.HPCT and term.default is not None:
+        raise PercentageQueryError(
+            "Hpct() does not accept DEFAULT (percentages for missing "
+            "cells are 0 by construction)")
+    if term.kind == model.HAGG and term.argument is None:
+        raise PercentageQueryError(
+            f"{term.func}(* BY ...) is not valid; the argument is "
+            f"required (rule 4) -- use count(1 BY ...) for row counts")
+    if term.distinct and term.func != "count":
+        raise PercentageQueryError(
+            "DISTINCT is only supported with count()")
+
+
+def _validate_vertical(term: model.AggregateTerm,
+                       query: model.PercentageQuery) -> None:
+    if term.distinct and term.func != "count":
+        raise PercentageQueryError(
+            "DISTINCT is only supported with count()")
+    if term.default is not None:
+        raise PercentageQueryError(
+            f"DEFAULT is only meaningful with a BY clause "
+            f"({term.func}() here is a plain vertical aggregate)")
+
+
+def _validate_horizontal_query(query: model.PercentageQuery) -> None:
+    """Whole-query checks for the horizontal form: plain aggregates are
+    allowed (they share the D1..Dj grouping -- rule 3), and every
+    dimension column must be a grouping column (already checked)."""
+    for term in query.plain_terms():
+        # Nothing further: plain terms aggregate over D1..Dj directly.
+        _ = term

@@ -1,0 +1,9 @@
+"""Synthetic workload generators reproducing the papers' data sets."""
+
+from repro.datagen.census import load_census
+from repro.datagen.employee import load_employee
+from repro.datagen.sales import load_sales
+from repro.datagen.transaction_line import load_transaction_line
+
+__all__ = ["load_census", "load_employee", "load_sales",
+           "load_transaction_line"]

@@ -1,0 +1,46 @@
+"""Random column generators for the synthetic workloads.
+
+The SIGMOD paper's synthetic tables use uniformly distributed
+dimensions ("Each dimension was uniformly distributed"); the census
+stand-in additionally needs skewed distributions ("skewed value
+distributions"), for which a Zipf-like sampler is provided.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def uniform_dimension(rng: np.random.Generator, n_rows: int,
+                      cardinality: int, base: int = 1) -> np.ndarray:
+    """Uniform integer dimension with values in
+    ``[base, base + cardinality)``."""
+    if cardinality < 1:
+        raise ValueError("cardinality must be positive")
+    return rng.integers(base, base + cardinality, size=n_rows,
+                        dtype=np.int64)
+
+
+def zipf_dimension(rng: np.random.Generator, n_rows: int,
+                   cardinality: int, skew: float = 1.1,
+                   base: int = 1) -> np.ndarray:
+    """Skewed integer dimension: value ``base + i`` has probability
+    proportional to ``1 / (i + 1) ** skew``."""
+    if cardinality < 1:
+        raise ValueError("cardinality must be positive")
+    ranks = np.arange(1, cardinality + 1, dtype=np.float64)
+    weights = ranks ** (-skew)
+    weights /= weights.sum()
+    return base + rng.choice(cardinality, size=n_rows, p=weights) \
+        .astype(np.int64)
+
+
+def uniform_measure(rng: np.random.Generator, n_rows: int,
+                    low: float = 1.0, high: float = 100.0) -> np.ndarray:
+    """Uniform REAL measure in ``[low, high)``."""
+    return rng.uniform(low, high, size=n_rows)
+
+
+def sequence(n_rows: int, base: int = 1) -> np.ndarray:
+    """A dense surrogate key column."""
+    return np.arange(base, base + n_rows, dtype=np.int64)

@@ -1,0 +1,55 @@
+"""The SIGMOD paper's ``sales`` table.
+
+"Table sales had n = 10M with columns transactionId(10M),
+itemId(1000), dweek(7), monthNo(12), store(100), city(20), state(5),
+dept(100)" (Section 4).  A ``salesAmt`` measure is added as the
+aggregated attribute.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api.database import Database
+from repro.datagen import distributions as dist
+from repro.engine.table import Table
+
+#: The paper's full scale.
+PAPER_N = 10_000_000
+
+CARDINALITIES = {"itemid": 1000, "dweek": 7, "monthno": 12,
+                 "store": 100, "city": 20, "state": 5, "dept": 100}
+
+
+def load_sales(db: Database, n_rows: int = 500_000,
+               seed: int = 20040618, name: str = "sales",
+               replace: bool = True) -> Table:
+    """Generate and load the sales table (default 1/20 of paper scale)."""
+    rng = np.random.default_rng(seed)
+    data = {
+        "transactionid": dist.sequence(n_rows),
+        "itemid": dist.uniform_dimension(rng, n_rows,
+                                         CARDINALITIES["itemid"]),
+        "dweek": dist.uniform_dimension(rng, n_rows,
+                                        CARDINALITIES["dweek"]),
+        "monthno": dist.uniform_dimension(rng, n_rows,
+                                          CARDINALITIES["monthno"]),
+        "store": dist.uniform_dimension(rng, n_rows,
+                                        CARDINALITIES["store"]),
+        "city": dist.uniform_dimension(rng, n_rows,
+                                       CARDINALITIES["city"]),
+        "state": dist.uniform_dimension(rng, n_rows,
+                                        CARDINALITIES["state"]),
+        "dept": dist.uniform_dimension(rng, n_rows,
+                                       CARDINALITIES["dept"]),
+        "salesamt": np.round(dist.uniform_measure(rng, n_rows,
+                                                  1.0, 500.0), 2),
+    }
+    if replace:
+        db.drop_table(name, if_exists=True)
+    return db.load_table(
+        name,
+        [("transactionid", "int"), ("itemid", "int"), ("dweek", "int"),
+         ("monthno", "int"), ("store", "int"), ("city", "int"),
+         ("state", "int"), ("dept", "int"), ("salesamt", "real")],
+        data, primary_key=["transactionid"])

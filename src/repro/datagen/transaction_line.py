@@ -1,0 +1,52 @@
+"""The companion paper's ``transactionLine`` table.
+
+"Table transactionLine had columns deptId(10), subdeptId(100),
+itemId(1000), yearNo(4), monthNo(12), dayOfWeekNo(7), regionId(4),
+stateId(10), cityId(20) and storeId(30) ... generated with
+n = 1'000,000 rows and n = 2'000,000 rows" (DMKD Section 4.1).
+
+Measures ``itemQty``, ``costAmt`` and ``salesAmt`` are included as the
+paper's Section 2.1 describes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api.database import Database
+from repro.datagen import distributions as dist
+from repro.engine.table import Table
+
+#: The companion paper's two scales.
+PAPER_N_SMALL = 1_000_000
+PAPER_N_LARGE = 2_000_000
+
+CARDINALITIES = {"deptid": 10, "subdeptid": 100, "itemid": 1000,
+                 "yearno": 4, "monthno": 12, "dayofweekno": 7,
+                 "regionid": 4, "stateid": 10, "cityid": 20,
+                 "storeid": 30}
+
+
+def load_transaction_line(db: Database, n_rows: int = 100_000,
+                          seed: int = 20040614,
+                          name: str = "transactionline",
+                          replace: bool = True) -> Table:
+    """Generate and load transactionLine (default 1/10 of the small
+    paper scale)."""
+    rng = np.random.default_rng(seed)
+    data = {"transactionid": dist.sequence(n_rows)}
+    for column, cardinality in CARDINALITIES.items():
+        data[column] = dist.uniform_dimension(rng, n_rows, cardinality)
+    qty = dist.uniform_dimension(rng, n_rows, 10)
+    cost = np.round(dist.uniform_measure(rng, n_rows, 0.5, 50.0), 2)
+    data["itemqty"] = qty
+    data["costamt"] = np.round(cost * qty, 2)
+    data["salesamt"] = np.round(cost * qty * 1.25, 2)
+    if replace:
+        db.drop_table(name, if_exists=True)
+    columns = [("transactionid", "int")]
+    columns += [(c, "int") for c in CARDINALITIES]
+    columns += [("itemqty", "int"), ("costamt", "real"),
+                ("salesamt", "real")]
+    return db.load_table(name, columns, data,
+                         primary_key=["transactionid"])

@@ -1,0 +1,18 @@
+"""In-memory columnar SQL engine (the substrate the paper ran on Teradata)."""
+
+from repro.engine.catalog import Catalog
+from repro.engine.column import ColumnData
+from repro.engine.schema import ColumnDef, TableSchema
+from repro.engine.stats import StatsCollector
+from repro.engine.table import Table
+from repro.engine.types import SQLType
+
+__all__ = [
+    "Catalog",
+    "ColumnData",
+    "ColumnDef",
+    "SQLType",
+    "StatsCollector",
+    "Table",
+    "TableSchema",
+]

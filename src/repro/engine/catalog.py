@@ -1,0 +1,169 @@
+"""The catalog: named tables, their indexes, and DBMS limits.
+
+The catalog enforces the limits the paper calls out as practical issues
+for horizontal aggregations: the maximum number of columns per table
+and the maximum identifier length (DMKD Section 3.6).  Both are
+configurable so tests and the vertical-partitioning machinery can
+exercise the failure paths at small sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.engine.index import HashIndex
+from repro.engine.schema import (DEFAULT_MAX_COLUMNS,
+                                 DEFAULT_MAX_NAME_LENGTH, TableSchema)
+from repro.engine.table import Table
+from repro.errors import CatalogError
+
+
+class Catalog:
+    """Case-insensitive registry of tables and their indexes."""
+
+    def __init__(self, max_columns: int = DEFAULT_MAX_COLUMNS,
+                 max_name_length: int = DEFAULT_MAX_NAME_LENGTH):
+        self.max_columns = max_columns
+        self.max_name_length = max_name_length
+        self._tables: dict[str, Table] = {}
+        self._indexes: dict[str, HashIndex] = {}
+        self._views: dict[str, object] = {}  # name -> ast.Select
+
+    # ------------------------------------------------------------------
+    # Tables
+    # ------------------------------------------------------------------
+    def validate_schema(self, schema: TableSchema) -> None:
+        """Raise CatalogError when a schema violates a DBMS limit."""
+        if schema.width() > self.max_columns:
+            raise CatalogError(
+                f"table {schema.name!r} would have {schema.width()} "
+                f"columns; the maximum is {self.max_columns}")
+        for name in [schema.name] + schema.column_names():
+            if len(name) > self.max_name_length:
+                raise CatalogError(
+                    f"identifier {name!r} is {len(name)} characters; "
+                    f"the maximum is {self.max_name_length}")
+
+    def create_table(self, table: Table, replace: bool = False) -> None:
+        key = table.name.lower()
+        if key in self._tables and not replace:
+            raise CatalogError(f"table {table.name!r} already exists")
+        if key in self._views:
+            raise CatalogError(f"{table.name!r} is a view")
+        self.validate_schema(table.schema)
+        self._tables[key] = table
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no such table: {name!r}") from None
+
+    def replace_table(self, table: Table) -> None:
+        """Swap in new contents for an existing table and refresh its
+        indexes."""
+        key = table.name.lower()
+        if key not in self._tables:
+            raise CatalogError(f"no such table: {table.name!r}")
+        self._tables[key] = table
+        for index in self.indexes_on(table.name):
+            index.rebuild(table)
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            if if_exists:
+                return
+            raise CatalogError(f"no such table: {name!r}")
+        del self._tables[key]
+        stale = [idx_name for idx_name, idx in self._indexes.items()
+                 if idx.table_name.lower() == key]
+        for idx_name in stale:
+            del self._indexes[idx_name]
+
+    def table_names(self) -> list[str]:
+        return [t.name for t in self._tables.values()]
+
+    # ------------------------------------------------------------------
+    # Views (the paper's Section 2: F may be "a view based on some
+    # complex SQL query"; views re-run their defining SELECT on use)
+    # ------------------------------------------------------------------
+    def create_view(self, name: str, select, replace: bool = False
+                    ) -> None:
+        key = name.lower()
+        if key in self._tables:
+            raise CatalogError(f"{name!r} is a table")
+        if key in self._views and not replace:
+            raise CatalogError(f"view {name!r} already exists")
+        if len(name) > self.max_name_length:
+            raise CatalogError(
+                f"identifier {name!r} is {len(name)} characters; "
+                f"the maximum is {self.max_name_length}")
+        self._views[key] = select
+
+    def has_view(self, name: str) -> bool:
+        return name.lower() in self._views
+
+    def view(self, name: str):
+        try:
+            return self._views[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no such view: {name!r}") from None
+
+    def drop_view(self, name: str, if_exists: bool = False) -> None:
+        key = name.lower()
+        if key not in self._views:
+            if if_exists:
+                return
+            raise CatalogError(f"no such view: {name!r}")
+        del self._views[key]
+
+    def view_names(self) -> list[str]:
+        return list(self._views)
+
+    # ------------------------------------------------------------------
+    # Indexes
+    # ------------------------------------------------------------------
+    def create_index(self, name: str, table_name: str,
+                     column_names: Sequence[str],
+                     replace: bool = False) -> HashIndex:
+        key = name.lower()
+        if key in self._indexes and not replace:
+            raise CatalogError(f"index {name!r} already exists")
+        table = self.table(table_name)
+        for col in column_names:
+            if not table.schema.has_column(col):
+                raise CatalogError(
+                    f"no column {col!r} in table {table_name!r}")
+        index = HashIndex(name, table.name, column_names)
+        index.rebuild(table)
+        self._indexes[key] = index
+        return index
+
+    def drop_index(self, name: str, if_exists: bool = False) -> None:
+        key = name.lower()
+        if key not in self._indexes:
+            if if_exists:
+                return
+            raise CatalogError(f"no such index: {name!r}")
+        del self._indexes[key]
+
+    def indexes_on(self, table_name: str) -> list[HashIndex]:
+        lowered = table_name.lower()
+        return [idx for idx in self._indexes.values()
+                if idx.table_name.lower() == lowered]
+
+    def find_index(self, table_name: str,
+                   column_names: Iterable[str]) -> HashIndex | None:
+        """An index on exactly these columns of this table, if any."""
+        wanted = list(column_names)
+        for index in self.indexes_on(table_name):
+            if index.covers(wanted):
+                return index
+        return None
+
+    def index_names(self) -> list[str]:
+        return [idx.name for idx in self._indexes.values()]

@@ -1,0 +1,146 @@
+"""EXPLAIN: render the evaluation plan of a statement as text rows.
+
+The explanation mirrors what the interpreting executor will actually
+do -- scan order, join keys and whether a covering index serves the
+build side, residual filters, grouping, and the post-processing steps
+-- without executing anything.  The output is a one-column table so it
+flows through the same result channels as any query (cursor, CLI...).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.column import ColumnData
+from repro.engine.planner import plan_from
+from repro.engine.table import Table
+from repro.engine.types import SQLType
+from repro.sql import ast
+from repro.sql.formatter import format_expr
+
+
+def explain_statement(executor, statement: ast.Statement) -> Table:
+    """One plan line per row (column ``plan``)."""
+    lines: list[str] = []
+    if isinstance(statement, ast.Select):
+        _explain_select(executor, statement, lines, indent=0)
+    elif isinstance(statement, ast.InsertSelect):
+        lines.append(f"insert into {statement.table}")
+        _explain_select(executor, statement.select, lines, indent=1)
+    elif isinstance(statement, ast.CreateTableAs):
+        lines.append(f"create table {statement.name} as")
+        _explain_select(executor, statement.select, lines, indent=1)
+    elif isinstance(statement, ast.Update):
+        lines.append(f"update {statement.table.name}"
+                     + (" (join update)" if statement.from_tables
+                        else ""))
+    elif isinstance(statement, ast.Delete):
+        lines.append(f"delete from {statement.table.name}")
+    else:
+        lines.append(type(statement).__name__.lower())
+    data = ColumnData.from_values(SQLType.VARCHAR, lines)
+    return Table.from_columns("explain", [("plan", data)])
+
+
+def _explain_select(executor, select: ast.Select, lines: list[str],
+                    indent: int) -> None:
+    pad = "  " * indent
+
+    def emit(text: str, extra: int = 0) -> None:
+        lines.append(pad + "  " * extra + text)
+
+    if select.limit is not None:
+        emit(f"limit {select.limit}")
+    if select.order_by:
+        keys = ", ".join(format_expr(o.expr)
+                         + ("" if o.ascending else " DESC")
+                         for o in select.order_by)
+        emit(f"sort by {keys}")
+    if select.distinct:
+        emit("distinct")
+    if _is_aggregate(select):
+        group = ", ".join(format_expr(e) for e in select.group_by)
+        emit("aggregate" + (f" group by {group}" if group
+                            else " (global)"))
+        if select.having is not None:
+            emit(f"having {format_expr(select.having)}", 1)
+
+    if select.from_ is None:
+        emit("single-row source")
+        return
+
+    schemas = {}
+    for source in select.from_.sources():
+        binding = source.binding.lower()
+        schemas[binding] = _source_schema(executor, source)
+
+    def resolve_binding(ref: ast.ColumnRef,
+                        candidates: list[str]) -> Optional[str]:
+        if ref.table:
+            key = ref.table.lower()
+            if key in candidates and schemas.get(key) is not None \
+                    and schemas[key].has_column(ref.name):
+                return key
+            return None
+        owners = [b for b in candidates
+                  if schemas.get(b) is not None
+                  and schemas[b].has_column(ref.name)]
+        return owners[0] if len(owners) == 1 else None
+
+    plan = plan_from(select.from_, select.where, resolve_binding)
+    if plan.residual_where is not None:
+        emit(f"filter {format_expr(plan.residual_where)}")
+    for join in reversed(plan.joins):
+        if not join.left_keys:
+            emit(f"cartesian join {join.source.binding}")
+        else:
+            keys = ", ".join(
+                f"{format_expr(l)} = {format_expr(r)}"
+                for l, r in zip(join.left_keys, join.right_keys))
+            index_note = _index_note(executor, join)
+            kind = "left outer join" if join.kind == "left" \
+                else "hash join"
+            emit(f"{kind} {join.source.binding} on {keys}{index_note}")
+        if join.residual is not None:
+            emit(f"filter {format_expr(join.residual)}", 1)
+    emit(_scan_line(executor, plan.first.source))
+
+
+def _is_aggregate(select: ast.Select) -> bool:
+    if select.group_by or select.having is not None:
+        return True
+    return any(not isinstance(item.expr, ast.Star)
+               and ast.contains_aggregate(item.expr)
+               for item in select.items)
+
+
+def _source_schema(executor, source: ast.FromSource):
+    if isinstance(source, ast.TableRef):
+        if executor.catalog.has_table(source.name):
+            return executor.catalog.table(source.name).schema
+        return None  # view or missing: columns resolved at run time
+    return None      # derived table
+
+
+def _scan_line(executor, source: ast.FromSource) -> str:
+    if isinstance(source, ast.TableRef):
+        if executor.catalog.has_view(source.name):
+            return f"view scan {source.name}"
+        if executor.catalog.has_table(source.name):
+            rows = executor.catalog.table(source.name).n_rows
+            return f"scan {source.name} ({rows} rows)"
+        return f"scan {source.name}"
+    return f"derived table {source.alias}"
+
+
+def _index_note(executor, join) -> str:
+    source = join.source.source
+    if not isinstance(source, ast.TableRef) \
+            or not executor.options.use_indexes \
+            or not executor.catalog.has_table(source.name):
+        return ""
+    key_names = [ref.name for ref in join.right_keys]
+    index = executor.catalog.find_index(source.name, key_names)
+    if index is not None:
+        return f" [index {index.name}]"
+    return ""

@@ -1,0 +1,163 @@
+"""Grouping machinery: vectorized factorization of key columns.
+
+Everything that needs "rows with equal keys" -- GROUP BY, DISTINCT,
+window partitions, hash joins -- goes through :func:`factorize`:
+
+1. each key column is *encoded* to dense integer codes (NULL gets its
+   own code, so SQL GROUP BY semantics of NULLs-compare-equal hold);
+2. multi-column keys are combined either by mixed-radix arithmetic (the
+   fast path, when the code space fits in int64) or by lexicographic
+   ``np.unique(axis=0)``;
+3. the result is a :class:`Grouping`: one group id per row, the group
+   count, and per-column representative values for each group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.column import ColumnData
+from repro.engine.types import SQLType
+
+
+@dataclass
+class EncodedColumn:
+    """One key column reduced to dense codes.
+
+    ``codes[i]`` is 0 when row ``i`` is NULL, otherwise
+    ``1 + rank of the value`` in ``uniques`` (which is sorted).
+    ``cardinality`` = ``len(uniques) + 1`` (the NULL slot).
+    """
+
+    codes: np.ndarray
+    uniques: np.ndarray
+    sql_type: SQLType
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.uniques) + 1
+
+    def decode(self, codes: np.ndarray) -> ColumnData:
+        """Map codes back to a value column (code 0 -> NULL)."""
+        nulls = codes == 0
+        safe = np.where(nulls, 1, codes) - 1
+        if len(self.uniques):
+            values = self.uniques[safe]
+        else:
+            values = np.full(len(codes), 0, dtype=object)
+        values = np.asarray(values, dtype=self.sql_type.numpy_dtype)
+        if nulls.any():
+            values = values.copy()
+        return ColumnData(self.sql_type, values, nulls)
+
+
+def encode_column(col: ColumnData) -> EncodedColumn:
+    """Encode one column to dense integer codes (NULL -> 0)."""
+    n = len(col)
+    if n == 0:
+        return EncodedColumn(np.empty(0, dtype=np.int64),
+                             np.empty(0, dtype=col.sql_type.numpy_dtype),
+                             col.sql_type)
+    values = col.values
+    if col.sql_type == SQLType.VARCHAR:
+        # np.unique on object arrays sorts with Python comparisons; make
+        # NULL lanes harmless by substituting a real string first.
+        values = np.where(col.nulls, "", values)
+    uniques, inverse = np.unique(values, return_inverse=True)
+    codes = inverse.astype(np.int64) + 1
+    codes[col.nulls] = 0
+    return EncodedColumn(codes, uniques, col.sql_type)
+
+
+@dataclass
+class Grouping:
+    """The result of factorizing rows by a key-column list."""
+
+    group_ids: np.ndarray          # int64, one per input row
+    n_groups: int
+    key_codes: np.ndarray          # (n_groups, n_keys) codes per group
+    encodings: list[EncodedColumn]
+
+    def key_column(self, position: int) -> ColumnData:
+        """The representative values of key column ``position``, one row
+        per group."""
+        return self.encodings[position].decode(self.key_codes[:, position])
+
+    def key_columns(self) -> list[ColumnData]:
+        return [self.key_column(i) for i in range(len(self.encodings))]
+
+
+#: Mixed-radix combination is used only while the combined code space
+#: fits comfortably in int64.
+_MAX_CODE_SPACE = 2 ** 62
+
+
+def factorize(columns: list[ColumnData], n_rows: int) -> Grouping:
+    """Group rows by the tuple of ``columns`` (possibly empty).
+
+    With no key columns every row lands in one global group, which is
+    exactly SQL's "aggregation without GROUP BY".
+    """
+    if not columns:
+        group_ids = np.zeros(n_rows, dtype=np.int64)
+        return Grouping(group_ids, 1 if n_rows >= 0 else 0,
+                        np.empty((1, 0), dtype=np.int64), [])
+
+    encodings = [encode_column(c) for c in columns]
+    if len(encodings) == 1:
+        return _factorize_single(encodings[0])
+
+    code_space = 1
+    for enc in encodings:
+        code_space *= enc.cardinality
+        if code_space > _MAX_CODE_SPACE:
+            break
+    if code_space <= _MAX_CODE_SPACE:
+        return _factorize_radix(encodings)
+    return _factorize_lex(encodings)
+
+
+def _factorize_single(enc: EncodedColumn) -> Grouping:
+    present, group_ids = np.unique(enc.codes, return_inverse=True)
+    return Grouping(group_ids.astype(np.int64), len(present),
+                    present.reshape(-1, 1), [enc])
+
+
+def _factorize_radix(encodings: list[EncodedColumn]) -> Grouping:
+    """Combine per-column codes into one int64 with mixed radix."""
+    combined = np.zeros(len(encodings[0].codes), dtype=np.int64)
+    for enc in encodings:
+        combined *= enc.cardinality
+        combined += enc.codes
+    present, group_ids = np.unique(combined, return_inverse=True)
+    key_codes = np.empty((len(present), len(encodings)), dtype=np.int64)
+    remaining = present.copy()
+    for position in range(len(encodings) - 1, -1, -1):
+        radix = encodings[position].cardinality
+        key_codes[:, position] = remaining % radix
+        remaining //= radix
+    return Grouping(group_ids.astype(np.int64), len(present), key_codes,
+                    encodings)
+
+
+def _factorize_lex(encodings: list[EncodedColumn]) -> Grouping:
+    """Fallback for huge code spaces: unique over stacked code rows."""
+    matrix = np.stack([enc.codes for enc in encodings], axis=1)
+    present, group_ids = np.unique(matrix, axis=0, return_inverse=True)
+    return Grouping(group_ids.astype(np.int64), len(present), present,
+                    encodings)
+
+
+def distinct_indices(columns: list[ColumnData], n_rows: int) -> np.ndarray:
+    """Positions of the first row of each distinct key combination, in
+    first-appearance order (stable DISTINCT)."""
+    grouping = factorize(columns, n_rows)
+    if n_rows == 0:
+        return np.empty(0, dtype=np.int64)
+    order = np.argsort(grouping.group_ids, kind="stable")
+    sorted_ids = grouping.group_ids[order]
+    starts = np.ones(len(order), dtype=bool)
+    starts[1:] = sorted_ids[1:] != sorted_ids[:-1]
+    return np.sort(order[starts])

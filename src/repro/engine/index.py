@@ -1,0 +1,70 @@
+"""Hash indexes on column sets.
+
+The paper's vertical-percentage optimization recommends identical
+indexes on the common subkey of ``Fj`` and ``Fk`` to speed up the
+division join.  An index stores a pre-digested
+:class:`~repro.engine.join.PreparedJoinSide` for its columns, so a join
+whose build keys are covered by an index skips the hash-build phase --
+the same saving a DBMS gets.  A lazily-built exact-key bucket map is
+also available for point lookups.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.engine.join import PreparedJoinSide, prepare_side
+from repro.engine.table import Table
+
+
+class HashIndex:
+    """An equality index mapping key tuples to row positions."""
+
+    def __init__(self, name: str, table_name: str,
+                 column_names: Sequence[str]):
+        self.name = name
+        self.table_name = table_name
+        #: indexed columns, lower-cased, in declaration order
+        self.column_names = tuple(c.lower() for c in column_names)
+        self.prepared: PreparedJoinSide | None = None
+        self._buckets: dict[tuple[Any, ...], list[int]] | None = None
+        self._table: Table | None = None
+
+    # ------------------------------------------------------------------
+    def rebuild(self, table: Table) -> None:
+        """(Re)digest the index from the table's current contents."""
+        self._table = table
+        columns = [table.column(c) for c in self.column_names]
+        self.prepared = prepare_side(columns)
+        self._buckets = None  # rebuilt lazily on next point lookup
+
+    def covers(self, column_names: Sequence[str]) -> bool:
+        """True when this index is exactly on ``column_names``
+        (order-insensitive, case-insensitive)."""
+        return set(self.column_names) == {c.lower() for c in column_names}
+
+    # ------------------------------------------------------------------
+    def _ensure_buckets(self) -> dict[tuple[Any, ...], list[int]]:
+        if self._buckets is None:
+            if self._table is None:
+                raise RuntimeError(f"index {self.name!r} was never built")
+            columns = [self._table.column(c) for c in self.column_names]
+            buckets: dict[tuple[Any, ...], list[int]] = {}
+            for i in range(self._table.n_rows):
+                key = tuple(col[i] for col in columns)
+                buckets.setdefault(key, []).append(i)
+            self._buckets = buckets
+        return self._buckets
+
+    def lookup(self, key: tuple[Any, ...]) -> list[int]:
+        """Row positions whose indexed columns equal ``key``."""
+        return self._ensure_buckets().get(key, [])
+
+    @property
+    def built_rows(self) -> int:
+        return self.prepared.n_rows if self.prepared else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cols = ", ".join(self.column_names)
+        return (f"<HashIndex {self.name} on {self.table_name}({cols}) "
+                f"rows={self.built_rows}>")

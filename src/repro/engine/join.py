@@ -1,0 +1,163 @@
+"""Vectorized hash equi-joins (inner and left outer).
+
+The join works in two phases, mirroring a classic hash join:
+
+* :func:`prepare_side` digests the build side's key columns into a
+  :class:`PreparedJoinSide`: per-column sorted dictionaries plus a
+  CSR-style (sorted combined code -> row positions) structure.
+* :func:`probe` encodes the probe side's keys against those
+  dictionaries and emits matching row-index pairs.
+
+A :class:`~repro.engine.index.HashIndex` stores a pre-built
+``PreparedJoinSide``; when the executor finds an index covering the
+build keys it skips the build phase entirely, which is the concrete
+mechanism behind the paper's "identical indexes on D1..Dj improve the
+join used to perform divisions" finding.
+
+NULL join keys never match (SQL equality semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.column import ColumnData
+from repro.engine.types import SQLType
+
+
+@dataclass
+class PreparedJoinSide:
+    """Digested build-side keys, reusable across probes."""
+
+    uniques: list[np.ndarray]      # per key column, sorted non-null uniques
+    key_types: list[SQLType]
+    gcodes: np.ndarray             # sorted unique combined codes
+    row_order: np.ndarray          # build rows ordered by combined code
+    offsets: np.ndarray            # CSR offsets into row_order
+    n_rows: int                    # build-side row count
+
+
+def _encode_against(uniques: np.ndarray,
+                    col: ColumnData) -> np.ndarray:
+    """Codes of ``col`` values in ``uniques`` (1-based), -1 for values
+    absent from the dictionary or NULL."""
+    values = col.values
+    if col.sql_type == SQLType.VARCHAR:
+        values = np.where(col.nulls, "", values)
+    if len(uniques) == 0:
+        return np.full(len(col), -1, dtype=np.int64)
+    pos = np.searchsorted(uniques, values)
+    pos_clipped = np.minimum(pos, len(uniques) - 1)
+    hit = uniques[pos_clipped] == values
+    codes = np.where(hit, pos_clipped + 1, -1).astype(np.int64)
+    codes[col.nulls] = -1
+    return codes
+
+
+def prepare_side(columns: list[ColumnData]) -> PreparedJoinSide:
+    """Digest build-side key columns (NULL-keyed rows are dropped)."""
+    if not columns:
+        raise ValueError("join requires at least one key column")
+    n = len(columns[0])
+    uniques_list: list[np.ndarray] = []
+    codes_list: list[np.ndarray] = []
+    for col in columns:
+        values = col.values
+        if col.sql_type == SQLType.VARCHAR:
+            values = np.where(col.nulls, "", values)
+        uniques = np.unique(values[~col.nulls]) if n else \
+            np.empty(0, dtype=col.sql_type.numpy_dtype)
+        uniques_list.append(uniques)
+        codes_list.append(_encode_against(uniques, col))
+
+    combined = np.zeros(n, dtype=np.int64)
+    valid = np.ones(n, dtype=bool)
+    for uniques, codes in zip(uniques_list, codes_list):
+        combined = combined * np.int64(len(uniques) + 1) + \
+            np.maximum(codes, 0)
+        valid &= codes > 0
+    rows = np.nonzero(valid)[0]
+    comb_valid = combined[valid]
+    order = np.argsort(comb_valid, kind="stable")
+    sorted_codes = comb_valid[order]
+    row_order = rows[order]
+    boundaries = np.ones(len(sorted_codes), dtype=bool)
+    boundaries[1:] = sorted_codes[1:] != sorted_codes[:-1]
+    gcodes = sorted_codes[boundaries]
+    starts = np.nonzero(boundaries)[0]
+    offsets = np.concatenate([starts, [len(sorted_codes)]]).astype(np.int64)
+    return PreparedJoinSide(uniques_list,
+                            [c.sql_type for c in columns],
+                            gcodes, row_order, offsets, n)
+
+
+def probe(prepared: PreparedJoinSide, columns: list[ColumnData],
+          outer: bool) -> tuple[np.ndarray, np.ndarray]:
+    """Match probe rows against a prepared build side.
+
+    Returns ``(probe_indices, build_indices)``: parallel arrays of row
+    positions.  For an outer (left) probe, unmatched probe rows appear
+    once with ``build_index == -1``.
+    """
+    n = len(columns[0]) if columns else 0
+    combined = np.zeros(n, dtype=np.int64)
+    possible = np.ones(n, dtype=bool)
+    for uniques, col in zip(prepared.uniques, columns):
+        codes = _encode_against(uniques, col)
+        combined = combined * np.int64(len(uniques) + 1) + \
+            np.maximum(codes, 0)
+        possible &= codes > 0
+
+    slot = np.searchsorted(prepared.gcodes, combined)
+    in_range = slot < len(prepared.gcodes)
+    slot_safe = np.minimum(slot, max(len(prepared.gcodes) - 1, 0))
+    if len(prepared.gcodes):
+        matched = possible & in_range & \
+            (prepared.gcodes[slot_safe] == combined)
+    else:
+        matched = np.zeros(n, dtype=bool)
+
+    counts = np.zeros(n, dtype=np.int64)
+    starts = np.zeros(n, dtype=np.int64)
+    if len(prepared.gcodes):
+        counts[matched] = (prepared.offsets[slot_safe[matched] + 1]
+                           - prepared.offsets[slot_safe[matched]])
+        starts[matched] = prepared.offsets[slot_safe[matched]]
+
+    out_counts = np.where(matched, counts, 1 if outer else 0)
+    total = int(out_counts.sum())
+    probe_idx = np.repeat(np.arange(n, dtype=np.int64), out_counts)
+    if total == 0:
+        return probe_idx, np.empty(0, dtype=np.int64)
+
+    out_offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(out_counts, out=out_offsets[1:])
+    within = np.arange(total, dtype=np.int64) - \
+        np.repeat(out_offsets[:-1], out_counts)
+    flat_pos = np.repeat(starts, out_counts) + within
+    flat_matched = np.repeat(matched, out_counts)
+    build_idx = np.full(total, -1, dtype=np.int64)
+    if prepared.row_order.size:
+        safe = np.minimum(flat_pos, len(prepared.row_order) - 1)
+        gathered = prepared.row_order[safe]
+        build_idx[flat_matched] = gathered[flat_matched]
+    return probe_idx, build_idx
+
+
+def join_indices(left_columns: list[ColumnData],
+                 right_columns: list[ColumnData],
+                 outer: bool,
+                 prepared_right: PreparedJoinSide | None = None
+                 ) -> tuple[np.ndarray, np.ndarray, PreparedJoinSide]:
+    """Join row indices for ``left JOIN right`` on positional key pairs.
+
+    Returns ``(left_idx, right_idx, prepared)`` where ``prepared`` is
+    the build-side digest actually used (caller may have supplied a
+    cached one from an index).
+    """
+    if prepared_right is None:
+        prepared_right = prepare_side(right_columns)
+    left_idx, right_idx = probe(prepared_right, left_columns, outer)
+    return left_idx, right_idx, prepared_right

@@ -1,0 +1,169 @@
+"""FROM-clause planning: turning sources, joins and WHERE predicates
+into a sequence of hash-join steps.
+
+The paper's generated SQL writes joins in the classic comma form::
+
+    FROM Fj, Fk WHERE Fj.D1 = Fk.D1 AND ... AND Fj.Dj = Fk.Dj
+
+so the planner must recover equi-join keys from the WHERE conjunction.
+Explicit ``[LEFT OUTER] JOIN ... ON`` clauses (used by the SPJ strategy
+of the companion paper) are planned directly from their ON condition.
+
+The planner produces a :class:`FromPlan`: an ordered list of sources
+and, for each source after the first, the join kind plus key pairs
+linking it to the already-accumulated sources; predicates that are not
+equi-join keys are returned as residual filters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import PlanningError
+from repro.sql import ast
+
+
+@dataclass
+class PlannedSource:
+    """One FROM source with its binding name."""
+
+    source: ast.FromSource
+    binding: str
+
+
+@dataclass
+class PlannedJoin:
+    """How to attach one source to the accumulated left side.
+
+    ``left_keys``/``right_keys`` are parallel column references; empty
+    keys mean a cartesian product (only reasonable for tiny tables).
+    ``residual`` holds non-equi parts of an explicit ON condition.
+    """
+
+    kind: str                       # "inner" | "left"
+    source: PlannedSource
+    left_keys: list[ast.ColumnRef] = field(default_factory=list)
+    right_keys: list[ast.ColumnRef] = field(default_factory=list)
+    residual: Optional[ast.Expr] = None
+
+
+@dataclass
+class FromPlan:
+    first: PlannedSource
+    joins: list[PlannedJoin]
+    residual_where: Optional[ast.Expr]
+
+
+def split_conjuncts(expr: Optional[ast.Expr]) -> list[ast.Expr]:
+    """Flatten a tree of ANDs into a list of conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, ast.BinaryOp) and expr.op == "AND":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def join_conjuncts(conjuncts: list[ast.Expr]) -> Optional[ast.Expr]:
+    """Rebuild an AND tree (None for an empty list)."""
+    result: Optional[ast.Expr] = None
+    for conjunct in conjuncts:
+        result = conjunct if result is None \
+            else ast.BinaryOp("AND", result, conjunct)
+    return result
+
+
+def plan_from(from_clause: ast.FromClause,
+              where: Optional[ast.Expr],
+              resolve_binding) -> FromPlan:
+    """Plan the FROM clause.
+
+    ``resolve_binding(column_ref, candidate_bindings)`` must return the
+    binding name owning the reference, or None when it cannot be
+    resolved among the candidates (the executor supplies a callback
+    with schema knowledge).
+    """
+    first = PlannedSource(from_clause.first, from_clause.first.binding)
+    joins: list[PlannedJoin] = []
+    conjuncts = split_conjuncts(where)
+    used = [False] * len(conjuncts)
+    accumulated = [first.binding.lower()]
+
+    for step in from_clause.joins:
+        source = PlannedSource(step.source, step.source.binding)
+        new_binding = source.binding.lower()
+        if step.kind in ("inner", "left"):
+            planned = _plan_explicit_join(step, source, accumulated,
+                                          new_binding, resolve_binding)
+        else:
+            planned = _plan_comma_join(source, accumulated, new_binding,
+                                       conjuncts, used, resolve_binding)
+        joins.append(planned)
+        accumulated.append(new_binding)
+
+    leftovers = [c for c, u in zip(conjuncts, used) if not u]
+    return FromPlan(first, joins, join_conjuncts(leftovers))
+
+
+def _plan_explicit_join(step: ast.JoinStep, source: PlannedSource,
+                        accumulated: list[str], new_binding: str,
+                        resolve_binding) -> PlannedJoin:
+    left_keys: list[ast.ColumnRef] = []
+    right_keys: list[ast.ColumnRef] = []
+    residual: list[ast.Expr] = []
+    for conjunct in split_conjuncts(step.on):
+        pair = _equi_key_pair(conjunct, accumulated, new_binding,
+                              resolve_binding)
+        if pair is not None:
+            left_keys.append(pair[0])
+            right_keys.append(pair[1])
+        else:
+            residual.append(conjunct)
+    if step.kind == "left" and residual:
+        raise PlanningError(
+            "LEFT OUTER JOIN supports only conjunctions of column "
+            "equalities in ON")
+    if not left_keys:
+        raise PlanningError("JOIN ... ON requires at least one "
+                            "equality between the two sides")
+    return PlannedJoin(step.kind, source, left_keys, right_keys,
+                       join_conjuncts(residual))
+
+
+def _plan_comma_join(source: PlannedSource, accumulated: list[str],
+                     new_binding: str, conjuncts: list[ast.Expr],
+                     used: list[bool], resolve_binding) -> PlannedJoin:
+    left_keys: list[ast.ColumnRef] = []
+    right_keys: list[ast.ColumnRef] = []
+    for i, conjunct in enumerate(conjuncts):
+        if used[i]:
+            continue
+        pair = _equi_key_pair(conjunct, accumulated, new_binding,
+                              resolve_binding)
+        if pair is not None:
+            left_keys.append(pair[0])
+            right_keys.append(pair[1])
+            used[i] = True
+    return PlannedJoin("inner", source, left_keys, right_keys, None)
+
+
+def _equi_key_pair(conjunct: ast.Expr, accumulated: list[str],
+                   new_binding: str, resolve_binding
+                   ) -> Optional[tuple[ast.ColumnRef, ast.ColumnRef]]:
+    """``(left_key, right_key)`` when ``conjunct`` equates a column of
+    the accumulated side with a column of the new source."""
+    if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="):
+        return None
+    left, right = conjunct.left, conjunct.right
+    if not (isinstance(left, ast.ColumnRef)
+            and isinstance(right, ast.ColumnRef)):
+        return None
+    left_owner = resolve_binding(left, accumulated + [new_binding])
+    right_owner = resolve_binding(right, accumulated + [new_binding])
+    if left_owner is None or right_owner is None:
+        return None
+    if left_owner in accumulated and right_owner == new_binding:
+        return left, right
+    if right_owner in accumulated and left_owner == new_binding:
+        return right, left
+    return None

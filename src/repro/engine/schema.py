@@ -1,0 +1,97 @@
+"""Table schemas: ordered, typed column definitions plus key metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.engine.types import SQLType
+from repro.errors import CatalogError
+
+
+#: Default ceiling on columns per table.  Real DBMSs have such limits
+#: (the paper discusses hitting them with horizontal aggregations); the
+#: catalog can lower it to exercise vertical partitioning.
+DEFAULT_MAX_COLUMNS = 2048
+
+#: Default ceiling on identifier length (Teradata's classic limit was 30).
+DEFAULT_MAX_NAME_LENGTH = 128
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """One column: a name and a SQL type."""
+
+    name: str
+    sql_type: SQLType
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.name} {self.sql_type}"
+
+
+@dataclass
+class TableSchema:
+    """An ordered list of column definitions with an optional primary key.
+
+    Column names are case-preserving but matched case-insensitively, as
+    in SQL.  The primary key is metadata only -- uniqueness enforcement
+    is the loader's concern -- but the executor uses it to pick join and
+    update keys, mirroring how the paper relies on primary-key indexes.
+    """
+
+    name: str
+    columns: list[ColumnDef] = field(default_factory=list)
+    primary_key: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for col in self.columns:
+            key = col.name.lower()
+            if key in seen:
+                raise CatalogError(
+                    f"duplicate column {col.name!r} in table {self.name!r}")
+            seen.add(key)
+        for key_col in self.primary_key:
+            if not self.has_column(key_col):
+                raise CatalogError(
+                    f"primary key column {key_col!r} not in table "
+                    f"{self.name!r}")
+
+    # ------------------------------------------------------------------
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def has_column(self, name: str) -> bool:
+        lowered = name.lower()
+        return any(c.name.lower() == lowered for c in self.columns)
+
+    def column(self, name: str) -> ColumnDef:
+        lowered = name.lower()
+        for col in self.columns:
+            if col.name.lower() == lowered:
+                return col
+        raise CatalogError(
+            f"no column {name!r} in table {self.name!r}")
+
+    def column_index(self, name: str) -> int:
+        lowered = name.lower()
+        for i, col in enumerate(self.columns):
+            if col.name.lower() == lowered:
+                return i
+        raise CatalogError(
+            f"no column {name!r} in table {self.name!r}")
+
+    def column_type(self, name: str) -> SQLType:
+        return self.column(name).sql_type
+
+    def width(self) -> int:
+        return len(self.columns)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, name: str, columns: Iterable[tuple[str, SQLType]],
+              primary_key: Sequence[str] = ()) -> "TableSchema":
+        """Convenience constructor from ``(name, type)`` pairs."""
+        defs = [ColumnDef(n, t) for n, t in columns]
+        return cls(name=name, columns=defs,
+                   primary_key=tuple(primary_key))

@@ -1,0 +1,184 @@
+"""In-memory columnar tables.
+
+A :class:`Table` owns one :class:`~repro.engine.column.ColumnData` per
+schema column, all of equal length.  Tables are the engine's only data
+container: base tables live in the catalog, while query execution
+passes intermediate ``Table`` objects between operators.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.engine.column import ColumnData
+from repro.engine.schema import ColumnDef, TableSchema
+from repro.engine.types import SQLType
+from repro.errors import ExecutionError
+
+
+class Table:
+    """A named, schema-typed collection of equal-length columns."""
+
+    def __init__(self, schema: TableSchema,
+                 columns: dict[str, ColumnData] | None = None):
+        self.schema = schema
+        if columns is None:
+            columns = {c.name: ColumnData.empty(c.sql_type)
+                       for c in schema.columns}
+        self._columns: dict[str, ColumnData] = {}
+        n_rows = None
+        for col_def in schema.columns:
+            try:
+                data = _lookup_ci(columns, col_def.name)
+            except KeyError:
+                raise ExecutionError(
+                    f"missing data for column {col_def.name!r}") from None
+            if data.sql_type != col_def.sql_type:
+                raise ExecutionError(
+                    f"column {col_def.name!r}: declared {col_def.sql_type} "
+                    f"but data is {data.sql_type}")
+            if n_rows is None:
+                n_rows = len(data)
+            elif len(data) != n_rows:
+                raise ExecutionError(
+                    f"column {col_def.name!r} has {len(data)} rows, "
+                    f"expected {n_rows}")
+            self._columns[col_def.name] = data
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def n_rows(self) -> int:
+        if not self.schema.columns:
+            return 0
+        first = self.schema.columns[0].name
+        return len(self._columns[first])
+
+    def column(self, name: str) -> ColumnData:
+        """The column data for ``name`` (case-insensitive)."""
+        try:
+            return _lookup_ci(self._columns, name)
+        except KeyError:
+            raise ExecutionError(
+                f"no column {name!r} in table {self.name!r}") from None
+
+    def column_names(self) -> list[str]:
+        return self.schema.column_names()
+
+    def rows(self) -> Iterator[tuple[Any, ...]]:
+        """Iterate rows as tuples of Python values (None for NULL)."""
+        cols = [self._columns[c.name] for c in self.schema.columns]
+        for i in range(self.n_rows):
+            yield tuple(col[i] for col in cols)
+
+    def to_rows(self) -> list[tuple[Any, ...]]:
+        return list(self.rows())
+
+    def row(self, i: int) -> tuple[Any, ...]:
+        return tuple(self._columns[c.name][i] for c in self.schema.columns)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(cls, schema: TableSchema,
+                  rows: Iterable[Sequence[Any]]) -> "Table":
+        """Build a table from an iterable of row sequences."""
+        rows = [tuple(r) for r in rows]
+        width = schema.width()
+        for r in rows:
+            if len(r) != width:
+                raise ExecutionError(
+                    f"row has {len(r)} values, table {schema.name!r} "
+                    f"has {width} columns")
+        columns = {}
+        for i, col_def in enumerate(schema.columns):
+            columns[col_def.name] = ColumnData.from_values(
+                col_def.sql_type, (r[i] for r in rows))
+        return cls(schema, columns)
+
+    @classmethod
+    def from_columns(cls, name: str,
+                     named: Sequence[tuple[str, ColumnData]],
+                     primary_key: Sequence[str] = ()) -> "Table":
+        """Build a table (and its schema) from named column data."""
+        schema = TableSchema(
+            name=name,
+            columns=[ColumnDef(n, c.sql_type) for n, c in named],
+            primary_key=tuple(primary_key))
+        return cls(schema, dict(named))
+
+    # ------------------------------------------------------------------
+    # Row-set transformations
+    # ------------------------------------------------------------------
+    def take(self, indices: np.ndarray) -> "Table":
+        """Gather rows by position into a new table."""
+        columns = {n: c.take(indices) for n, c in self._columns.items()}
+        return Table(self.schema, columns)
+
+    def filter(self, mask: np.ndarray) -> "Table":
+        """Keep rows where ``mask`` is True."""
+        columns = {n: c.filter(mask) for n, c in self._columns.items()}
+        return Table(self.schema, columns)
+
+    def append(self, other: "Table") -> "Table":
+        """A new table with ``other``'s rows appended (schemas must align
+        positionally by type)."""
+        if other.schema.width() != self.schema.width():
+            raise ExecutionError(
+                f"cannot append {other.schema.width()}-column rows to "
+                f"{self.schema.width()}-column table {self.name!r}")
+        columns = {}
+        for mine, theirs in zip(self.schema.columns, other.schema.columns):
+            if mine.sql_type != theirs.sql_type:
+                raise ExecutionError(
+                    f"column {mine.name!r}: cannot append {theirs.sql_type} "
+                    f"to {mine.sql_type}")
+            columns[mine.name] = ColumnData.concat(
+                [self._columns[mine.name], other._columns[theirs.name]])
+        return Table(self.schema, columns)
+
+    def replace_column(self, name: str, data: ColumnData) -> "Table":
+        """A new table with one column's data replaced (same type)."""
+        col_def = self.schema.column(name)
+        if data.sql_type != col_def.sql_type:
+            raise ExecutionError(
+                f"column {name!r}: cannot replace {col_def.sql_type} "
+                f"with {data.sql_type}")
+        if len(data) != self.n_rows:
+            raise ExecutionError(
+                f"replacement column has {len(data)} rows, "
+                f"table has {self.n_rows}")
+        columns = dict(self._columns)
+        columns[col_def.name] = data
+        return Table(self.schema, columns)
+
+    def renamed(self, new_name: str) -> "Table":
+        """The same data under a different table name."""
+        schema = TableSchema(name=new_name,
+                             columns=list(self.schema.columns),
+                             primary_key=self.schema.primary_key)
+        return Table(schema, self._columns)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cols = ", ".join(str(c) for c in self.schema.columns)
+        return f"<Table {self.name} [{cols}] rows={self.n_rows}>"
+
+
+def _lookup_ci(mapping: dict[str, ColumnData], name: str) -> ColumnData:
+    """Case-insensitive dict lookup for column names."""
+    if name in mapping:
+        return mapping[name]
+    lowered = name.lower()
+    for key, value in mapping.items():
+        if key.lower() == lowered:
+            return value
+    raise KeyError(name)

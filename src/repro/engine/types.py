@@ -1,0 +1,165 @@
+"""SQL types and NULL-aware value semantics.
+
+The engine supports four scalar SQL types:
+
+* ``INTEGER`` -- 64-bit signed integers, stored as ``numpy.int64``.
+* ``REAL``    -- double-precision floats, stored as ``numpy.float64``.
+* ``VARCHAR`` -- strings, stored as ``numpy`` object arrays.
+* ``BOOLEAN`` -- results of predicates; storable for completeness.
+
+NULL is represented *outside* the value array by a boolean validity
+mask (see :mod:`repro.engine.column`), so the value dtype never needs a
+sentinel.  This module centralizes type names, coercion rules and the
+arithmetic result-type lattice used by expression evaluation.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+import numpy as np
+
+from repro.errors import TypeMismatchError
+
+
+class SQLType(enum.Enum):
+    """A scalar SQL type supported by the engine."""
+
+    INTEGER = "INTEGER"
+    REAL = "REAL"
+    VARCHAR = "VARCHAR"
+    BOOLEAN = "BOOLEAN"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """The numpy dtype used to store values of this type."""
+        return _NUMPY_DTYPES[self]
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (SQLType.INTEGER, SQLType.REAL)
+
+
+_NUMPY_DTYPES = {
+    SQLType.INTEGER: np.dtype(np.int64),
+    SQLType.REAL: np.dtype(np.float64),
+    SQLType.VARCHAR: np.dtype(object),
+    SQLType.BOOLEAN: np.dtype(np.bool_),
+}
+
+#: Default value stored in the value array at NULL positions.  Never
+#: observable through the API; it only keeps arrays dense and typed.
+NULL_FILLERS = {
+    SQLType.INTEGER: 0,
+    SQLType.REAL: 0.0,
+    SQLType.VARCHAR: "",
+    SQLType.BOOLEAN: False,
+}
+
+_TYPE_NAMES = {
+    "INT": SQLType.INTEGER,
+    "INTEGER": SQLType.INTEGER,
+    "BIGINT": SQLType.INTEGER,
+    "SMALLINT": SQLType.INTEGER,
+    "REAL": SQLType.REAL,
+    "FLOAT": SQLType.REAL,
+    "DOUBLE": SQLType.REAL,
+    "DECIMAL": SQLType.REAL,
+    "NUMERIC": SQLType.REAL,
+    "VARCHAR": SQLType.VARCHAR,
+    "CHAR": SQLType.VARCHAR,
+    "TEXT": SQLType.VARCHAR,
+    "STRING": SQLType.VARCHAR,
+    "BOOLEAN": SQLType.BOOLEAN,
+    "BOOL": SQLType.BOOLEAN,
+}
+
+
+def type_from_name(name: str) -> SQLType:
+    """Resolve a SQL type name (``int``, ``varchar`` ...) to a :class:`SQLType`.
+
+    Raises :class:`TypeMismatchError` for unknown names.
+    """
+    try:
+        return _TYPE_NAMES[name.upper()]
+    except KeyError:
+        raise TypeMismatchError(f"unknown SQL type name: {name!r}") from None
+
+
+def infer_type(value: Any) -> SQLType:
+    """Infer the SQL type of a single Python value.
+
+    ``bool`` is checked before ``int`` because it is a subclass of
+    ``int`` in Python.  ``None`` has no type of its own; callers must
+    handle it before asking.
+    """
+    if value is None:
+        raise TypeMismatchError("cannot infer a SQL type from NULL")
+    if isinstance(value, (bool, np.bool_)):
+        return SQLType.BOOLEAN
+    if isinstance(value, (int, np.integer)):
+        return SQLType.INTEGER
+    if isinstance(value, (float, np.floating)):
+        return SQLType.REAL
+    if isinstance(value, str):
+        return SQLType.VARCHAR
+    raise TypeMismatchError(f"unsupported Python value for SQL: {value!r}")
+
+
+def common_type(left: SQLType, right: SQLType) -> SQLType:
+    """The result type of combining two types in an expression.
+
+    Numeric types promote ``INTEGER -> REAL``.  Identical types are
+    returned unchanged.  Anything else is a type mismatch.
+    """
+    if left == right:
+        return left
+    if left.is_numeric and right.is_numeric:
+        return SQLType.REAL
+    raise TypeMismatchError(f"incompatible types: {left} and {right}")
+
+
+def arithmetic_result_type(op: str, left: SQLType, right: SQLType) -> SQLType:
+    """Result type of ``left op right`` for ``+ - * /``.
+
+    Division always yields REAL (SQL engines differ here; REAL keeps
+    percentage arithmetic exact enough and matches the paper's use of
+    real-valued percentages).
+    """
+    if not (left.is_numeric and right.is_numeric):
+        raise TypeMismatchError(
+            f"arithmetic '{op}' requires numeric operands, got {left} and {right}")
+    if op == "/":
+        return SQLType.REAL
+    return common_type(left, right)
+
+
+def coerce_scalar(value: Any, target: SQLType) -> Any:
+    """Coerce one non-NULL Python value to ``target``, or raise."""
+    if value is None:
+        return None
+    if target == SQLType.INTEGER:
+        if isinstance(value, (bool, np.bool_)):
+            return int(value)
+        if isinstance(value, (int, np.integer)):
+            return int(value)
+        if isinstance(value, (float, np.floating)) and float(value).is_integer():
+            return int(value)
+        raise TypeMismatchError(f"cannot coerce {value!r} to INTEGER")
+    if target == SQLType.REAL:
+        if isinstance(value, (bool, np.bool_, int, np.integer, float, np.floating)):
+            return float(value)
+        raise TypeMismatchError(f"cannot coerce {value!r} to REAL")
+    if target == SQLType.VARCHAR:
+        if isinstance(value, str):
+            return value
+        raise TypeMismatchError(f"cannot coerce {value!r} to VARCHAR")
+    if target == SQLType.BOOLEAN:
+        if isinstance(value, (bool, np.bool_)):
+            return bool(value)
+        raise TypeMismatchError(f"cannot coerce {value!r} to BOOLEAN")
+    raise TypeMismatchError(f"unknown target type: {target}")

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the engine, the SQL front end, or the percentage
+query code generator derives from :class:`ReproError`, so callers can
+catch one base class.  The split mirrors where in the stack the problem
+was detected:
+
+* :class:`SQLSyntaxError` -- the SQL text could not be tokenized/parsed.
+* :class:`PlanningError` -- the statement parsed but cannot be planned
+  (unknown table/column, ambiguous reference, bad aggregate usage...).
+* :class:`ExecutionError` -- a runtime failure while executing a plan.
+* :class:`CatalogError` -- catalog violations (duplicate table, DBMS
+  limits such as the maximum column count exceeded...).
+* :class:`PercentageQueryError` -- a percentage query violates the usage
+  rules of Vpct()/Hpct()/Hagg() defined in the paper (Section 3).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class SQLSyntaxError(ReproError):
+    """The SQL text is malformed.
+
+    Carries the position (1-based line and column) where tokenization or
+    parsing failed, when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (at line {line}, column {column})"
+        super().__init__(message)
+
+
+class PlanningError(ReproError):
+    """The statement is syntactically valid but cannot be planned."""
+
+
+class ExecutionError(ReproError):
+    """A failure occurred while executing a plan."""
+
+
+class CatalogError(ReproError):
+    """A catalog invariant or DBMS limit was violated."""
+
+
+class TypeMismatchError(PlanningError):
+    """An expression combines values of incompatible SQL types."""
+
+
+class PercentageQueryError(ReproError):
+    """A percentage query violates the paper's usage rules."""

@@ -1,0 +1,7 @@
+"""The ANSI OLAP-extensions baseline (SQL/OLAP 1999 window functions)."""
+
+from repro.olap.windowgen import (generate_olap_percentage_query,
+                                  run_olap_percentage_query)
+
+__all__ = ["generate_olap_percentage_query",
+           "run_olap_percentage_query"]

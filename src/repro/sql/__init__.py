@@ -1,0 +1,5 @@
+"""SQL front end: lexer, parser, AST and SQL text formatting."""
+
+from repro.sql.parser import parse_expression, parse_script, parse_statement
+
+__all__ = ["parse_statement", "parse_script", "parse_expression"]

@@ -1,0 +1,409 @@
+"""Abstract syntax trees for the supported SQL subset.
+
+The same expression nodes are used by the parser, the engine's
+vectorized evaluator, the SQL formatter, and the percentage-query code
+generator.  Statement nodes cover the subset the paper's generated code
+needs:
+
+* ``CREATE TABLE`` (column list or ``AS SELECT``), ``DROP TABLE``
+* ``CREATE INDEX`` / ``DROP INDEX``
+* ``INSERT INTO ... VALUES`` and ``INSERT INTO ... SELECT``
+* ``SELECT`` with DISTINCT, comma/INNER/LEFT OUTER joins, WHERE,
+  GROUP BY, HAVING, ORDER BY, LIMIT, window functions
+* ``UPDATE ... SET ... [FROM ...] WHERE`` (join update, as used by the
+  paper's UPDATE-based strategy)
+* ``DELETE FROM``
+
+The extension syntax of the paper -- ``Vpct(A BY ...)``,
+``Hpct(A BY ...)`` and generalized ``sum(A BY ... DEFAULT ...)`` -- is
+represented by a regular :class:`FuncCall` carrying ``by_columns`` and
+``default``; the engine refuses to execute those directly (they must be
+rewritten by :mod:`repro.core`), which mirrors the paper's architecture
+of a code generator in front of a standard-SQL DBMS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Union
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+class Expr:
+    """Base class for expression nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant; ``value is None`` represents the NULL literal."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """A possibly-qualified column reference, e.g. ``Fk.D1`` or ``A``."""
+
+    name: str
+    table: Optional[str] = None
+
+    def key(self) -> str:
+        """Canonical lower-case lookup key."""
+        if self.table:
+            return f"{self.table.lower()}.{self.name.lower()}"
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """``*`` or ``t.*`` in a select list or ``count(*)``."""
+
+    table: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """``-x`` or ``NOT x``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    """Arithmetic (+ - * /), comparison (= <> < <= > >=), AND, OR."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    """``x IS [NOT] NULL``."""
+
+    operand: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    """``x [NOT] IN (v1, v2, ...)`` with literal items."""
+
+    operand: Expr
+    items: tuple[Expr, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class CaseWhen(Expr):
+    """A searched CASE expression."""
+
+    whens: tuple[tuple[Expr, Expr], ...]
+    else_: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Cast(Expr):
+    """``CAST(x AS type-name)``."""
+
+    operand: Expr
+    type_name: str
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """``OVER (PARTITION BY cols)`` -- the only window shape needed for
+    the OLAP-extensions baseline."""
+
+    partition_by: tuple[Expr, ...] = ()
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    """A function call: scalar, aggregate, windowed aggregate, or one of
+    the paper's extended aggregates.
+
+    Attributes:
+        name: lower-cased function name.
+        args: argument expressions (empty for ``count(*)``, which uses a
+            single :class:`Star` argument instead).
+        distinct: ``count(DISTINCT x)``.
+        by_columns: the paper's ``BY`` sub-grouping list -- non-empty
+            only for the extended syntax (``Vpct``, ``Hpct`` or a
+            standard aggregate used horizontally).
+        default: the companion paper's ``DEFAULT`` replacement for NULL
+            result cells (e.g. ``max(1 BY deptId DEFAULT 0)``).
+        over: window specification, if windowed.
+    """
+
+    name: str
+    args: tuple[Expr, ...] = ()
+    distinct: bool = False
+    by_columns: tuple[ColumnRef, ...] = ()
+    default: Optional[Expr] = None
+    over: Optional[WindowSpec] = None
+
+    @property
+    def is_extended(self) -> bool:
+        """True for Vpct/Hpct or any aggregate carrying a BY clause."""
+        return bool(self.by_columns) or self.name in ("vpct", "hpct")
+
+
+#: Names the engine treats as plain aggregate functions.  var/stdev are
+#: the "non-standard extensions to compute statistical functions" the
+#: companion paper's introduction mentions alongside the standard five.
+AGGREGATE_NAMES = frozenset({"sum", "count", "avg", "min", "max",
+                             "var", "stdev"})
+
+
+# ----------------------------------------------------------------------
+# FROM clause
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TableRef:
+    """A base-table source, optionally aliased."""
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        """The name this source is known by inside the query."""
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class SubquerySource:
+    """A derived table: ``(SELECT ...) alias``."""
+
+    select: "Select"
+    alias: str
+
+    @property
+    def binding(self) -> str:
+        return self.alias
+
+
+FromSource = Union[TableRef, SubquerySource]
+
+
+@dataclass(frozen=True)
+class JoinStep:
+    """One additional source joined onto the accumulating FROM clause.
+
+    ``kind`` is ``cross`` (comma join; predicates live in WHERE),
+    ``inner`` or ``left`` (with an ON condition).
+    """
+
+    kind: str
+    source: FromSource
+    on: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class FromClause:
+    first: FromSource
+    joins: tuple[JoinStep, ...] = ()
+
+    def sources(self) -> list[FromSource]:
+        return [self.first] + [j.source for j in self.joins]
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+class Statement:
+    """Base class for statement nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class Select(Statement):
+    items: tuple[SelectItem, ...]
+    from_: Optional[FromClause] = None
+    where: Optional[Expr] = None
+    group_by: tuple[Expr, ...] = ()
+    having: Optional[Expr] = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    name: str
+    type_name: str
+
+
+@dataclass(frozen=True)
+class CreateTable(Statement):
+    name: str
+    columns: tuple[ColumnSpec, ...]
+    primary_key: tuple[str, ...] = ()
+    if_not_exists: bool = False
+
+
+@dataclass(frozen=True)
+class CreateTableAs(Statement):
+    name: str
+    select: Select
+
+
+@dataclass(frozen=True)
+class DropTable(Statement):
+    name: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class CreateIndex(Statement):
+    name: str
+    table: str
+    columns: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class DropIndex(Statement):
+    name: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class InsertValues(Statement):
+    table: str
+    rows: tuple[tuple[Expr, ...], ...]
+    columns: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class InsertSelect(Statement):
+    table: str
+    select: Select
+    columns: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class Assignment:
+    column: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class Update(Statement):
+    """``UPDATE t SET c = e, ... [FROM t2 [, t3 ...]] [WHERE p]``.
+
+    The FROM list enables the paper's join-update strategy
+    (``UPDATE Fk SET A = ... WHERE Fk.D1 = Fj.D1 ...``); each target
+    row must match at most one joined row.
+    """
+
+    table: TableRef
+    assignments: tuple[Assignment, ...]
+    from_tables: tuple[TableRef, ...] = ()
+    where: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Delete(Statement):
+    table: TableRef
+    where: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class CreateView(Statement):
+    """``CREATE VIEW name AS select`` -- the paper's Section 2 allows
+    F to be "a view based on some complex SQL query"."""
+
+    name: str
+    select: Select
+
+
+@dataclass(frozen=True)
+class DropView(Statement):
+    name: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class Explain(Statement):
+    """``EXPLAIN statement`` -- returns the evaluation plan as text."""
+
+    statement: Statement
+
+
+# ----------------------------------------------------------------------
+# AST utilities
+# ----------------------------------------------------------------------
+def walk(expr: Expr):
+    """Yield ``expr`` and every sub-expression, depth first."""
+    yield expr
+    if isinstance(expr, UnaryOp):
+        yield from walk(expr.operand)
+    elif isinstance(expr, BinaryOp):
+        yield from walk(expr.left)
+        yield from walk(expr.right)
+    elif isinstance(expr, IsNull):
+        yield from walk(expr.operand)
+    elif isinstance(expr, InList):
+        yield from walk(expr.operand)
+        for item in expr.items:
+            yield from walk(item)
+    elif isinstance(expr, CaseWhen):
+        for cond, result in expr.whens:
+            yield from walk(cond)
+            yield from walk(result)
+        if expr.else_ is not None:
+            yield from walk(expr.else_)
+    elif isinstance(expr, Cast):
+        yield from walk(expr.operand)
+    elif isinstance(expr, FuncCall):
+        for arg in expr.args:
+            yield from walk(arg)
+        if expr.default is not None:
+            yield from walk(expr.default)
+        if expr.over is not None:
+            for part in expr.over.partition_by:
+                yield from walk(part)
+
+
+def contains_aggregate(expr: Expr) -> bool:
+    """True when ``expr`` contains a non-windowed aggregate call."""
+    return any(isinstance(node, FuncCall)
+               and node.name in AGGREGATE_NAMES
+               and node.over is None
+               for node in walk(expr))
+
+
+def contains_window(expr: Expr) -> bool:
+    """True when ``expr`` contains a windowed function call."""
+    return any(isinstance(node, FuncCall) and node.over is not None
+               for node in walk(expr))
+
+
+def contains_extended(expr: Expr) -> bool:
+    """True when ``expr`` uses the Vpct/Hpct/BY extension syntax."""
+    return any(isinstance(node, FuncCall) and node.is_extended
+               for node in walk(expr))
+
+
+def column_refs(expr: Expr) -> list[ColumnRef]:
+    """Every column reference inside ``expr``, in walk order."""
+    return [node for node in walk(expr) if isinstance(node, ColumnRef)]

@@ -1,0 +1,263 @@
+"""Render AST nodes back to SQL text.
+
+The percentage-query code generator builds statement ASTs and uses this
+module to emit the standard SQL the paper's Java program would have
+sent over JDBC.  The output is deterministic and re-parseable by
+:mod:`repro.sql.parser` (round-trip property, tested).
+"""
+
+from __future__ import annotations
+
+from repro.sql import ast
+
+
+def format_statement(statement: ast.Statement) -> str:
+    """One statement as SQL text (no trailing semicolon)."""
+    if isinstance(statement, ast.Select):
+        return format_select(statement)
+    if isinstance(statement, ast.CreateTable):
+        return _format_create_table(statement)
+    if isinstance(statement, ast.CreateTableAs):
+        return (f"CREATE TABLE {quote_ident(statement.name)} AS "
+                f"{format_select(statement.select)}")
+    if isinstance(statement, ast.DropTable):
+        clause = "IF EXISTS " if statement.if_exists else ""
+        return f"DROP TABLE {clause}{quote_ident(statement.name)}"
+    if isinstance(statement, ast.CreateIndex):
+        columns = ", ".join(quote_ident(c) for c in statement.columns)
+        return (f"CREATE INDEX {quote_ident(statement.name)} ON "
+                f"{quote_ident(statement.table)} ({columns})")
+    if isinstance(statement, ast.DropIndex):
+        clause = "IF EXISTS " if statement.if_exists else ""
+        return f"DROP INDEX {clause}{quote_ident(statement.name)}"
+    if isinstance(statement, ast.InsertValues):
+        return _format_insert_values(statement)
+    if isinstance(statement, ast.InsertSelect):
+        columns = ""
+        if statement.columns:
+            columns = " (" + ", ".join(quote_ident(c)
+                                       for c in statement.columns) + ")"
+        return (f"INSERT INTO {quote_ident(statement.table)}{columns} "
+                f"{format_select(statement.select)}")
+    if isinstance(statement, ast.Update):
+        return _format_update(statement)
+    if isinstance(statement, ast.Delete):
+        where = f" WHERE {format_expr(statement.where)}" \
+            if statement.where is not None else ""
+        return f"DELETE FROM {_format_table_ref(statement.table)}{where}"
+    if isinstance(statement, ast.CreateView):
+        return (f"CREATE VIEW {quote_ident(statement.name)} AS "
+                f"{format_select(statement.select)}")
+    if isinstance(statement, ast.DropView):
+        clause = "IF EXISTS " if statement.if_exists else ""
+        return f"DROP VIEW {clause}{quote_ident(statement.name)}"
+    if isinstance(statement, ast.Explain):
+        return f"EXPLAIN {format_statement(statement.statement)}"
+    raise TypeError(f"cannot format statement {statement!r}")
+
+
+def format_script(statements: list[ast.Statement]) -> str:
+    """Statements joined with ';' lines."""
+    return ";\n".join(format_statement(s) for s in statements) + ";"
+
+
+# ----------------------------------------------------------------------
+def format_select(select: ast.Select) -> str:
+    parts = ["SELECT"]
+    if select.distinct:
+        parts.append("DISTINCT")
+    parts.append(", ".join(_format_select_item(i) for i in select.items))
+    if select.from_ is not None:
+        parts.append("FROM " + _format_from(select.from_))
+    if select.where is not None:
+        parts.append("WHERE " + format_expr(select.where))
+    if select.group_by:
+        parts.append("GROUP BY "
+                     + ", ".join(format_expr(e) for e in select.group_by))
+    if select.having is not None:
+        parts.append("HAVING " + format_expr(select.having))
+    if select.order_by:
+        rendered = []
+        for item in select.order_by:
+            suffix = "" if item.ascending else " DESC"
+            rendered.append(format_expr(item.expr) + suffix)
+        parts.append("ORDER BY " + ", ".join(rendered))
+    if select.limit is not None:
+        parts.append(f"LIMIT {select.limit}")
+    return " ".join(parts)
+
+
+def _format_select_item(item: ast.SelectItem) -> str:
+    rendered = format_expr(item.expr)
+    if item.alias:
+        return f"{rendered} AS {quote_ident(item.alias)}"
+    return rendered
+
+
+def _format_from(from_: ast.FromClause) -> str:
+    parts = [_format_source(from_.first)]
+    for join in from_.joins:
+        if join.kind == "cross":
+            parts.append(", " + _format_source(join.source))
+        else:
+            keyword = "JOIN" if join.kind == "inner" else "LEFT OUTER JOIN"
+            parts.append(f" {keyword} {_format_source(join.source)} "
+                         f"ON {format_expr(join.on)}")
+    return "".join(parts)
+
+
+def _format_source(source: ast.FromSource) -> str:
+    if isinstance(source, ast.TableRef):
+        return _format_table_ref(source)
+    return f"({format_select(source.select)}) {quote_ident(source.alias)}"
+
+
+def _format_table_ref(ref: ast.TableRef) -> str:
+    if ref.alias:
+        return f"{quote_ident(ref.name)} {quote_ident(ref.alias)}"
+    return quote_ident(ref.name)
+
+
+def _format_create_table(statement: ast.CreateTable) -> str:
+    pieces = [f"{quote_ident(c.name)} {c.type_name}"
+              for c in statement.columns]
+    if statement.primary_key:
+        keys = ", ".join(quote_ident(c) for c in statement.primary_key)
+        pieces.append(f"PRIMARY KEY ({keys})")
+    exists = "IF NOT EXISTS " if statement.if_not_exists else ""
+    return (f"CREATE TABLE {exists}{quote_ident(statement.name)} ("
+            + ", ".join(pieces) + ")")
+
+
+def _format_insert_values(statement: ast.InsertValues) -> str:
+    columns = ""
+    if statement.columns:
+        columns = " (" + ", ".join(quote_ident(c)
+                                   for c in statement.columns) + ")"
+    rows = ", ".join(
+        "(" + ", ".join(format_expr(v) for v in row) + ")"
+        for row in statement.rows)
+    return (f"INSERT INTO {quote_ident(statement.table)}{columns} "
+            f"VALUES {rows}")
+
+
+def _format_update(statement: ast.Update) -> str:
+    assignments = ", ".join(
+        f"{quote_ident(a.column)} = {format_expr(a.value)}"
+        for a in statement.assignments)
+    text = (f"UPDATE {_format_table_ref(statement.table)} "
+            f"SET {assignments}")
+    if statement.from_tables:
+        text += " FROM " + ", ".join(_format_table_ref(t)
+                                     for t in statement.from_tables)
+    if statement.where is not None:
+        text += f" WHERE {format_expr(statement.where)}"
+    return text
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+def format_expr(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.Literal):
+        return _format_literal(expr.value)
+    if isinstance(expr, ast.ColumnRef):
+        if expr.table:
+            return f"{quote_ident(expr.table)}.{quote_ident(expr.name)}"
+        return quote_ident(expr.name)
+    if isinstance(expr, ast.Star):
+        return f"{quote_ident(expr.table)}.*" if expr.table else "*"
+    if isinstance(expr, ast.UnaryOp):
+        if expr.op == "NOT":
+            return f"NOT {_maybe_paren(expr.operand)}"
+        # Always parenthesize the operand: "-(-1)" would otherwise
+        # render as "--1" (a comment), and "-0" would re-parse as the
+        # folded literal 0.
+        return f"-({format_expr(expr.operand)})"
+    if isinstance(expr, ast.BinaryOp):
+        return (f"{_maybe_paren(expr.left)} {expr.op} "
+                f"{_maybe_paren(expr.right)}")
+    if isinstance(expr, ast.IsNull):
+        negation = "NOT " if expr.negated else ""
+        return f"{_maybe_paren(expr.operand)} IS {negation}NULL"
+    if isinstance(expr, ast.InList):
+        items = ", ".join(format_expr(i) for i in expr.items)
+        negation = "NOT " if expr.negated else ""
+        return f"{_maybe_paren(expr.operand)} {negation}IN ({items})"
+    if isinstance(expr, ast.CaseWhen):
+        parts = ["CASE"]
+        for condition, result in expr.whens:
+            parts.append(f"WHEN {format_expr(condition)} "
+                         f"THEN {format_expr(result)}")
+        if expr.else_ is not None:
+            parts.append(f"ELSE {format_expr(expr.else_)}")
+        parts.append("END")
+        return " ".join(parts)
+    if isinstance(expr, ast.Cast):
+        return f"CAST({format_expr(expr.operand)} AS {expr.type_name})"
+    if isinstance(expr, ast.FuncCall):
+        return _format_func(expr)
+    raise TypeError(f"cannot format expression {expr!r}")
+
+
+def _format_func(expr: ast.FuncCall) -> str:
+    inner = []
+    if expr.distinct:
+        inner.append("DISTINCT")
+    inner.append(", ".join(format_expr(a) for a in expr.args))
+    if expr.by_columns:
+        inner.append("BY " + ", ".join(format_expr(c)
+                                       for c in expr.by_columns))
+    if expr.default is not None:
+        inner.append("DEFAULT " + format_expr(expr.default))
+    rendered = f"{expr.name}({' '.join(p for p in inner if p)})"
+    if expr.over is not None:
+        if expr.over.partition_by:
+            partition = ", ".join(format_expr(e)
+                                  for e in expr.over.partition_by)
+            rendered += f" OVER (PARTITION BY {partition})"
+        else:
+            rendered += " OVER ()"
+    return rendered
+
+
+def _maybe_paren(expr: ast.Expr) -> str:
+    """Parenthesize compound sub-expressions; the emitter does not track
+    precedence, so explicit parentheses keep round-trips exact."""
+    if isinstance(expr, (ast.BinaryOp, ast.UnaryOp, ast.InList,
+                         ast.IsNull)):
+        return f"({format_expr(expr)})"
+    return format_expr(expr)
+
+
+_IDENT_SAFE = set("abcdefghijklmnopqrstuvwxyz"
+                  "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_$")
+
+_RESERVED = frozenset({
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "AND",
+    "OR", "NOT", "NULL", "CASE", "WHEN", "THEN", "ELSE", "END", "JOIN",
+    "LEFT", "INNER", "OUTER", "ON", "AS", "INSERT", "INTO", "VALUES",
+    "UPDATE", "SET", "DELETE", "CREATE", "TABLE", "INDEX", "DROP",
+    "PRIMARY", "KEY", "DISTINCT", "DEFAULT", "OVER", "PARTITION",
+    "BETWEEN", "IN", "IS", "LIMIT", "CAST", "TRUE", "FALSE", "UNION"})
+
+
+def quote_ident(name: str) -> str:
+    """Quote an identifier when it is not a plain safe name."""
+    if (name and name[0].isalpha() or name.startswith("_")) \
+            and all(ch in _IDENT_SAFE for ch in name) \
+            and name.upper() not in _RESERVED:
+        return name
+    return '"' + name.replace('"', '""') + '"'
+
+
+def _format_literal(value) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)

@@ -1,0 +1,642 @@
+"""Recursive-descent parser for the SQL subset plus the paper's
+extension syntax.
+
+Grammar highlights:
+
+* ``SELECT [DISTINCT] items FROM sources [WHERE] [GROUP BY] [HAVING]
+  [ORDER BY] [LIMIT]`` with comma joins and ``[INNER|LEFT [OUTER]]
+  JOIN ... ON``.
+* ``GROUP BY 1, 2`` positional references (used throughout the
+  companion paper) parse as integer literals; the planner resolves
+  them against the select list.
+* Aggregate calls accept the paper's extensions:
+  ``Vpct(A BY D1, D2)``, ``Hpct(A BY D1)``,
+  ``sum(A BY D1 DEFAULT 0)``, and ``OVER (PARTITION BY ...)``.
+* ``CREATE TABLE t (...) [PRIMARY KEY (...)]`` accepts the primary key
+  inside or after the column list (the paper writes the Teradata-style
+  trailing form).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SQLSyntaxError
+from repro.sql import ast
+from repro.sql.tokens import Token, TokenType, tokenize
+
+
+def parse_statement(text: str) -> ast.Statement:
+    """Parse exactly one SQL statement (a trailing ';' is allowed)."""
+    parser = _Parser(tokenize(text))
+    statement = parser.statement()
+    parser.accept_symbol(";")
+    parser.expect_end()
+    return statement
+
+
+def parse_script(text: str) -> list[ast.Statement]:
+    """Parse a ';'-separated sequence of statements."""
+    parser = _Parser(tokenize(text))
+    statements: list[ast.Statement] = []
+    while not parser.at_end():
+        statements.append(parser.statement())
+        if not parser.accept_symbol(";"):
+            break
+    parser.expect_end()
+    return statements
+
+
+def parse_expression(text: str) -> ast.Expr:
+    """Parse a standalone scalar expression (for tests and tools)."""
+    parser = _Parser(tokenize(text))
+    expr = parser.expression()
+    parser.expect_end()
+    return expr
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._pos + offset,
+                                len(self._tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type != TokenType.END:
+            self._pos += 1
+        return token
+
+    def at_end(self) -> bool:
+        return self.peek().type == TokenType.END
+
+    def error(self, message: str) -> SQLSyntaxError:
+        token = self.peek()
+        return SQLSyntaxError(message, token.line, token.column)
+
+    def accept_keyword(self, *keywords: str) -> Optional[str]:
+        token = self.peek()
+        for keyword in keywords:
+            if token.matches_keyword(keyword):
+                self.advance()
+                return keyword.upper()
+        return None
+
+    def expect_keyword(self, keyword: str) -> None:
+        if not self.accept_keyword(keyword):
+            raise self.error(f"expected {keyword}, got "
+                             f"{self._describe(self.peek())}")
+
+    def peek_keyword(self, *keywords: str) -> bool:
+        token = self.peek()
+        return any(token.matches_keyword(k) for k in keywords)
+
+    def accept_symbol(self, symbol: str) -> bool:
+        token = self.peek()
+        if token.type == TokenType.SYMBOL and token.value == symbol:
+            self.advance()
+            return True
+        return False
+
+    def expect_symbol(self, symbol: str) -> None:
+        if not self.accept_symbol(symbol):
+            raise self.error(f"expected {symbol!r}, got "
+                             f"{self._describe(self.peek())}")
+
+    def peek_symbol(self, symbol: str, offset: int = 0) -> bool:
+        token = self.peek(offset)
+        return token.type == TokenType.SYMBOL and token.value == symbol
+
+    def expect_ident(self, what: str = "identifier") -> str:
+        token = self.peek()
+        if token.type != TokenType.IDENT:
+            raise self.error(f"expected {what}, got "
+                             f"{self._describe(token)}")
+        self.advance()
+        return token.value
+
+    def expect_end(self) -> None:
+        if not self.at_end():
+            raise self.error(f"unexpected trailing input: "
+                             f"{self._describe(self.peek())}")
+
+    @staticmethod
+    def _describe(token: Token) -> str:
+        if token.type == TokenType.END:
+            return "end of input"
+        return repr(token.value)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def statement(self) -> ast.Statement:
+        if self.accept_keyword("EXPLAIN"):
+            return ast.Explain(self.statement())
+        if self.peek_keyword("SELECT"):
+            return self.select()
+        if self.peek_keyword("CREATE"):
+            return self._create()
+        if self.peek_keyword("DROP"):
+            return self._drop()
+        if self.peek_keyword("INSERT"):
+            return self._insert()
+        if self.peek_keyword("UPDATE"):
+            return self._update()
+        if self.peek_keyword("DELETE"):
+            return self._delete()
+        raise self.error("expected a SQL statement")
+
+    # -- SELECT ---------------------------------------------------------
+    def select(self) -> ast.Select:
+        self.expect_keyword("SELECT")
+        distinct = bool(self.accept_keyword("DISTINCT"))
+        if self.accept_keyword("ALL"):
+            distinct = False
+        items = [self._select_item()]
+        while self.accept_symbol(","):
+            items.append(self._select_item())
+
+        from_clause = None
+        if self.accept_keyword("FROM"):
+            from_clause = self._from_clause()
+        where = self.expression() if self.accept_keyword("WHERE") else None
+        group_by: tuple[ast.Expr, ...] = ()
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by = tuple(self._expression_list())
+        having = self.expression() if self.accept_keyword("HAVING") \
+            else None
+        order_by: tuple[ast.OrderItem, ...] = ()
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by = tuple(self._order_items())
+        limit = None
+        if self.accept_keyword("LIMIT"):
+            token = self.peek()
+            if token.type != TokenType.NUMBER or \
+                    not isinstance(token.value, int):
+                raise self.error("LIMIT requires an integer")
+            self.advance()
+            limit = token.value
+        return ast.Select(items=tuple(items), from_=from_clause,
+                          where=where, group_by=group_by, having=having,
+                          order_by=order_by, limit=limit,
+                          distinct=distinct)
+
+    def _select_item(self) -> ast.SelectItem:
+        if self.peek_symbol("*"):
+            self.advance()
+            return ast.SelectItem(ast.Star())
+        # t.* form
+        if (self.peek().type == TokenType.IDENT
+                and self.peek_symbol(".", 1) and self.peek_symbol("*", 2)):
+            table = self.expect_ident()
+            self.advance()  # .
+            self.advance()  # *
+            return ast.SelectItem(ast.Star(table=table))
+        expr = self.expression()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident("alias")
+        elif (self.peek().type == TokenType.IDENT
+              and not self._is_clause_boundary(self.peek())):
+            alias = self.expect_ident("alias")
+        return ast.SelectItem(expr, alias)
+
+    _CLAUSE_KEYWORDS = frozenset({
+        "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "ON",
+        "JOIN", "INNER", "LEFT", "RIGHT", "FULL", "OUTER", "AND", "OR",
+        "UNION", "SET", "VALUES", "BY", "AS", "DEFAULT", "OVER",
+        "PRIMARY", "ELSE", "END", "WHEN", "THEN"})
+
+    def _is_clause_boundary(self, token: Token) -> bool:
+        return (isinstance(token.value, str)
+                and token.value.upper() in self._CLAUSE_KEYWORDS)
+
+    def _from_clause(self) -> ast.FromClause:
+        first = self._from_source()
+        joins: list[ast.JoinStep] = []
+        while True:
+            if self.accept_symbol(","):
+                joins.append(ast.JoinStep("cross", self._from_source()))
+                continue
+            kind = self._join_kind()
+            if kind is None:
+                break
+            source = self._from_source()
+            self.expect_keyword("ON")
+            condition = self.expression()
+            joins.append(ast.JoinStep(kind, source, condition))
+        return ast.FromClause(first, tuple(joins))
+
+    def _join_kind(self) -> Optional[str]:
+        if self.accept_keyword("JOIN"):
+            return "inner"
+        if self.peek_keyword("INNER"):
+            self.advance()
+            self.expect_keyword("JOIN")
+            return "inner"
+        if self.peek_keyword("LEFT"):
+            self.advance()
+            self.accept_keyword("OUTER")
+            self.expect_keyword("JOIN")
+            return "left"
+        return None
+
+    def _from_source(self) -> ast.FromSource:
+        if self.accept_symbol("("):
+            select = self.select()
+            self.expect_symbol(")")
+            self.accept_keyword("AS")
+            alias = self.expect_ident("derived-table alias")
+            return ast.SubquerySource(select, alias)
+        name = self.expect_ident("table name")
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident("alias")
+        elif (self.peek().type == TokenType.IDENT
+              and not self._is_clause_boundary(self.peek())):
+            alias = self.expect_ident("alias")
+        return ast.TableRef(name, alias)
+
+    def _expression_list(self) -> list[ast.Expr]:
+        exprs = [self.expression()]
+        while self.accept_symbol(","):
+            exprs.append(self.expression())
+        return exprs
+
+    def _order_items(self) -> list[ast.OrderItem]:
+        items = []
+        while True:
+            expr = self.expression()
+            ascending = True
+            if self.accept_keyword("ASC"):
+                ascending = True
+            elif self.accept_keyword("DESC"):
+                ascending = False
+            items.append(ast.OrderItem(expr, ascending))
+            if not self.accept_symbol(","):
+                return items
+
+    # -- CREATE ----------------------------------------------------------
+    def _create(self) -> ast.Statement:
+        self.expect_keyword("CREATE")
+        if self.accept_keyword("TABLE"):
+            return self._create_table()
+        if self.accept_keyword("VIEW"):
+            name = self.expect_ident("view name")
+            self.expect_keyword("AS")
+            return ast.CreateView(name, self.select())
+        if self.accept_keyword("INDEX"):
+            name = self.expect_ident("index name")
+            self.expect_keyword("ON")
+            table = self.expect_ident("table name")
+            self.expect_symbol("(")
+            columns = self._ident_list()
+            self.expect_symbol(")")
+            return ast.CreateIndex(name, table, tuple(columns))
+        raise self.error("expected TABLE or INDEX after CREATE")
+
+    def _create_table(self) -> ast.Statement:
+        if_not_exists = False
+        if self.accept_keyword("IF"):
+            self.expect_keyword("NOT")
+            self.expect_keyword("EXISTS")
+            if_not_exists = True
+        name = self.expect_ident("table name")
+        if self.accept_keyword("AS"):
+            select = self.select()
+            return ast.CreateTableAs(name, select)
+        self.expect_symbol("(")
+        columns: list[ast.ColumnSpec] = []
+        primary_key: tuple[str, ...] = ()
+        while True:
+            if self.accept_keyword("PRIMARY"):
+                self.expect_keyword("KEY")
+                self.expect_symbol("(")
+                primary_key = tuple(self._ident_list())
+                self.expect_symbol(")")
+            else:
+                col_name = self.expect_ident("column name")
+                type_name = self.expect_ident("type name")
+                # Swallow (precision[, scale]) suffixes like VARCHAR(20).
+                if self.accept_symbol("("):
+                    while not self.accept_symbol(")"):
+                        self.advance()
+                columns.append(ast.ColumnSpec(col_name, type_name))
+            if not self.accept_symbol(","):
+                break
+        self.expect_symbol(")")
+        if self.accept_keyword("PRIMARY"):
+            self.expect_keyword("KEY")
+            self.expect_symbol("(")
+            primary_key = tuple(self._ident_list())
+            self.expect_symbol(")")
+        return ast.CreateTable(name, tuple(columns), primary_key,
+                               if_not_exists)
+
+    def _drop(self) -> ast.Statement:
+        self.expect_keyword("DROP")
+        if self.accept_keyword("TABLE"):
+            if_exists = self._if_exists()
+            name = self.expect_ident("table name")
+            return ast.DropTable(name, if_exists)
+        if self.accept_keyword("VIEW"):
+            if_exists = self._if_exists()
+            name = self.expect_ident("view name")
+            return ast.DropView(name, if_exists)
+        if self.accept_keyword("INDEX"):
+            if_exists = self._if_exists()
+            name = self.expect_ident("index name")
+            return ast.DropIndex(name, if_exists)
+        raise self.error("expected TABLE, VIEW or INDEX after DROP")
+
+    def _if_exists(self) -> bool:
+        if self.accept_keyword("IF"):
+            self.expect_keyword("EXISTS")
+            return True
+        return False
+
+    # -- INSERT / UPDATE / DELETE ----------------------------------------
+    def _insert(self) -> ast.Statement:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.expect_ident("table name")
+        columns: tuple[str, ...] = ()
+        if self.peek_symbol("("):
+            self.advance()
+            columns = tuple(self._ident_list())
+            self.expect_symbol(")")
+        if self.accept_keyword("VALUES"):
+            rows = [self._value_tuple()]
+            while self.accept_symbol(","):
+                rows.append(self._value_tuple())
+            return ast.InsertValues(table, tuple(rows), columns)
+        select = self.select()
+        return ast.InsertSelect(table, select, columns)
+
+    def _value_tuple(self) -> tuple[ast.Expr, ...]:
+        self.expect_symbol("(")
+        exprs = tuple(self._expression_list())
+        self.expect_symbol(")")
+        return exprs
+
+    def _update(self) -> ast.Statement:
+        self.expect_keyword("UPDATE")
+        name = self.expect_ident("table name")
+        alias = None
+        if not self.peek_keyword("SET") and \
+                self.peek().type == TokenType.IDENT:
+            alias = self.expect_ident("alias")
+        self.expect_keyword("SET")
+        assignments = [self._assignment()]
+        while self.accept_symbol(","):
+            assignments.append(self._assignment())
+        from_tables: list[ast.TableRef] = []
+        if self.accept_keyword("FROM"):
+            from_tables.append(self._table_ref())
+            while self.accept_symbol(","):
+                from_tables.append(self._table_ref())
+        where = self.expression() if self.accept_keyword("WHERE") else None
+        return ast.Update(ast.TableRef(name, alias), tuple(assignments),
+                          tuple(from_tables), where)
+
+    def _table_ref(self) -> ast.TableRef:
+        name = self.expect_ident("table name")
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident("alias")
+        elif (self.peek().type == TokenType.IDENT
+              and not self._is_clause_boundary(self.peek())):
+            alias = self.expect_ident("alias")
+        return ast.TableRef(name, alias)
+
+    def _assignment(self) -> ast.Assignment:
+        column = self.expect_ident("column name")
+        self.expect_symbol("=")
+        return ast.Assignment(column, self.expression())
+
+    def _delete(self) -> ast.Statement:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self._table_ref()
+        where = self.expression() if self.accept_keyword("WHERE") else None
+        return ast.Delete(table, where)
+
+    def _ident_list(self) -> list[str]:
+        names = [self.expect_ident()]
+        while self.accept_symbol(","):
+            names.append(self.expect_ident())
+        return names
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def expression(self) -> ast.Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> ast.Expr:
+        left = self._and_expr()
+        while self.accept_keyword("OR"):
+            left = ast.BinaryOp("OR", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> ast.Expr:
+        left = self._not_expr()
+        while self.accept_keyword("AND"):
+            left = ast.BinaryOp("AND", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> ast.Expr:
+        if self.accept_keyword("NOT"):
+            return ast.UnaryOp("NOT", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> ast.Expr:
+        left = self._additive()
+        token = self.peek()
+        if token.type == TokenType.SYMBOL and token.value in (
+                "=", "<>", "!=", "<", "<=", ">", ">="):
+            self.advance()
+            op = "<>" if token.value == "!=" else token.value
+            return ast.BinaryOp(op, left, self._additive())
+        if self.accept_keyword("IS"):
+            negated = bool(self.accept_keyword("NOT"))
+            self.expect_keyword("NULL")
+            return ast.IsNull(left, negated)
+        negated = bool(self.accept_keyword("NOT"))
+        if self.accept_keyword("IN"):
+            self.expect_symbol("(")
+            items = tuple(self._expression_list())
+            self.expect_symbol(")")
+            return ast.InList(left, items, negated)
+        if self.accept_keyword("BETWEEN"):
+            low = self._additive()
+            self.expect_keyword("AND")
+            high = self._additive()
+            between = ast.BinaryOp("AND",
+                                   ast.BinaryOp(">=", left, low),
+                                   ast.BinaryOp("<=", left, high))
+            if negated:
+                return ast.UnaryOp("NOT", between)
+            return between
+        if negated:
+            raise self.error("expected IN or BETWEEN after NOT")
+        return left
+
+    def _additive(self) -> ast.Expr:
+        left = self._multiplicative()
+        while True:
+            if self.accept_symbol("+"):
+                left = ast.BinaryOp("+", left, self._multiplicative())
+            elif self.accept_symbol("-"):
+                left = ast.BinaryOp("-", left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> ast.Expr:
+        left = self._unary()
+        while True:
+            if self.accept_symbol("*"):
+                left = ast.BinaryOp("*", left, self._unary())
+            elif self.accept_symbol("/"):
+                left = ast.BinaryOp("/", left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> ast.Expr:
+        if self.accept_symbol("-"):
+            # Fold a minus directly applied to a number into a negative
+            # literal, so formatting round-trips exactly.
+            token = self.peek()
+            if token.type == TokenType.NUMBER:
+                self.advance()
+                return ast.Literal(-token.value)
+            return ast.UnaryOp("-", self._unary())
+        if self.accept_symbol("+"):
+            return self._unary()
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        token = self.peek()
+        if token.type == TokenType.NUMBER:
+            self.advance()
+            return ast.Literal(token.value)
+        if token.type == TokenType.STRING:
+            self.advance()
+            return ast.Literal(token.value)
+        if self.accept_symbol("("):
+            expr = self.expression()
+            self.expect_symbol(")")
+            return expr
+        if self.peek_keyword("CASE"):
+            return self._case()
+        if self.peek_keyword("CAST"):
+            return self._cast()
+        if self.accept_keyword("NULL"):
+            return ast.Literal(None)
+        if self.accept_keyword("TRUE"):
+            return ast.Literal(True)
+        if self.accept_keyword("FALSE"):
+            return ast.Literal(False)
+        if token.type == TokenType.IDENT:
+            if self._is_clause_boundary(token):
+                raise self.error(
+                    f"unexpected keyword {token.value!r} in "
+                    f"expression")
+            return self._identifier_expression()
+        raise self.error(f"unexpected token "
+                         f"{self._describe(token)} in expression")
+
+    def _case(self) -> ast.Expr:
+        self.expect_keyword("CASE")
+        whens: list[tuple[ast.Expr, ast.Expr]] = []
+        while self.accept_keyword("WHEN"):
+            condition = self.expression()
+            self.expect_keyword("THEN")
+            result = self.expression()
+            whens.append((condition, result))
+        if not whens:
+            raise self.error("CASE requires at least one WHEN")
+        else_ = None
+        if self.accept_keyword("ELSE"):
+            else_ = self.expression()
+        self.expect_keyword("END")
+        return ast.CaseWhen(tuple(whens), else_)
+
+    def _cast(self) -> ast.Expr:
+        self.expect_keyword("CAST")
+        self.expect_symbol("(")
+        operand = self.expression()
+        self.expect_keyword("AS")
+        type_name = self.expect_ident("type name")
+        if self.accept_symbol("("):
+            while not self.accept_symbol(")"):
+                self.advance()
+        self.expect_symbol(")")
+        return ast.Cast(operand, type_name)
+
+    def _identifier_expression(self) -> ast.Expr:
+        name = self.expect_ident()
+        if self.peek_symbol("("):
+            return self._func_call(name)
+        if self.accept_symbol("."):
+            column = self.expect_ident("column name")
+            return ast.ColumnRef(column, table=name)
+        return ast.ColumnRef(name)
+
+    def _func_call(self, name: str) -> ast.Expr:
+        self.expect_symbol("(")
+        distinct = False
+        args: list[ast.Expr] = []
+        by_columns: list[ast.ColumnRef] = []
+        default: Optional[ast.Expr] = None
+
+        if self.accept_symbol(")"):
+            pass
+        else:
+            if self.accept_keyword("DISTINCT"):
+                distinct = True
+            if self.peek_symbol("*"):
+                self.advance()
+                args.append(ast.Star())
+            else:
+                args.append(self.expression())
+            # Extended BY clause: sum(A BY D1, D2 [DEFAULT 0])
+            if self.accept_keyword("BY"):
+                by_columns.append(self._by_column())
+                while self.accept_symbol(","):
+                    by_columns.append(self._by_column())
+            if self.accept_keyword("DEFAULT"):
+                default = self.expression()
+            while self.accept_symbol(","):
+                args.append(self.expression())
+            self.expect_symbol(")")
+
+        over = None
+        if self.accept_keyword("OVER"):
+            self.expect_symbol("(")
+            partition: list[ast.Expr] = []
+            if self.accept_keyword("PARTITION"):
+                self.expect_keyword("BY")
+                partition = self._expression_list()
+            self.expect_symbol(")")
+            over = ast.WindowSpec(tuple(partition))
+
+        return ast.FuncCall(name=name.lower(), args=tuple(args),
+                            distinct=distinct,
+                            by_columns=tuple(by_columns),
+                            default=default, over=over)
+
+    def _by_column(self) -> ast.ColumnRef:
+        name = self.expect_ident("column name")
+        if self.accept_symbol("."):
+            column = self.expect_ident("column name")
+            return ast.ColumnRef(column, table=name)
+        return ast.ColumnRef(name)

@@ -1,0 +1,74 @@
+"""Unit tests for the fluent percentage-query builder."""
+
+import pytest
+
+from repro.api.percentage import PercentageQueryBuilder
+from repro.errors import PercentageQueryError
+
+
+class TestSQLAssembly:
+    def test_vpct(self, sales_db):
+        builder = (PercentageQueryBuilder(sales_db)
+                   .from_table("sales")
+                   .group_by("state", "city")
+                   .vpct("salesamt", by=["city"]))
+        sql = builder.sql()
+        assert "Vpct(salesamt BY city)" in sql
+        assert sql.endswith("GROUP BY state, city")
+
+    def test_hagg_with_default(self, employee_db):
+        sql = (PercentageQueryBuilder(employee_db)
+               .from_table("employee")
+               .group_by("gender")
+               .hagg("sum", "salary", by=["maritalstatus"], default=0)
+               .sql())
+        assert "DEFAULT 0" in sql
+
+    def test_missing_table_raises(self, db):
+        with pytest.raises(PercentageQueryError):
+            PercentageQueryBuilder(db).vpct("m").sql()
+
+    def test_missing_terms_raises(self, db):
+        with pytest.raises(PercentageQueryError):
+            PercentageQueryBuilder(db).from_table("t").sql()
+
+
+class TestExecution:
+    def test_run_matches_raw_sql(self, sales_db):
+        from repro.core import run_percentage_query
+        built = (PercentageQueryBuilder(sales_db)
+                 .from_table("sales")
+                 .group_by("state", "city")
+                 .vpct("salesamt", by=["city"])
+                 .run())
+        raw = run_percentage_query(
+            sales_db, "SELECT state, city, Vpct(salesamt BY city) "
+                      "FROM sales GROUP BY state, city")
+        assert built.to_rows() == raw.to_rows()
+
+    def test_where(self, sales_db):
+        result = (PercentageQueryBuilder(sales_db)
+                  .from_table("sales")
+                  .group_by("city")
+                  .vpct("salesamt")
+                  .where("state = 'TX'")
+                  .run())
+        assert result.n_rows == 2
+
+    def test_plan_inspection(self, sales_db):
+        plan = (PercentageQueryBuilder(sales_db)
+                .from_table("sales")
+                .group_by("state")
+                .vpct("salesamt")
+                .plan())
+        assert plan.statement_count() > 1
+
+    def test_hpct_and_aggregate(self, store_db):
+        result = (PercentageQueryBuilder(store_db)
+                  .from_table("sales")
+                  .group_by("store")
+                  .hpct("salesamt", by=["dweek"])
+                  .aggregate("sum", "salesamt", alias="total")
+                  .run())
+        assert "total" in result.column_names()
+        assert result.n_rows == 3

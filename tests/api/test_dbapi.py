@@ -1,0 +1,127 @@
+"""Unit tests for the PEP 249 DB-API driver."""
+
+import pytest
+
+import repro.api.dbapi as dbapi
+from repro import Database
+
+
+@pytest.fixture
+def conn():
+    connection = dbapi.connect()
+    cursor = connection.cursor()
+    cursor.execute("CREATE TABLE t (a INT, b VARCHAR)")
+    cursor.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z')")
+    return connection
+
+
+class TestModuleGlobals:
+    def test_pep249_attributes(self):
+        assert dbapi.apilevel == "2.0"
+        assert dbapi.paramstyle == "qmark"
+        assert dbapi.threadsafety == 2
+
+    def test_exception_hierarchy(self):
+        assert issubclass(dbapi.ProgrammingError, dbapi.DatabaseError)
+        assert issubclass(dbapi.DatabaseError, dbapi.Error)
+
+
+class TestCursor:
+    def test_fetchone(self, conn):
+        cur = conn.cursor()
+        cur.execute("SELECT a FROM t ORDER BY a")
+        assert cur.fetchone() == (1,)
+        assert cur.fetchone() == (2,)
+
+    def test_fetchmany_and_fetchall(self, conn):
+        cur = conn.cursor()
+        cur.execute("SELECT a FROM t ORDER BY a")
+        assert cur.fetchmany(2) == [(1,), (2,)]
+        assert cur.fetchall() == [(3,)]
+        assert cur.fetchone() is None
+
+    def test_iteration(self, conn):
+        cur = conn.cursor()
+        cur.execute("SELECT a FROM t ORDER BY a")
+        assert [row[0] for row in cur] == [1, 2, 3]
+
+    def test_rowcount_and_description(self, conn):
+        cur = conn.cursor()
+        cur.execute("SELECT a, b FROM t")
+        assert cur.rowcount == 3
+        assert [d[0] for d in cur.description] == ["a", "b"]
+        cur.execute("INSERT INTO t VALUES (4, 'w')")
+        assert cur.rowcount == 1
+        assert cur.description is None
+
+    def test_parameters(self, conn):
+        cur = conn.cursor()
+        cur.execute("SELECT a FROM t WHERE a > ? AND b <> ?",
+                    (1, "it's"))
+        assert cur.rowcount == 2
+
+    def test_parameter_count_mismatch(self, conn):
+        cur = conn.cursor()
+        with pytest.raises(dbapi.ProgrammingError):
+            cur.execute("SELECT a FROM t WHERE a = ?", ())
+        with pytest.raises(dbapi.ProgrammingError):
+            cur.execute("SELECT a FROM t WHERE a = ?", (1, 2))
+
+    def test_placeholder_inside_string_untouched(self, conn):
+        cur = conn.cursor()
+        cur.execute("SELECT a FROM t WHERE b = '?' ")
+        assert cur.rowcount == 0
+
+    def test_null_parameter(self, conn):
+        cur = conn.cursor()
+        cur.execute("SELECT coalesce(?, 5)", (None,))
+        assert cur.fetchone() == (5,)
+
+    def test_executemany(self, conn):
+        cur = conn.cursor()
+        cur.executemany("INSERT INTO t VALUES (?, ?)",
+                        [(10, "a"), (11, "b")])
+        cur.execute("SELECT count(*) FROM t")
+        assert cur.fetchone() == (5,)
+
+    def test_executescript(self, conn):
+        cur = conn.cursor()
+        cur.executescript("CREATE TABLE u (x INT); "
+                          "INSERT INTO u VALUES (1)")
+        cur.execute("SELECT x FROM u")
+        assert cur.fetchall() == [(1,)]
+
+    def test_engine_errors_wrapped(self, conn):
+        cur = conn.cursor()
+        with pytest.raises(dbapi.ProgrammingError):
+            cur.execute("SELECT nope FROM t")
+
+    def test_closed_cursor_raises(self, conn):
+        cur = conn.cursor()
+        cur.close()
+        with pytest.raises(dbapi.InterfaceError):
+            cur.execute("SELECT 1")
+
+
+class TestConnection:
+    def test_shared_database(self):
+        database = Database()
+        first = dbapi.connect(database)
+        second = dbapi.connect(database)
+        first.cursor().execute("CREATE TABLE shared (a INT)")
+        cur = second.cursor()
+        cur.execute("SELECT count(*) FROM shared")
+        assert cur.fetchone() == (0,)
+
+    def test_context_manager_closes(self):
+        with dbapi.connect() as connection:
+            connection.cursor().execute("SELECT 1")
+        with pytest.raises(dbapi.InterfaceError):
+            connection.cursor().execute("SELECT 1")
+
+    def test_commit_is_noop(self, conn):
+        conn.commit()
+
+    def test_rollback_unsupported(self, conn):
+        with pytest.raises(dbapi.OperationalError):
+            conn.rollback()

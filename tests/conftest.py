@@ -1,0 +1,81 @@
+"""Shared fixtures: small fact tables from the papers' examples."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+
+#: The SIGMOD paper's Table 1 example fact table.
+PAPER_SALES_ROWS = [
+    (1, "CA", "San Francisco", 13.0),
+    (2, "CA", "San Francisco", 3.0),
+    (3, "CA", "San Francisco", 67.0),
+    (4, "CA", "Los Angeles", 23.0),
+    (5, "TX", "Houston", 5.0),
+    (6, "TX", "Houston", 35.0),
+    (7, "TX", "Houston", 10.0),
+    (8, "TX", "Houston", 14.0),
+    (9, "TX", "Dallas", 53.0),
+    (10, "TX", "Dallas", 32.0),
+]
+
+
+@pytest.fixture
+def db() -> Database:
+    return Database(keep_history=True)
+
+
+@pytest.fixture
+def sales_db(db: Database) -> Database:
+    """A database holding the paper's Table 1 sales example."""
+    db.load_table(
+        "sales",
+        [("rid", "int"), ("state", "varchar"), ("city", "varchar"),
+         ("salesamt", "real")],
+        PAPER_SALES_ROWS, primary_key=["rid"])
+    return db
+
+
+@pytest.fixture
+def store_db(db: Database) -> Database:
+    """A database matching the paper's Table 3 horizontal example:
+    three stores with sales per day of week (store 4 has no Monday
+    sales -- the 0% cell)."""
+    data = {
+        2: {"Mo": 175, "Tu": 150, "We": 200, "Th": 225, "Fr": 400,
+            "Sa": 600, "Su": 750},
+        4: {"Tu": 360, "We": 360, "Th": 360, "Fr": 720, "Sa": 800,
+            "Su": 1400},
+        7: {"Mo": 128, "Tu": 128, "We": 64, "Th": 64, "Fr": 128,
+            "Sa": 560, "Su": 528},
+    }
+    rows = []
+    rid = 0
+    for store, per_day in data.items():
+        for day, amount in per_day.items():
+            rid += 1
+            rows.append((rid, store, day, float(amount)))
+    db.load_table(
+        "sales",
+        [("rid", "int"), ("store", "int"), ("dweek", "varchar"),
+         ("salesamt", "real")],
+        rows, primary_key=["rid"])
+    return db
+
+
+@pytest.fixture
+def employee_db(db: Database) -> Database:
+    """The companion paper's four-employee example (its Table 2)."""
+    rows = [
+        (1, "M", "Single", 30000.0),
+        (2, "F", "Single", 50000.0),
+        (3, "F", "Married", 40000.0),
+        (4, "M", "Single", 45000.0),
+    ]
+    db.load_table(
+        "employee",
+        [("employeeid", "int"), ("gender", "varchar"),
+         ("maritalstatus", "varchar"), ("salary", "real")],
+        rows, primary_key=["employeeid"])
+    return db

@@ -1,0 +1,199 @@
+"""Unit tests for Hpct/Hagg CASE-strategy code generation and
+execution."""
+
+import pytest
+
+from repro.core import (HorizontalStrategy, generate_plan,
+                        run_percentage_query)
+from repro.core import plan as plan_mod
+from repro.core.naming import NamingPolicy
+from repro.core.vertical import VerticalStrategy
+from repro.errors import PercentageQueryError
+
+STORE_QUERY = ("SELECT store, Hpct(salesAmt BY dweek), sum(salesAmt) "
+               "FROM sales GROUP BY store")
+
+#: Table 3 of the paper (percentages rounded to 2 decimals there).
+TABLE3 = {
+    2: {"Mo": 0.07, "Tu": 0.06, "We": 0.08, "Th": 0.09, "Fr": 0.16,
+        "Sa": 0.24, "Su": 0.30, "total": 2500.0},
+    4: {"Mo": 0.00, "Tu": 0.09, "We": 0.09, "Th": 0.09, "Fr": 0.18,
+        "Sa": 0.20, "Su": 0.35, "total": 4000.0},
+    7: {"Mo": 0.08, "Tu": 0.08, "We": 0.04, "Th": 0.04, "Fr": 0.08,
+        "Sa": 0.35, "Su": 0.33, "total": 1600.0},
+}
+
+
+def check_table3(result):
+    names = result.column_names()
+    for row in result.to_rows():
+        record = dict(zip(names, row))
+        expected = TABLE3[record["store"]]
+        for day, pct in expected.items():
+            if day == "total":
+                assert record["sum_salesAmt"] == pct
+            else:
+                assert record[day] == pytest.approx(pct, abs=0.005)
+
+
+class TestDirectStrategy:
+    def test_reproduces_table3(self, store_db):
+        result = run_percentage_query(store_db, STORE_QUERY,
+                                      HorizontalStrategy(source="F"))
+        check_table3(result)
+
+    def test_single_transpose_statement(self, store_db):
+        plan = generate_plan(store_db, STORE_QUERY,
+                             HorizontalStrategy(source="F"))
+        purposes = [s.purpose for s in plan.steps]
+        assert purposes == [plan_mod.DISCOVER, plan_mod.CREATE_TEMP,
+                            plan_mod.TRANSPOSE]
+        assert "CASE WHEN dweek = 'Fr'" in plan.steps[2].sql
+
+    def test_missing_cell_is_zero(self, store_db):
+        result = run_percentage_query(store_db, STORE_QUERY,
+                                      HorizontalStrategy(source="F"))
+        names = result.column_names()
+        store4 = dict(zip(names, result.to_rows()[1]))
+        assert store4["store"] == 4
+        assert store4["Mo"] == 0.0
+
+    def test_rows_sum_to_one(self, store_db):
+        result = run_percentage_query(store_db, STORE_QUERY,
+                                      HorizontalStrategy(source="F"))
+        day_columns = [c for c in result.column_names()
+                       if c not in ("store", "sum_salesAmt")]
+        names = result.column_names()
+        for row in result.to_rows():
+            record = dict(zip(names, row))
+            assert sum(record[c] for c in day_columns) == \
+                pytest.approx(1.0)
+
+
+class TestIndirectStrategy:
+    def test_matches_direct(self, store_db):
+        direct = run_percentage_query(store_db, STORE_QUERY,
+                                      HorizontalStrategy(source="F"))
+        indirect = run_percentage_query(store_db, STORE_QUERY,
+                                        HorizontalStrategy(source="FV"))
+        assert direct.column_names() == indirect.column_names()
+        for a, b in zip(direct.to_rows(), indirect.to_rows()):
+            assert a == pytest.approx(b)
+
+    def test_fv_step_uses_vertical_generator(self, store_db):
+        plan = generate_plan(store_db, STORE_QUERY,
+                             HorizontalStrategy(source="FV"))
+        purposes = [s.purpose for s in plan.steps]
+        assert plan_mod.AGGREGATE_FK in purposes
+        assert plan_mod.DIVIDE in purposes       # the Vpct division
+        assert plan_mod.TRANSPOSE in purposes
+
+    def test_vertical_strategy_forwarded(self, store_db):
+        strategy = HorizontalStrategy(
+            source="FV", vertical=VerticalStrategy(use_update=True))
+        plan = generate_plan(store_db, STORE_QUERY, strategy)
+        assert any(s.purpose == plan_mod.UPDATE_DIVIDE
+                   for s in plan.steps)
+
+    def test_count_distinct_rejected_indirect(self, store_db):
+        with pytest.raises(PercentageQueryError):
+            generate_plan(
+                store_db,
+                "SELECT store, count(DISTINCT rid BY dweek) "
+                "FROM sales GROUP BY store",
+                HorizontalStrategy(source="FV"))
+
+
+class TestNoGroupBy:
+    @pytest.mark.parametrize("source", ["F", "FV"])
+    def test_single_global_row(self, store_db, source):
+        result = run_percentage_query(
+            store_db, "SELECT Hpct(salesAmt BY store) FROM sales",
+            HorizontalStrategy(source=source))
+        assert result.n_rows == 1
+        total = 2500 + 4000 + 1600
+        row = dict(zip(result.column_names(), result.to_rows()[0]))
+        assert row["c2"] == pytest.approx(2500 / total)
+        assert row["c4"] == pytest.approx(4000 / total)
+
+
+class TestMultipleTerms:
+    def test_two_hpct_terms_prefixed(self, employee_db):
+        result = run_percentage_query(
+            employee_db,
+            "SELECT Hpct(salary BY gender) AS g, "
+            "Hpct(salary BY maritalstatus) AS m FROM employee")
+        names = result.column_names()
+        assert any(n.startswith("g_") for n in names)
+        assert any(n.startswith("m_") for n in names)
+        row = dict(zip(names, result.to_rows()[0]))
+        g_cols = [n for n in names if n.startswith("g_")]
+        assert sum(row[n] for n in g_cols) == pytest.approx(1.0)
+
+    def test_hpct_with_hagg(self, employee_db):
+        result = run_percentage_query(
+            employee_db,
+            "SELECT gender, Hpct(salary BY maritalstatus), "
+            "max(salary BY maritalstatus) AS mx FROM employee "
+            "GROUP BY gender")
+        names = result.column_names()
+        rows = {r[0]: dict(zip(names, r)) for r in result.to_rows()}
+        # Both terms are horizontal, so combo columns carry the term
+        # label as a prefix.
+        assert rows["M"]["hpct_salary_Single"] == pytest.approx(1.0)
+        assert rows["M"]["mx_Single"] == 45000.0
+        assert rows["M"]["mx_Married"] is None
+
+
+class TestNaming:
+    def test_full_style(self, store_db):
+        result = run_percentage_query(
+            store_db,
+            "SELECT store, Hpct(salesAmt BY dweek) FROM sales "
+            "GROUP BY store",
+            HorizontalStrategy(naming=NamingPolicy(style="full")))
+        assert "dweek_Mo" in result.column_names()
+
+    def test_value_collision_dedupe(self, db):
+        db.load_table("f", [("g", "int"), ("a", "varchar"),
+                            ("b", "varchar"), ("m", "real")],
+                      [(1, "x", "y", 1.0), (1, "x_y", None, 2.0)])
+        result = run_percentage_query(
+            db, "SELECT g, sum(m BY a, b) FROM f GROUP BY g")
+        names = result.column_names()
+        assert len(names) == len({n.lower() for n in names})
+
+
+class TestVerticalPartitioning:
+    def test_wide_result_partitions_and_reassembles(self):
+        from repro import Database
+        db = Database(max_columns=6)
+        rows = [(g, d, float(g * 10 + d))
+                for g in (1, 2) for d in range(8)]
+        db.load_table("f", [("g", "int"), ("d", "int"), ("m", "real")],
+                      rows)
+        result = run_percentage_query(
+            db, "SELECT g, Hpct(m BY d) FROM f GROUP BY g")
+        # 8 percentage columns cannot fit a 6-column table next to the
+        # key; the plan must partition yet return the full result.
+        assert result.schema.width() == 9
+        names = result.column_names()
+        for row in result.to_rows():
+            record = dict(zip(names, row))
+            total = sum(v for k, v in record.items() if k != "g")
+            assert total == pytest.approx(1.0)
+
+    def test_partition_tables_respect_limit(self):
+        from repro import Database
+        from repro.core.execute import execute_plan
+        db = Database(max_columns=6)
+        rows = [(g, d, float(d)) for g in (1, 2) for d in range(8)]
+        db.load_table("f", [("g", "int"), ("d", "int"), ("m", "real")],
+                      rows)
+        plan = generate_plan(db, "SELECT g, Hpct(m BY d) FROM f "
+                                 "GROUP BY g")
+        execute_plan(db, plan, keep_temps=True)
+        fh_tables = [t for t in db.table_names() if "_fh" in t]
+        assert len(fh_tables) >= 2
+        for name in fh_tables:
+            assert db.table(name).schema.width() <= 6

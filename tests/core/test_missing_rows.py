@@ -1,0 +1,91 @@
+"""Unit tests for the missing-rows handling options (Section 3.1)."""
+
+import pytest
+
+from repro import Database
+from repro.core import VerticalStrategy, run_percentage_query
+from repro.errors import PercentageQueryError
+
+
+@pytest.fixture
+def gap_db(db: Database) -> Database:
+    """Stores x days with a hole: store 2 has no 'Tu' rows."""
+    db.load_table(
+        "f", [("store", "int"), ("day", "varchar"), ("amt", "real")],
+        [(1, "Mo", 10.0), (1, "Tu", 30.0),
+         (2, "Mo", 8.0)])
+    return db
+
+
+QUERY = "SELECT store, day, Vpct(amt BY day) FROM f GROUP BY store, day"
+
+
+class TestNone:
+    def test_missing_cells_absent_by_default(self, gap_db):
+        result = run_percentage_query(gap_db, QUERY)
+        assert result.n_rows == 3
+
+
+class TestPostProcessing:
+    def test_inserts_zero_rows(self, gap_db):
+        result = run_percentage_query(
+            gap_db, QUERY, VerticalStrategy(missing_rows="post"))
+        rows = {(r[0], r[1]): r[2] for r in result.to_rows()}
+        assert rows[(2, "Tu")] == 0.0
+        assert rows[(1, "Mo")] == pytest.approx(0.25)
+        assert len(rows) == 4
+
+    def test_f_untouched(self, gap_db):
+        run_percentage_query(gap_db, QUERY,
+                             VerticalStrategy(missing_rows="post"))
+        assert gap_db.table("f").n_rows == 3
+
+    def test_groups_uniform_size(self, gap_db):
+        result = run_percentage_query(
+            gap_db, QUERY, VerticalStrategy(missing_rows="post"))
+        counts = {}
+        for row in result.to_rows():
+            counts[row[0]] = counts.get(row[0], 0) + 1
+        assert set(counts.values()) == {2}
+
+    def test_requires_by_clause(self, gap_db):
+        with pytest.raises(PercentageQueryError):
+            run_percentage_query(
+                gap_db,
+                "SELECT store, Vpct(amt) FROM f GROUP BY store",
+                VerticalStrategy(missing_rows="post"))
+
+    def test_requires_single_term(self, gap_db):
+        with pytest.raises(PercentageQueryError):
+            run_percentage_query(
+                gap_db,
+                "SELECT store, day, Vpct(amt BY day), "
+                "Vpct(amt BY store, day) FROM f GROUP BY store, day",
+                VerticalStrategy(missing_rows="post"))
+
+
+class TestPreProcessing:
+    def test_inserts_zero_measure_rows_into_f(self, gap_db):
+        result = run_percentage_query(
+            gap_db, QUERY, VerticalStrategy(missing_rows="pre"))
+        rows = {(r[0], r[1]): r[2] for r in result.to_rows()}
+        assert rows[(2, "Tu")] == 0.0
+        assert gap_db.table("f").n_rows == 4  # F was mutated
+
+    def test_corrupts_row_count_percentages_as_paper_warns(self,
+                                                           gap_db):
+        """The paper: pre-processing 'causes F to produce an incorrect
+        row count % using Vpct(1)'."""
+        run_percentage_query(gap_db, QUERY,
+                             VerticalStrategy(missing_rows="pre"))
+        counts = dict(gap_db.query(
+            "SELECT store, count(*) FROM f GROUP BY store"))
+        assert counts[2] == 2  # one of them is the synthetic row
+
+    def test_requires_plain_column_argument(self, gap_db):
+        with pytest.raises(PercentageQueryError):
+            run_percentage_query(
+                gap_db,
+                "SELECT store, day, Vpct(amt * 2 BY day) FROM f "
+                "GROUP BY store, day",
+                VerticalStrategy(missing_rows="pre"))

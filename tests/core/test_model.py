@@ -1,0 +1,86 @@
+"""Unit tests for percentage-query parsing into the model."""
+
+import pytest
+
+from repro.core import model
+from repro.core.model import parse_percentage_query
+from repro.errors import PercentageQueryError
+
+
+class TestParsing:
+    def test_vpct_query(self):
+        query = parse_percentage_query(
+            "SELECT state, city, Vpct(salesAmt BY city) FROM sales "
+            "GROUP BY state, city")
+        assert query.table == "sales"
+        assert query.group_by == ("state", "city")
+        assert query.dimensions == ("state", "city")
+        term = query.terms[0]
+        assert term.kind == model.VPCT
+        assert term.by_columns == ("city",)
+
+    def test_hpct_query(self):
+        query = parse_percentage_query(
+            "SELECT store, Hpct(salesAmt BY dweek), sum(salesAmt) "
+            "FROM sales GROUP BY store")
+        kinds = [t.kind for t in query.terms]
+        assert kinds == [model.HPCT, model.VERTICAL]
+
+    def test_hagg_with_default(self):
+        query = parse_percentage_query(
+            "SELECT tid, max(1 BY deptId DEFAULT 0) FROM t "
+            "GROUP BY tid")
+        term = query.terms[0]
+        assert term.kind == model.HAGG
+        assert term.default == 0
+
+    def test_group_by_positions(self):
+        query = parse_percentage_query(
+            "SELECT a, b, Vpct(m BY b) FROM t GROUP BY 1, 2")
+        assert query.group_by == ("a", "b")
+
+    def test_where_passthrough(self):
+        query = parse_percentage_query(
+            "SELECT a, Vpct(m) FROM t WHERE a > 0 GROUP BY a")
+        assert query.where is not None
+
+    def test_multi_table_from_kept_for_materialization(self):
+        query = parse_percentage_query(
+            "SELECT a, sum(m BY d) FROM t, dim "
+            "WHERE t.k = dim.k GROUP BY a")
+        assert query.source_select is not None
+        assert query.table == ""
+
+    def test_count_star_vertical(self):
+        query = parse_percentage_query(
+            "SELECT a, count(*), Vpct(m BY a) FROM t GROUP BY a")
+        star = query.terms[0]
+        assert star.kind == model.VERTICAL
+        assert star.argument is None
+
+
+class TestRejections:
+    @pytest.mark.parametrize("sql,fragment", [
+        ("INSERT INTO t VALUES (1)", "SELECT"),
+        ("SELECT Vpct(m) FROM t GROUP BY a ORDER BY a", "ORDER BY"),
+        ("SELECT DISTINCT Vpct(m) FROM t GROUP BY a", "DISTINCT"),
+        ("SELECT Vpct(m)", "FROM"),
+        ("SELECT a + 1, Vpct(m) FROM t GROUP BY a", "grouping column"),
+        ("SELECT a FROM t GROUP BY a", "aggregate term"),
+        ("SELECT Vpct(*) FROM t GROUP BY a", "expression"),
+        ("SELECT Vpct(DISTINCT m) FROM t GROUP BY a", "DISTINCT"),
+        ("SELECT median(m BY a) FROM t", "unknown aggregate"),
+        ("SELECT sum(*) FROM t GROUP BY a", "count"),
+        ("SELECT a, Vpct(m BY b) FROM t GROUP BY 9", "out of range"),
+    ])
+    def test_bad_queries(self, sql, fragment):
+        with pytest.raises(PercentageQueryError) as err:
+            parse_percentage_query(sql)
+        assert fragment.lower() in str(err.value).lower()
+
+    def test_labels(self):
+        query = parse_percentage_query(
+            "SELECT a, Vpct(m BY a) AS pct, sum(x + 1) FROM t "
+            "GROUP BY a")
+        assert query.terms[0].label() == "pct"
+        assert "sum" in query.terms[1].label()

@@ -1,0 +1,75 @@
+"""Unit tests for the strategy chooser (the paper's recommendations)."""
+
+import pytest
+
+from repro.core.model import parse_percentage_query
+from repro.core.optimizer import (choose_horizontal_strategy,
+                                  choose_vertical_strategy,
+                                  column_cardinality)
+
+
+@pytest.fixture
+def wide_db(db):
+    rows = []
+    for i in range(200):
+        rows.append((i, i % 3, i % 100, float(i)))
+    db.load_table("f", [("rid", "int"), ("low", "int"),
+                        ("high", "int"), ("m", "real")], rows)
+    return db
+
+
+class TestVerticalChoice:
+    def test_recommended_defaults(self, wide_db):
+        query = parse_percentage_query(
+            "SELECT low, Vpct(m) FROM f GROUP BY low")
+        strategy = choose_vertical_strategy(wide_db, query)
+        assert strategy.fj_from_fk
+        assert not strategy.use_update
+        assert strategy.create_indexes
+        assert strategy.matching_indexes
+
+
+class TestHorizontalChoice:
+    def test_low_selectivity_uses_direct(self, wide_db):
+        query = parse_percentage_query(
+            "SELECT Hpct(m BY low) FROM f")
+        strategy = choose_horizontal_strategy(wide_db, query)
+        assert strategy.source == "F"
+
+    def test_high_selectivity_uses_fv(self, wide_db):
+        query = parse_percentage_query(
+            "SELECT Hpct(m BY high) FROM f")
+        strategy = choose_horizontal_strategy(wide_db, query)
+        assert strategy.source == "FV"
+
+    def test_three_by_columns_use_fv(self, wide_db):
+        query = parse_percentage_query(
+            "SELECT sum(m BY low, high, rid) FROM f")
+        strategy = choose_horizontal_strategy(wide_db, query)
+        assert strategy.source == "FV"
+
+    def test_threshold_parameter(self, wide_db):
+        query = parse_percentage_query(
+            "SELECT Hpct(m BY low) FROM f")
+        strategy = choose_horizontal_strategy(wide_db, query,
+                                              threshold=2)
+        assert strategy.source == "FV"
+
+    def test_count_distinct_forces_direct(self, wide_db):
+        query = parse_percentage_query(
+            "SELECT count(DISTINCT rid BY high) FROM f")
+        strategy = choose_horizontal_strategy(wide_db, query)
+        assert strategy.source == "F"
+
+
+class TestCardinalityProbe:
+    def test_counts_distinct(self, wide_db):
+        query = parse_percentage_query(
+            "SELECT Hpct(m BY low) FROM f")
+        assert column_cardinality(wide_db, query, "low") == 3
+        assert column_cardinality(wide_db, query, "high") == 100
+
+    def test_missing_table_is_zero(self, db):
+        query = parse_percentage_query(
+            "SELECT Hpct(m BY low) FROM ghost")
+        assert column_cardinality(db, query, "low") == 0

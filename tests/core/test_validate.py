@@ -1,0 +1,111 @@
+"""Unit tests for the paper's usage rules (Sections 3.1/3.2, DMKD 3.1)."""
+
+import pytest
+
+from repro.core.model import parse_percentage_query
+from repro.core.validate import validate
+from repro.errors import PercentageQueryError
+
+
+def check(sql):
+    validate(parse_percentage_query(sql))
+
+
+class TestVpctRules:
+    def test_valid_with_by_subset(self):
+        check("SELECT s, c, Vpct(m BY c) FROM t GROUP BY s, c")
+
+    def test_valid_without_by(self):
+        check("SELECT s, Vpct(m) FROM t GROUP BY s")
+
+    def test_rule1_group_by_required(self):
+        with pytest.raises(PercentageQueryError) as err:
+            check("SELECT Vpct(m) FROM t")
+        assert "rule 1" in str(err.value)
+
+    def test_rule2_by_must_be_subset(self):
+        with pytest.raises(PercentageQueryError) as err:
+            check("SELECT s, Vpct(m BY other) FROM t GROUP BY s")
+        assert "rule 2" in str(err.value)
+
+    def test_by_equal_to_group_by_accepted(self):
+        # The 100%-per-row case the paper mentions explicitly.
+        check("SELECT s, Vpct(m BY s) FROM t GROUP BY s")
+
+    def test_rule3_combinable_with_other_aggregates(self):
+        check("SELECT s, Vpct(m BY s), sum(m), count(*) FROM t "
+              "GROUP BY s")
+
+    def test_rule4_multiple_vpct_different_subsets(self):
+        check("SELECT s, c, Vpct(m BY c), Vpct(m BY s, c) FROM t "
+              "GROUP BY s, c")
+
+    def test_no_default(self):
+        with pytest.raises(PercentageQueryError):
+            check("SELECT s, Vpct(m BY s DEFAULT 0) FROM t GROUP BY s")
+
+    def test_select_column_must_be_grouped(self):
+        with pytest.raises(PercentageQueryError):
+            check("SELECT other, Vpct(m BY s) FROM t GROUP BY s")
+
+
+class TestHpctRules:
+    def test_valid(self):
+        check("SELECT s, Hpct(m BY d) FROM t GROUP BY s")
+
+    def test_rule1_group_by_optional(self):
+        check("SELECT Hpct(m BY d) FROM t")
+
+    def test_rule2_by_required(self):
+        with pytest.raises(PercentageQueryError) as err:
+            check("SELECT s, Hpct(m) FROM t GROUP BY s")
+        assert "rule 2" in str(err.value)
+
+    def test_rule2_disjointness(self):
+        with pytest.raises(PercentageQueryError) as err:
+            check("SELECT s, Hpct(m BY s, d) FROM t GROUP BY s")
+        assert "disjoint" in str(err.value)
+
+    def test_rule3_other_aggregates_allowed(self):
+        check("SELECT s, Hpct(m BY d), sum(m), avg(m) FROM t "
+              "GROUP BY s")
+
+    def test_rule5_multiple_terms(self):
+        check("SELECT s, Hpct(m BY d), Hpct(m2 BY e) FROM t "
+              "GROUP BY s")
+
+    def test_no_default_for_hpct(self):
+        with pytest.raises(PercentageQueryError):
+            check("SELECT s, Hpct(m BY d DEFAULT 0) FROM t GROUP BY s")
+
+
+class TestHaggRules:
+    def test_valid_with_default(self):
+        check("SELECT s, sum(m BY d DEFAULT 0) FROM t GROUP BY s")
+
+    def test_count_distinct_by(self):
+        check("SELECT s, count(DISTINCT m BY d) FROM t GROUP BY s")
+
+    def test_distinct_only_count(self):
+        with pytest.raises(PercentageQueryError):
+            check("SELECT s, sum(DISTINCT m BY d) FROM t GROUP BY s")
+
+    def test_disjointness(self):
+        with pytest.raises(PercentageQueryError):
+            check("SELECT s, sum(m BY s) FROM t GROUP BY s")
+
+    def test_default_without_by_rejected(self):
+        with pytest.raises(PercentageQueryError):
+            check("SELECT s, sum(m DEFAULT 0) FROM t GROUP BY s")
+
+
+class TestMixing:
+    def test_vpct_and_hpct_rejected_as_future_work(self):
+        with pytest.raises(PercentageQueryError) as err:
+            check("SELECT s, c, Vpct(m BY c), Hpct(m BY d) FROM t "
+                  "GROUP BY s, c")
+        assert "future work" in str(err.value)
+
+    def test_hpct_and_hagg_combined_ok(self):
+        check("SELECT s, Hpct(m BY d), sum(m BY e), count(*) FROM t "
+              "GROUP BY s")

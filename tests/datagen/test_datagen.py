@@ -1,0 +1,120 @@
+"""Unit tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.datagen import (load_census, load_employee, load_sales,
+                           load_transaction_line)
+from repro.datagen.distributions import (sequence, uniform_dimension,
+                                         uniform_measure,
+                                         zipf_dimension)
+
+
+class TestDistributions:
+    def test_uniform_range(self):
+        rng = np.random.default_rng(1)
+        values = uniform_dimension(rng, 10_000, 7)
+        assert values.min() >= 1 and values.max() <= 7
+        assert len(np.unique(values)) == 7
+
+    def test_uniform_is_roughly_flat(self):
+        rng = np.random.default_rng(1)
+        values = uniform_dimension(rng, 70_000, 7)
+        counts = np.bincount(values)[1:]
+        assert counts.min() > 0.9 * counts.mean()
+
+    def test_zipf_is_skewed(self):
+        rng = np.random.default_rng(1)
+        values = zipf_dimension(rng, 50_000, 20, skew=1.2)
+        counts = np.bincount(values, minlength=21)[1:]
+        assert counts[0] > 3 * counts[10]
+
+    def test_zipf_base(self):
+        rng = np.random.default_rng(1)
+        values = zipf_dimension(rng, 100, 5, base=0)
+        assert values.min() >= 0 and values.max() <= 4
+
+    def test_measure_range(self):
+        rng = np.random.default_rng(1)
+        values = uniform_measure(rng, 1000, 2.0, 3.0)
+        assert values.min() >= 2.0 and values.max() < 3.0
+
+    def test_sequence(self):
+        assert sequence(3).tolist() == [1, 2, 3]
+
+    def test_bad_cardinality(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ValueError):
+            uniform_dimension(rng, 10, 0)
+        with pytest.raises(ValueError):
+            zipf_dimension(rng, 10, 0)
+
+
+class TestEmployee:
+    def test_schema_and_cardinalities(self, db):
+        load_employee(db, 5_000)
+        assert db.table("employee").n_rows == 5_000
+        genders, statuses = db.query(
+            "SELECT count(DISTINCT gender), count(DISTINCT marstatus) "
+            "FROM employee")[0]
+        assert genders == 2
+        assert statuses == 4
+
+    def test_deterministic_by_seed(self):
+        db1, db2 = Database(), Database()
+        load_employee(db1, 100, seed=7)
+        load_employee(db2, 100, seed=7)
+        assert db1.table("employee").to_rows() == \
+            db2.table("employee").to_rows()
+
+    def test_different_seeds_differ(self):
+        db1, db2 = Database(), Database()
+        load_employee(db1, 100, seed=7)
+        load_employee(db2, 100, seed=8)
+        assert db1.table("employee").to_rows() != \
+            db2.table("employee").to_rows()
+
+
+class TestSales:
+    def test_schema(self, db):
+        load_sales(db, 2_000)
+        assert db.table("sales").n_rows == 2_000
+        dweek = db.query("SELECT count(DISTINCT dweek) FROM sales")
+        assert dweek == [(7,)]
+        assert db.query("SELECT min(salesamt) FROM sales")[0][0] >= 1.0
+
+    def test_transaction_id_is_unique(self, db):
+        load_sales(db, 1_000)
+        assert db.query("SELECT count(DISTINCT transactionid) "
+                        "FROM sales") == [(1_000,)]
+
+
+class TestTransactionLine:
+    def test_schema_and_measures(self, db):
+        load_transaction_line(db, 2_000)
+        table = db.table("transactionline")
+        assert table.n_rows == 2_000
+        assert db.query("SELECT count(DISTINCT dayofweekno) "
+                        "FROM transactionline") == [(7,)]
+        # salesAmt = costAmt * 1.25 (rounded).
+        row = db.query("SELECT costamt, salesamt FROM transactionline "
+                       "LIMIT 1")[0]
+        assert row[1] == pytest.approx(row[0] * 1.25, abs=0.02)
+
+
+class TestCensus:
+    def test_width_matches_paper(self, db):
+        load_census(db, 1_000)
+        assert db.table("uscensus").schema.width() == 68
+
+    def test_experiment_attributes_present(self, db):
+        load_census(db, 1_000)
+        for column in ("ischool", "iclass", "imarital", "isex", "dage"):
+            assert db.table("uscensus").schema.has_column(column)
+
+    def test_skew(self, db):
+        load_census(db, 20_000)
+        counts = dict(db.query(
+            "SELECT iclass, count(*) FROM uscensus GROUP BY iclass"))
+        assert counts[1] > 3 * counts.get(9, 1)

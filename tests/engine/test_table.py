@@ -1,0 +1,109 @@
+"""Unit tests for Table and TableSchema."""
+
+import numpy as np
+import pytest
+
+from repro.engine.column import ColumnData
+from repro.engine.schema import ColumnDef, TableSchema
+from repro.engine.table import Table
+from repro.engine.types import SQLType
+from repro.errors import CatalogError, ExecutionError
+
+
+def make_schema():
+    return TableSchema.build("t", [("a", SQLType.INTEGER),
+                                   ("b", SQLType.VARCHAR)],
+                             primary_key=["a"])
+
+
+class TestSchema:
+    def test_duplicate_column_raises(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", [ColumnDef("a", SQLType.INTEGER),
+                              ColumnDef("A", SQLType.REAL)])
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(CatalogError):
+            TableSchema.build("t", [("a", SQLType.INTEGER)],
+                              primary_key=["missing"])
+
+    def test_case_insensitive_lookup(self):
+        schema = make_schema()
+        assert schema.column("A").sql_type == SQLType.INTEGER
+        assert schema.column_index("B") == 1
+        assert schema.has_column("b")
+        assert not schema.has_column("c")
+
+    def test_column_names_order(self):
+        assert make_schema().column_names() == ["a", "b"]
+
+
+class TestTable:
+    def test_from_rows_and_back(self):
+        table = Table.from_rows(make_schema(), [(1, "x"), (2, None)])
+        assert table.to_rows() == [(1, "x"), (2, None)]
+        assert table.n_rows == 2
+
+    def test_row_width_check(self):
+        with pytest.raises(ExecutionError):
+            Table.from_rows(make_schema(), [(1,)])
+
+    def test_missing_column_data_raises(self):
+        schema = make_schema()
+        with pytest.raises(ExecutionError):
+            Table(schema, {"a": ColumnData.from_values(
+                SQLType.INTEGER, [1])})
+
+    def test_unequal_column_lengths_raise(self):
+        schema = make_schema()
+        with pytest.raises(ExecutionError):
+            Table(schema, {
+                "a": ColumnData.from_values(SQLType.INTEGER, [1, 2]),
+                "b": ColumnData.from_values(SQLType.VARCHAR, ["x"]),
+            })
+
+    def test_take_and_filter(self):
+        table = Table.from_rows(make_schema(),
+                                [(1, "x"), (2, "y"), (3, "z")])
+        assert table.take(np.array([2, 0])).to_rows() == \
+            [(3, "z"), (1, "x")]
+        assert table.filter(np.array([False, True, False])).to_rows() \
+            == [(2, "y")]
+
+    def test_append(self):
+        table = Table.from_rows(make_schema(), [(1, "x")])
+        more = Table.from_rows(make_schema(), [(2, "y")])
+        assert table.append(more).to_rows() == [(1, "x"), (2, "y")]
+
+    def test_append_type_mismatch_raises(self):
+        table = Table.from_rows(make_schema(), [(1, "x")])
+        other_schema = TableSchema.build(
+            "o", [("a", SQLType.REAL), ("b", SQLType.VARCHAR)])
+        other = Table.from_rows(other_schema, [(1.0, "y")])
+        with pytest.raises(ExecutionError):
+            table.append(other)
+
+    def test_replace_column(self):
+        table = Table.from_rows(make_schema(), [(1, "x")])
+        new = table.replace_column(
+            "a", ColumnData.from_values(SQLType.INTEGER, [9]))
+        assert new.to_rows() == [(9, "x")]
+        assert table.to_rows() == [(1, "x")]  # original untouched
+
+    def test_replace_column_wrong_type_raises(self):
+        table = Table.from_rows(make_schema(), [(1, "x")])
+        with pytest.raises(ExecutionError):
+            table.replace_column(
+                "a", ColumnData.from_values(SQLType.REAL, [9.0]))
+
+    def test_renamed_shares_data(self):
+        table = Table.from_rows(make_schema(), [(1, "x")])
+        renamed = table.renamed("u")
+        assert renamed.name == "u"
+        assert renamed.to_rows() == table.to_rows()
+
+    def test_from_columns(self):
+        table = Table.from_columns("t", [
+            ("a", ColumnData.from_values(SQLType.INTEGER, [1, 2]))])
+        assert table.column_names() == ["a"]
+        assert table.n_rows == 2

@@ -1,0 +1,113 @@
+"""Unit tests for SQL types, coercion and the promotion lattice."""
+
+import numpy as np
+import pytest
+
+from repro.engine.types import (SQLType, arithmetic_result_type,
+                                coerce_scalar, common_type, infer_type,
+                                type_from_name)
+from repro.errors import TypeMismatchError
+
+
+class TestTypeFromName:
+    @pytest.mark.parametrize("name,expected", [
+        ("int", SQLType.INTEGER),
+        ("INTEGER", SQLType.INTEGER),
+        ("BigInt", SQLType.INTEGER),
+        ("real", SQLType.REAL),
+        ("FLOAT", SQLType.REAL),
+        ("decimal", SQLType.REAL),
+        ("varchar", SQLType.VARCHAR),
+        ("TEXT", SQLType.VARCHAR),
+        ("bool", SQLType.BOOLEAN),
+    ])
+    def test_known_names(self, name, expected):
+        assert type_from_name(name) == expected
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(TypeMismatchError):
+            type_from_name("blob")
+
+
+class TestInferType:
+    def test_bool_before_int(self):
+        # bool is a subclass of int in Python; SQL must see BOOLEAN.
+        assert infer_type(True) == SQLType.BOOLEAN
+
+    def test_int(self):
+        assert infer_type(7) == SQLType.INTEGER
+
+    def test_numpy_int(self):
+        assert infer_type(np.int64(7)) == SQLType.INTEGER
+
+    def test_float(self):
+        assert infer_type(1.5) == SQLType.REAL
+
+    def test_str(self):
+        assert infer_type("x") == SQLType.VARCHAR
+
+    def test_none_raises(self):
+        with pytest.raises(TypeMismatchError):
+            infer_type(None)
+
+
+class TestCommonType:
+    def test_identical(self):
+        assert common_type(SQLType.VARCHAR,
+                           SQLType.VARCHAR) == SQLType.VARCHAR
+
+    def test_numeric_promotion(self):
+        assert common_type(SQLType.INTEGER,
+                           SQLType.REAL) == SQLType.REAL
+
+    def test_incompatible(self):
+        with pytest.raises(TypeMismatchError):
+            common_type(SQLType.INTEGER, SQLType.VARCHAR)
+
+
+class TestArithmeticResultType:
+    def test_division_always_real(self):
+        assert arithmetic_result_type(
+            "/", SQLType.INTEGER, SQLType.INTEGER) == SQLType.REAL
+
+    def test_int_addition_stays_int(self):
+        assert arithmetic_result_type(
+            "+", SQLType.INTEGER, SQLType.INTEGER) == SQLType.INTEGER
+
+    def test_mixed_promotes(self):
+        assert arithmetic_result_type(
+            "*", SQLType.INTEGER, SQLType.REAL) == SQLType.REAL
+
+    def test_varchar_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            arithmetic_result_type("+", SQLType.VARCHAR, SQLType.REAL)
+
+
+class TestCoerceScalar:
+    def test_none_passes_through(self):
+        assert coerce_scalar(None, SQLType.INTEGER) is None
+
+    def test_integral_float_to_int(self):
+        assert coerce_scalar(3.0, SQLType.INTEGER) == 3
+
+    def test_fractional_float_to_int_raises(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_scalar(3.5, SQLType.INTEGER)
+
+    def test_int_to_real(self):
+        assert coerce_scalar(3, SQLType.REAL) == 3.0
+
+    def test_str_to_real_raises(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_scalar("3", SQLType.REAL)
+
+    def test_str_to_varchar(self):
+        assert coerce_scalar("abc", SQLType.VARCHAR) == "abc"
+
+    def test_int_to_varchar_raises(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_scalar(3, SQLType.VARCHAR)
+
+    def test_bool(self):
+        assert coerce_scalar(True, SQLType.BOOLEAN) is True
+        assert coerce_scalar(True, SQLType.INTEGER) == 1

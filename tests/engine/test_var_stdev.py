@@ -1,0 +1,153 @@
+"""Unit tests for the variance/stddev aggregate extensions."""
+
+import math
+import statistics
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.engine.aggregates import compute_aggregate
+from repro.engine.column import ColumnData
+from repro.engine.types import SQLType
+
+
+def real_col(values):
+    return ColumnData.from_values(SQLType.REAL, values)
+
+
+class TestVectorized:
+    GROUPS = np.array([0, 0, 0, 1, 1, 2], dtype=np.int64)
+
+    def test_var_matches_statistics(self):
+        values = [2.0, 4.0, 9.0, 1.0, 5.0, 7.0]
+        result = compute_aggregate("var", real_col(values), False,
+                                   self.GROUPS, 3)
+        assert result[0] == pytest.approx(
+            statistics.variance([2.0, 4.0, 9.0]))
+        assert result[1] == pytest.approx(statistics.variance(
+            [1.0, 5.0]))
+        assert result[2] is None  # single value: sample var undefined
+
+    def test_stdev_is_sqrt_of_var(self):
+        values = [2.0, 4.0, 9.0, 1.0, 5.0, 7.0]
+        var = compute_aggregate("var", real_col(values), False,
+                                self.GROUPS, 3)
+        std = compute_aggregate("stdev", real_col(values), False,
+                                self.GROUPS, 3)
+        assert std[0] == pytest.approx(math.sqrt(var[0]))
+
+    def test_nulls_skipped(self):
+        values = [2.0, None, 4.0, None, None, 1.0]
+        result = compute_aggregate("var", real_col(values), False,
+                                   self.GROUPS, 3)
+        assert result[0] == pytest.approx(statistics.variance(
+            [2.0, 4.0]))
+        assert result[1] is None
+
+    def test_constant_group_is_zero(self):
+        values = [3.0, 3.0, 3.0, 1.0, 1.0, 9.0]
+        result = compute_aggregate("var", real_col(values), False,
+                                   self.GROUPS, 3)
+        assert result[0] == 0.0
+        assert result[1] == 0.0
+
+
+class TestThroughSQL:
+    @pytest.fixture
+    def db(self):
+        database = Database()
+        database.execute("CREATE TABLE t (g INT, m REAL)")
+        database.execute(
+            "INSERT INTO t VALUES (1, 2.0), (1, 4.0), (1, 9.0), "
+            "(2, 5.0)")
+        return database
+
+    def test_group_by(self, db):
+        rows = db.query("SELECT g, var(m), stdev(m) FROM t "
+                        "GROUP BY g ORDER BY g")
+        assert rows[0][1] == pytest.approx(13.0)
+        assert rows[0][2] == pytest.approx(math.sqrt(13.0))
+        assert rows[1][1] is None
+
+    def test_window(self, db):
+        rows = db.query("SELECT g, var(m) OVER (PARTITION BY g) "
+                        "FROM t WHERE g = 1")
+        assert all(r[1] == pytest.approx(13.0) for r in rows)
+
+
+class TestHorizontal:
+    @pytest.fixture
+    def db(self):
+        database = Database()
+        database.execute("CREATE TABLE t (g INT, d INT, m REAL)")
+        database.execute(
+            "INSERT INTO t VALUES (1, 1, 2.0), (1, 1, 4.0), "
+            "(1, 2, 9.0), (2, 1, 5.0), (2, 1, 6.0)")
+        return database
+
+    def test_horizontal_var_direct(self, db):
+        from repro.core import HorizontalStrategy, run_percentage_query
+        result = run_percentage_query(
+            db, "SELECT g, var(m BY d) FROM t GROUP BY g",
+            HorizontalStrategy(source="F"))
+        names = result.column_names()
+        rows = {r[0]: dict(zip(names, r)) for r in result.to_rows()}
+        assert rows[1]["c1"] == pytest.approx(2.0)
+        assert rows[1]["c2"] is None   # single value
+        assert rows[2]["c2"] is None   # no rows at all
+
+    def test_indirect_rejected(self, db):
+        from repro.core import HorizontalStrategy, generate_plan
+        from repro.errors import PercentageQueryError
+        with pytest.raises(PercentageQueryError):
+            generate_plan(db, "SELECT g, var(m BY d) FROM t GROUP BY g",
+                          HorizontalStrategy(source="FV"))
+
+    def test_optimizer_forces_direct(self, db):
+        from repro.core import choose_horizontal_strategy
+        from repro.core.model import parse_percentage_query
+        query = parse_percentage_query(
+            "SELECT g, stdev(m BY d) FROM t GROUP BY g")
+        strategy = choose_horizontal_strategy(db, query, threshold=0)
+        assert strategy.source == "F"
+
+
+class TestConcurrency:
+    def test_concurrent_percentage_queries(self):
+        """The paper's closing scenario: concurrent sessions issuing
+        percentage queries against one database."""
+        import threading
+
+        from repro.core import run_percentage_query
+        from repro.datagen import load_transaction_line
+
+        db = Database()
+        load_transaction_line(db, 5_000)
+        errors = []
+        results = []
+
+        def worker(sql):
+            try:
+                results.append(run_percentage_query(db, sql).n_rows)
+            except Exception as exc:  # pragma: no cover - fails test
+                errors.append(exc)
+
+        queries = [
+            "SELECT regionid, Vpct(salesamt) FROM transactionline "
+            "GROUP BY regionid",
+            "SELECT yearno, Hpct(salesamt BY regionid) "
+            "FROM transactionline GROUP BY yearno",
+            "SELECT monthno, sum(salesamt BY regionid) "
+            "FROM transactionline GROUP BY monthno",
+            "SELECT regionid, Vpct(itemqty) FROM transactionline "
+            "GROUP BY regionid",
+        ] * 3
+        threads = [threading.Thread(target=worker, args=(sql,))
+                   for sql in queries]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(results) == len(queries)

@@ -1,0 +1,114 @@
+"""Reproduction of the SIGMOD paper's worked examples (Tables 1-3)."""
+
+import pytest
+
+from repro.core import (HorizontalStrategy, VerticalStrategy,
+                        run_percentage_query)
+
+
+class TestTable2VerticalExample:
+    """Section 3.1: 'what percentage of sales each city contributed to
+    its state' -- Table 1 in, Table 2 out."""
+
+    QUERY = ("SELECT state, city, Vpct(salesamt BY city) FROM sales "
+             "GROUP BY state, city")
+
+    #: Table 2, exact fractions (the paper prints rounded percents).
+    EXPECTED = [
+        ("CA", "Los Angeles", 23 / 106),     # 22%
+        ("CA", "San Francisco", 83 / 106),   # 78%
+        ("TX", "Dallas", 85 / 149),          # 57%
+        ("TX", "Houston", 64 / 149),         # 43%
+    ]
+
+    def test_result_matches_table2(self, sales_db):
+        result = run_percentage_query(sales_db, self.QUERY)
+        for actual, expected in zip(result.to_rows(), self.EXPECTED):
+            assert actual[0] == expected[0]
+            assert actual[1] == expected[1]
+            assert actual[2] == pytest.approx(expected[2])
+
+    def test_rows_grouped_by_state_are_contiguous(self, sales_db):
+        """'it is better to display rows for each state contiguously'
+        -- the result is ordered by the grouping columns."""
+        result = run_percentage_query(sales_db, self.QUERY)
+        states = [row[0] for row in result.to_rows()]
+        assert states == sorted(states)
+
+    def test_rounded_percentages_match_paper(self, sales_db):
+        result = run_percentage_query(sales_db, self.QUERY)
+        printed = [round(row[2] * 100) for row in result.to_rows()]
+        assert printed == [22, 78, 57, 43]
+
+
+class TestTable3HorizontalExample:
+    """Section 3.2: per-store day-of-week percentages plus total sales
+    on one row, including the 0% cell for store 4 on Monday."""
+
+    QUERY = ("SELECT store, Hpct(salesamt BY dweek), sum(salesamt) "
+             "FROM sales GROUP BY store")
+
+    #: Table 3 as printed (percent, rounded).
+    EXPECTED = {
+        2: {"Mo": 7, "Tu": 6, "We": 8, "Th": 9, "Fr": 16, "Sa": 24,
+            "Su": 30, "total": 2500.0},
+        4: {"Mo": 0, "Tu": 9, "We": 9, "Th": 9, "Fr": 18, "Sa": 20,
+            "Su": 35, "total": 4000.0},
+        7: {"Mo": 8, "Tu": 8, "We": 4, "Th": 4, "Fr": 8, "Sa": 35,
+            "Su": 33, "total": 1600.0},
+    }
+
+    @pytest.mark.parametrize("source", ["F", "FV"])
+    def test_result_matches_table3(self, store_db, source):
+        result = run_percentage_query(
+            store_db, self.QUERY, HorizontalStrategy(source=source))
+        names = result.column_names()
+        assert names[0] == "store"
+        for row in result.to_rows():
+            record = dict(zip(names, row))
+            expected = self.EXPECTED[record["store"]]
+            assert record["sum_salesamt"] == expected["total"]
+            for day in ("Mo", "Tu", "We", "Th", "Fr", "Sa", "Su"):
+                assert round(record[day] * 100) == expected[day]
+
+    def test_one_row_per_store(self, store_db):
+        result = run_percentage_query(store_db, self.QUERY)
+        assert result.n_rows == 3
+
+    def test_all_percentages_on_one_row_sum_to_100(self, store_db):
+        result = run_percentage_query(store_db, self.QUERY)
+        names = result.column_names()
+        days = [n for n in names if n not in ("store", "sum_salesamt")]
+        for row in result.to_rows():
+            record = dict(zip(names, row))
+            assert sum(record[d] for d in days) == pytest.approx(1.0)
+
+
+class TestGeneratedSQLMatchesPaperShapes:
+    """The generated statements follow the paper's Section 3 templates."""
+
+    def test_vertical_statements(self, sales_db):
+        from repro.core import generate_plan
+        plan = generate_plan(
+            sales_db,
+            "SELECT state, city, Vpct(salesamt BY city) FROM sales "
+            "GROUP BY state, city", VerticalStrategy())
+        script = plan.sql_script()
+        # Fk: INSERT INTO Fk SELECT D1..Dk, sum(A) FROM F GROUP BY ...
+        assert "sum(salesamt) FROM sales GROUP BY state, city" in script
+        # FV: CASE WHEN Fj.A <> 0 THEN Fk.A/Fj.A ELSE NULL END
+        assert "ELSE NULL END" in script
+        # Join on the common subkey.
+        assert ".state =" in script
+
+    def test_horizontal_direct_statement(self, store_db):
+        from repro.core import generate_plan
+        plan = generate_plan(
+            store_db,
+            "SELECT store, Hpct(salesamt BY dweek) FROM sales "
+            "GROUP BY store", HorizontalStrategy(source="F"))
+        script = plan.sql_script()
+        assert "SELECT DISTINCT dweek FROM sales" in script
+        assert "sum(CASE WHEN dweek = 'Mo' THEN salesamt ELSE 0 END)" \
+            in script
+        assert "GROUP BY store" in script

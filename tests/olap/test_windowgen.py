@@ -1,0 +1,78 @@
+"""Unit tests for the OLAP-extensions baseline generator."""
+
+import pytest
+
+from repro.core import run_percentage_query
+from repro.errors import PercentageQueryError
+from repro.olap import (generate_olap_percentage_query,
+                        run_olap_percentage_query)
+
+QUERY = ("SELECT state, city, Vpct(salesamt BY city) FROM sales "
+         "GROUP BY state, city")
+
+
+class TestGeneration:
+    def test_single_statement_with_windows(self, sales_db):
+        sql = generate_olap_percentage_query(QUERY)
+        # Fine total, coarse total, and the coarse total again inside
+        # the division-by-zero guard.
+        assert sql.count("OVER (PARTITION BY") == 3
+        assert "PARTITION BY state, city" in sql
+        assert sql.startswith("SELECT DISTINCT")
+
+    def test_global_totals_use_empty_over(self, sales_db):
+        sql = generate_olap_percentage_query(
+            "SELECT state, Vpct(salesamt) FROM sales GROUP BY state")
+        assert "OVER ()" in sql
+
+    def test_division_guarded(self):
+        sql = generate_olap_percentage_query(QUERY)
+        assert "CASE WHEN" in sql and "<> 0" in sql
+
+    def test_horizontal_rejected(self):
+        with pytest.raises(PercentageQueryError):
+            generate_olap_percentage_query(
+                "SELECT store, Hpct(m BY d) FROM t GROUP BY store")
+
+    def test_plain_query_rejected(self):
+        with pytest.raises(PercentageQueryError):
+            generate_olap_percentage_query(
+                "SELECT a, sum(m) FROM t GROUP BY a")
+
+
+class TestEquivalence:
+    def test_same_answer_set_as_vpct(self, sales_db):
+        """The paper's ground rule: 'each query with the same
+        parameters produces the same answer set'."""
+        vpct = run_percentage_query(sales_db, QUERY)
+        olap = run_olap_percentage_query(sales_db, QUERY)
+        assert vpct.to_rows() == olap.to_rows()
+
+    def test_global_total_equivalence(self, sales_db):
+        query = ("SELECT state, Vpct(salesamt) FROM sales "
+                 "GROUP BY state")
+        vpct = run_percentage_query(sales_db, query)
+        olap = run_olap_percentage_query(sales_db, query)
+        assert vpct.to_rows() == olap.to_rows()
+
+    def test_with_plain_aggregate_term(self, sales_db):
+        query = ("SELECT state, city, Vpct(salesamt BY city), "
+                 "sum(salesamt) FROM sales GROUP BY state, city")
+        vpct = run_percentage_query(sales_db, query)
+        olap = run_olap_percentage_query(sales_db, query)
+        assert vpct.to_rows() == olap.to_rows()
+
+
+class TestCostStructure:
+    def test_olap_charges_window_materialization(self, sales_db):
+        before = sales_db.stats.snapshot()
+        run_olap_percentage_query(sales_db, QUERY)
+        olap_cost = sales_db.stats.diff_since(before)
+
+        before = sales_db.stats.snapshot()
+        run_percentage_query(sales_db, QUERY)
+        vpct_cost = sales_db.stats.diff_since(before)
+
+        # The windowed form spools the detail table per window; the
+        # generated strategy reads F once and works on aggregates.
+        assert olap_cost.rows_written > vpct_cost.rows_written

@@ -1,0 +1,138 @@
+"""Property-based tests: the engine against a plain-Python oracle for
+grouping, aggregation and joins on random data."""
+
+import math
+from collections import defaultdict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database
+
+MEASURES = st.one_of(st.none(), st.integers(min_value=-100,
+                                            max_value=100))
+KEYS = st.integers(min_value=0, max_value=4)
+
+ROWS = st.lists(st.tuples(KEYS, KEYS, MEASURES), min_size=0,
+                max_size=40)
+
+
+def load(rows):
+    db = Database()
+    db.execute("CREATE TABLE t (g INT, h INT, m INT)")
+    if rows:
+        values = ", ".join(
+            f"({g}, {h}, {'NULL' if m is None else m})"
+            for g, h, m in rows)
+        db.execute(f"INSERT INTO t VALUES {values}")
+    return db
+
+
+@given(ROWS)
+@settings(max_examples=80, deadline=None)
+def test_group_by_sum_count_matches_oracle(rows):
+    db = load(rows)
+    actual = {r[0]: (r[1], r[2], r[3]) for r in db.query(
+        "SELECT g, sum(m), count(m), count(*) FROM t GROUP BY g")}
+
+    expected = defaultdict(lambda: [None, 0, 0])
+    for g, _, m in rows:
+        bucket = expected[g]
+        bucket[2] += 1
+        if m is not None:
+            bucket[0] = (bucket[0] or 0) + m
+            bucket[1] += 1
+    assert set(actual) == set(expected)
+    for g, (total, non_null, count) in expected.items():
+        assert actual[g] == (total, non_null, count)
+
+
+@given(ROWS)
+@settings(max_examples=80, deadline=None)
+def test_min_max_avg_match_oracle(rows):
+    db = load(rows)
+    actual = {r[0]: r[1:] for r in db.query(
+        "SELECT g, min(m), max(m), avg(m) FROM t GROUP BY g")}
+    buckets = defaultdict(list)
+    for g, _, m in rows:
+        buckets[g]  # ensure the group exists even if all-NULL
+        if m is not None:
+            buckets[g].append(m)
+    for g, values in buckets.items():
+        low, high, mean = actual[g]
+        if values:
+            assert low == min(values)
+            assert high == max(values)
+            assert math.isclose(mean, sum(values) / len(values))
+        else:
+            assert low is None and high is None and mean is None
+
+
+@given(ROWS)
+@settings(max_examples=60, deadline=None)
+def test_where_filter_matches_oracle(rows):
+    db = load(rows)
+    actual = db.query("SELECT count(*) FROM t WHERE m > 10")[0][0]
+    expected = sum(1 for _, _, m in rows if m is not None and m > 10)
+    assert actual == expected
+
+
+@given(ROWS)
+@settings(max_examples=60, deadline=None)
+def test_distinct_matches_oracle(rows):
+    db = load(rows)
+    actual = db.query("SELECT DISTINCT g, h FROM t")
+    assert sorted(actual) == sorted({(g, h) for g, h, _ in rows})
+
+
+@given(ROWS, ROWS)
+@settings(max_examples=60, deadline=None)
+def test_inner_join_matches_oracle(left_rows, right_rows):
+    db = Database()
+    db.execute("CREATE TABLE l (g INT, h INT, m INT)")
+    db.execute("CREATE TABLE r (g INT, h INT, m INT)")
+    for name, rows in (("l", left_rows), ("r", right_rows)):
+        if rows:
+            values = ", ".join(
+                f"({g}, {h}, {'NULL' if m is None else m})"
+                for g, h, m in rows)
+            db.execute(f"INSERT INTO {name} VALUES {values}")
+    def none_safe(row):
+        return tuple((value is None, value) for value in row)
+
+    actual = sorted(db.query(
+        "SELECT l.g, l.m, r.m FROM l, r WHERE l.g = r.g"),
+        key=none_safe)
+    expected = sorted(
+        ((lg, lm, rm)
+         for lg, _, lm in left_rows
+         for rg, _, rm in right_rows if lg == rg), key=none_safe)
+    assert actual == expected
+
+
+@given(ROWS)
+@settings(max_examples=40, deadline=None)
+def test_window_sum_equals_group_sum_broadcast(rows):
+    db = load(rows)
+    windowed = db.query(
+        "SELECT g, sum(m) OVER (PARTITION BY g) FROM t")
+    grouped = dict(db.query("SELECT g, sum(m) FROM t GROUP BY g"))
+    for g, total in windowed:
+        assert total == grouped[g]
+
+
+@given(ROWS)
+@settings(max_examples=40, deadline=None)
+def test_case_pivot_equals_filtered_sums(rows):
+    db = load(rows)
+    pivot = db.query(
+        "SELECT g, sum(CASE WHEN h = 0 THEN m ELSE null END), "
+        "sum(CASE WHEN h = 1 THEN m ELSE null END) FROM t GROUP BY g")
+    for g, h0, h1 in pivot:
+        for h, value in ((0, h0), (1, h1)):
+            direct = db.query(
+                f"SELECT sum(m) FROM t WHERE g = {g} AND h = {h}")
+            expected = direct[0][0] if db.query(
+                f"SELECT count(*) FROM t WHERE g = {g} AND h = {h}"
+            )[0][0] else None
+            assert value == expected

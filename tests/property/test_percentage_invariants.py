@@ -1,0 +1,144 @@
+"""Property-based invariants of percentage aggregations on random fact
+tables:
+
+* the Vpct values of one totals-group sum to 1 (when the group total
+  is positive and no NULL percentages occur);
+* Hpct rows sum to 1 under the same conditions;
+* every evaluation strategy agrees with every other;
+* the OLAP-extensions baseline returns the same answer set.
+"""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro import Database
+from repro.core import (HorizontalAggStrategy, HorizontalStrategy,
+                        VerticalStrategy, run_percentage_query)
+from repro.olap import run_olap_percentage_query
+
+#: Strictly positive measures keep group totals nonzero, which makes
+#: the sums-to-one invariants unconditional.
+POSITIVE_ROWS = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 3),
+              st.integers(1, 50)),
+    min_size=1, max_size=30)
+
+MIXED_ROWS = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 3),
+              st.one_of(st.none(), st.integers(-20, 20))),
+    min_size=1, max_size=30)
+
+
+def load(rows):
+    db = Database()
+    db.execute("CREATE TABLE f (g INT, d INT, m REAL)")
+    values = ", ".join(f"({g}, {d}, {'NULL' if m is None else m})"
+                       for g, d, m in rows)
+    db.execute(f"INSERT INTO f VALUES {values}")
+    return db
+
+
+VQUERY = "SELECT g, d, Vpct(m BY d) FROM f GROUP BY g, d"
+HQUERY = "SELECT g, Hpct(m BY d) FROM f GROUP BY g"
+
+
+@given(POSITIVE_ROWS)
+@settings(max_examples=50, deadline=None)
+def test_vpct_groups_sum_to_one(rows):
+    db = load(rows)
+    result = run_percentage_query(db, VQUERY)
+    sums = {}
+    for g, _, pct in result.to_rows():
+        sums[g] = sums.get(g, 0.0) + pct
+    for total in sums.values():
+        assert math.isclose(total, 1.0)
+
+
+@given(POSITIVE_ROWS)
+@settings(max_examples=50, deadline=None)
+def test_hpct_rows_sum_to_one(rows):
+    db = load(rows)
+    result = run_percentage_query(db, HQUERY)
+    names = result.column_names()
+    for row in result.to_rows():
+        total = sum(v for k, v in zip(names, row) if k != "g")
+        assert math.isclose(total, 1.0)
+
+
+@given(MIXED_ROWS)
+@settings(max_examples=40, deadline=None)
+def test_vertical_strategies_agree(rows):
+    db = load(rows)
+    baseline = run_percentage_query(db, VQUERY,
+                                    VerticalStrategy()).to_rows()
+    for strategy in (VerticalStrategy(fj_from_fk=False),
+                     VerticalStrategy(use_update=True),
+                     VerticalStrategy(single_statement=True)):
+        other = run_percentage_query(db, VQUERY, strategy).to_rows()
+        assert other == pytest.approx(baseline, nan_ok=True)
+
+
+@given(MIXED_ROWS)
+@settings(max_examples=40, deadline=None)
+def test_horizontal_strategies_agree(rows):
+    db = load(rows)
+    sql = "SELECT g, sum(m BY d) FROM f GROUP BY g"
+    baseline = None
+    for strategy in (HorizontalStrategy(source="F"),
+                     HorizontalStrategy(source="FV"),
+                     HorizontalAggStrategy(source="F"),
+                     HorizontalAggStrategy(source="FV")):
+        result = run_percentage_query(db, sql, strategy)
+        rows_out = result.to_rows()
+        if baseline is None:
+            baseline = rows_out
+        else:
+            assert len(rows_out) == len(baseline)
+            for a, b in zip(rows_out, baseline):
+                assert a == pytest.approx(b, nan_ok=True)
+
+
+@given(MIXED_ROWS)
+@settings(max_examples=40, deadline=None)
+def test_olap_baseline_same_answer_set(rows):
+    db = load(rows)
+    vpct = run_percentage_query(db, VQUERY).to_rows()
+    olap = run_olap_percentage_query(db, VQUERY).to_rows()
+    assert len(vpct) == len(olap)
+    for a, b in zip(vpct, olap):
+        assert a == pytest.approx(b, nan_ok=True)
+
+
+@given(POSITIVE_ROWS)
+@settings(max_examples=40, deadline=None)
+def test_hpct_transposes_vpct(rows):
+    db = load(rows)
+    vertical = run_percentage_query(db, VQUERY)
+    horizontal = run_percentage_query(db, HQUERY)
+    names = horizontal.column_names()
+    cells = {}
+    for row in horizontal.to_rows():
+        record = dict(zip(names, row))
+        for name in names:
+            if name != "g":
+                cells[(record["g"], name)] = record[name]
+    for g, d, pct in vertical.to_rows():
+        assert math.isclose(cells[(g, f"c{d}")], pct,
+                            rel_tol=1e-9, abs_tol=1e-12)
+
+
+@given(MIXED_ROWS)
+@settings(max_examples=30, deadline=None)
+def test_missing_rows_post_makes_groups_uniform(rows):
+    assume(any(m is not None for _, _, m in rows))
+    db = load(rows)
+    result = run_percentage_query(
+        db, VQUERY, VerticalStrategy(missing_rows="post"))
+    distinct_days = db.query("SELECT count(DISTINCT d) FROM f")[0][0]
+    counts = {}
+    for g, *_ in result.to_rows():
+        counts[g] = counts.get(g, 0) + 1
+    assert set(counts.values()) == {distinct_days}

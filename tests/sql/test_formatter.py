@@ -1,0 +1,91 @@
+"""Unit tests for the SQL formatter, including parse/format round
+trips on the statement shapes the code generator emits."""
+
+import pytest
+
+from repro.sql import ast
+from repro.sql.formatter import (format_expr, format_script,
+                                 format_statement, quote_ident)
+from repro.sql.parser import parse_expression, parse_statement
+
+
+ROUNDTRIP_STATEMENTS = [
+    "SELECT a, b FROM t",
+    "SELECT DISTINCT a FROM t WHERE a > 1 ORDER BY a DESC LIMIT 3",
+    "SELECT state, city, sum(salesAmt) FROM sales "
+    "GROUP BY state, city",
+    "SELECT a, CASE WHEN b <> 0 THEN a / b ELSE NULL END FROM t",
+    "SELECT f.a FROM f, g WHERE f.k = g.k AND f.a > 0",
+    "SELECT a FROM f LEFT OUTER JOIN g ON f.k = g.k",
+    "SELECT q.a FROM (SELECT a FROM t) q",
+    "INSERT INTO t VALUES (1, 'x''y', NULL, TRUE)",
+    "INSERT INTO t (a, b) SELECT a, sum(b) FROM u GROUP BY a",
+    "CREATE TABLE t (a INT, b REAL, PRIMARY KEY (a))",
+    "CREATE TABLE t AS SELECT a FROM u",
+    "DROP TABLE IF EXISTS t",
+    "CREATE INDEX ix ON t (a, b)",
+    "UPDATE fk SET a = fk.a / fj.t FROM fj WHERE fk.d = fj.d",
+    "DELETE FROM t WHERE a IS NULL",
+    "SELECT sum(a) OVER (PARTITION BY b) FROM t",
+    "SELECT a, Vpct(m BY c) FROM t GROUP BY a, c",
+    "SELECT sum(m BY c DEFAULT 0) FROM t",
+    "CREATE VIEW v AS SELECT a, sum(b) FROM t GROUP BY a",
+    "DROP VIEW IF EXISTS v",
+    "EXPLAIN SELECT a FROM t WHERE a > 1",
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("sql", ROUNDTRIP_STATEMENTS)
+    def test_parse_format_parse_is_stable(self, sql):
+        first = parse_statement(sql)
+        rendered = format_statement(first)
+        second = parse_statement(rendered)
+        assert format_statement(second) == rendered
+
+
+class TestExpressions:
+    def test_parenthesization_preserves_structure(self):
+        expr = parse_expression("(1 + 2) * 3")
+        rendered = format_expr(expr)
+        assert parse_expression(rendered) == expr
+
+    def test_string_escaping(self):
+        assert format_expr(ast.Literal("o'clock")) == "'o''clock'"
+
+    def test_null_and_bool(self):
+        assert format_expr(ast.Literal(None)) == "NULL"
+        assert format_expr(ast.Literal(True)) == "TRUE"
+
+    def test_float_repr(self):
+        rendered = format_expr(ast.Literal(0.1))
+        assert parse_expression(rendered) == ast.Literal(0.1)
+
+
+class TestQuoteIdent:
+    def test_plain_names_unquoted(self):
+        assert quote_ident("salesAmt") == "salesAmt"
+        assert quote_ident("_tmp1") == "_tmp1"
+
+    def test_reserved_words_quoted(self):
+        assert quote_ident("select") == '"select"'
+
+    def test_spaces_and_specials_quoted(self):
+        assert quote_ident("a b") == '"a b"'
+        assert quote_ident('a"b') == '"a""b"'
+
+    def test_leading_digit_quoted(self):
+        assert quote_ident("1abc") == '"1abc"'
+
+    def test_quoted_name_roundtrips(self):
+        stmt = parse_statement(f"SELECT {quote_ident('a b')} FROM t")
+        assert stmt.items[0].expr == ast.ColumnRef("a b")
+
+
+class TestScript:
+    def test_script_joins_with_semicolons(self):
+        script = format_script([
+            parse_statement("SELECT 1"),
+            parse_statement("SELECT 2"),
+        ])
+        assert script.count(";") == 2

@@ -1,0 +1,75 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sql.tokens import TokenType, tokenize
+
+
+def kinds(text):
+    return [(t.type, t.value) for t in tokenize(text)
+            if t.type != TokenType.END]
+
+
+class TestBasics:
+    def test_idents_and_symbols(self):
+        assert kinds("SELECT a, b FROM t") == [
+            (TokenType.IDENT, "SELECT"), (TokenType.IDENT, "a"),
+            (TokenType.SYMBOL, ","), (TokenType.IDENT, "b"),
+            (TokenType.IDENT, "FROM"), (TokenType.IDENT, "t")]
+
+    def test_numbers(self):
+        assert kinds("1 2.5 1e3 2.5e-1") == [
+            (TokenType.NUMBER, 1), (TokenType.NUMBER, 2.5),
+            (TokenType.NUMBER, 1000.0), (TokenType.NUMBER, 0.25)]
+
+    def test_number_then_dot_ident(self):
+        # "1.e" must not swallow the dot into the number.
+        tokens = kinds("SELECT 1, t.c")
+        assert (TokenType.NUMBER, 1) in tokens
+        assert (TokenType.SYMBOL, ".") in tokens
+
+    def test_multichar_symbols(self):
+        assert [v for _, v in kinds("a <> b <= c >= d != e")] == \
+            ["a", "<>", "b", "<=", "c", ">=", "d", "!=", "e"]
+
+    def test_strings_with_escapes(self):
+        assert kinds("'it''s'") == [(TokenType.STRING, "it's")]
+
+    def test_quoted_identifiers(self):
+        assert kinds('"weird name" "a""b"') == [
+            (TokenType.IDENT, "weird name"), (TokenType.IDENT, 'a"b')]
+
+    def test_positions(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a -- comment\n b") == [
+            (TokenType.IDENT, "a"), (TokenType.IDENT, "b")]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [
+            (TokenType.IDENT, "a"), (TokenType.IDENT, "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("a /* never closed")
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("'open")
+
+    def test_newline_in_string(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("'a\nb'")
+
+    def test_unexpected_character(self):
+        with pytest.raises(SQLSyntaxError) as err:
+            tokenize("a ~ b")
+        assert err.value.line == 1
