@@ -7,13 +7,16 @@
   without the recommended index on the common subkey.
 * ``scaling``: direct versus indirect CASE as n grows (DMKD
   Section 4.2's scalability discussion).
+* ``encoding_cache``: warm repeats of a Vpct plan with the
+  table-versioned dictionary-encoding cache on versus off.
 """
 
 import pytest
 
-from benchmarks.conftest import TL_N, run_once
+from benchmarks.conftest import EMPLOYEE_N, SALES_N, TL_N, run_once
 from repro import Database
 from repro.bench.harness import run_hagg_experiment, run_vpct_experiment
+from repro.datagen import load_employee, load_sales
 from repro.bench.workloads import (DMKD_TRANSACTION_QUERIES,
                                    SIGMOD_QUERIES, QuerySpec)
 from repro.core import HorizontalStrategy, VerticalStrategy
@@ -68,6 +71,38 @@ class TestJoinIndex:
             VerticalStrategy(create_indexes=False),
             name="without-index"))
         assert result.result_rows > 0
+
+
+class TestEncodingCache:
+    """Warm Vpct/Hpct runs with the encoding cache on vs the
+    ``--no-encoding-cache`` ablation (same plans, same logical I/O;
+    only the np.unique passes differ)."""
+
+    SPEC = SIGMOD_QUERIES[6]  # sales dept | dweek,monthNo
+
+    def _bench(self, benchmark, use_cache: bool):
+        db = Database(use_encoding_cache=use_cache)
+        load_employee(db, EMPLOYEE_N)
+        load_sales(db, SALES_N)
+        # Prime: the measured runs are warm repeats either way, so the
+        # cells isolate the cache's steady-state effect.
+        run_vpct_experiment(db, self.SPEC, VerticalStrategy())
+        result = run_once(benchmark, lambda: run_vpct_experiment(
+            db, self.SPEC, VerticalStrategy(),
+            name="cache-on" if use_cache else "cache-off"))
+        assert result.result_rows > 0
+        benchmark.extra_info["encode_cache_hits"] = \
+            result.encode_cache_hits
+        benchmark.extra_info["logical_io"] = result.logical_io
+        return result
+
+    def test_cache_on(self, benchmark):
+        result = self._bench(benchmark, True)
+        assert result.encode_cache_hits > 0
+
+    def test_cache_off(self, benchmark):
+        result = self._bench(benchmark, False)
+        assert result.encode_cache_hits == 0
 
 
 class TestScaling:

@@ -136,23 +136,28 @@ def main(argv: list[str]) -> int:
                         help="sales size for the 10,000-column row "
                              "unless --full")
     parser.add_argument("--full", action="store_true")
+    parser.add_argument("--no-encoding-cache", action="store_true",
+                        help="ablation: recompute dictionary encodings "
+                             "at every plan step (results and logical "
+                             "I/O are unchanged; wall time grows)")
     args = parser.parse_args(argv)
+    use_cache = not args.no_encoding_cache
 
     started = time.perf_counter()
     print(f"Loading data (employee={args.employee:,}, "
           f"sales={args.sales:,}, tl={args.tl:,}/"
           f"{2 * args.tl:,}, census={args.census:,}) ...")
-    sigmod = Database()
+    sigmod = Database(use_encoding_cache=use_cache)
     load_employee(sigmod, args.employee)
     load_sales(sigmod, args.sales)
     reduced = None
     if not args.full:
-        reduced = Database()
+        reduced = Database(use_encoding_cache=use_cache)
         load_sales(reduced, args.reduced_sales)
-    dmkd = Database()
+    dmkd = Database(use_encoding_cache=use_cache)
     load_census(dmkd, args.census)
     load_transaction_line(dmkd, args.tl)
-    doubled = Database()
+    doubled = Database(use_encoding_cache=use_cache)
     load_transaction_line(doubled, 2 * args.tl)
 
     sections = []

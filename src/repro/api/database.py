@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.engine.catalog import Catalog
 from repro.engine.column import ColumnData
+from repro.engine.encoding_cache import DEFAULT_ENCODING_CACHE_BYTES
 from repro.engine.executor import Executor, ExecutorOptions
 from repro.engine.schema import (DEFAULT_MAX_COLUMNS,
                                  DEFAULT_MAX_NAME_LENGTH, TableSchema)
@@ -36,6 +37,10 @@ class Database:
         case_dispatch: ``"linear"`` (faithful DBMS behavior) or
             ``"hash"`` (the paper's proposed O(1) CASE dispatch).
         use_indexes: let joins reuse covering hash indexes.
+        use_encoding_cache: serve base-table dictionary encodings from
+            the table-versioned cache (wall-clock only; results and
+            logical I/O are identical with it off).
+        encoding_cache_bytes: LRU byte budget for that cache.
         keep_history: record per-statement stats in
             ``db.stats.history``.
     """
@@ -44,14 +49,19 @@ class Database:
                  max_name_length: int = DEFAULT_MAX_NAME_LENGTH,
                  case_dispatch: str = "linear",
                  use_indexes: bool = True,
+                 use_encoding_cache: bool = True,
+                 encoding_cache_bytes: int = DEFAULT_ENCODING_CACHE_BYTES,
                  keep_history: bool = False):
         if case_dispatch not in ("linear", "hash"):
             raise ValueError("case_dispatch must be 'linear' or 'hash'")
         self.catalog = Catalog(max_columns=max_columns,
-                               max_name_length=max_name_length)
+                               max_name_length=max_name_length,
+                               encoding_cache_bytes=encoding_cache_bytes)
         self.stats = StatsCollector(keep_history=keep_history)
-        self.options = ExecutorOptions(case_dispatch=case_dispatch,
-                                       use_indexes=use_indexes)
+        self.options = ExecutorOptions(
+            case_dispatch=case_dispatch,
+            use_indexes=use_indexes,
+            use_encoding_cache=use_encoding_cache)
         self.executor = Executor(self.catalog, self.stats, self.options)
         # Statement-level serialization: concurrent sessions (the
         # paper's closing scenario, "users concurrently submit
@@ -167,6 +177,14 @@ class Database:
 
     def set_use_indexes(self, enabled: bool) -> None:
         self.options.use_indexes = bool(enabled)
+
+    def set_use_encoding_cache(self, enabled: bool) -> None:
+        self.options.use_encoding_cache = bool(enabled)
+
+    def encoding_cache_info(self) -> dict[str, Any]:
+        """Occupancy and traffic counters of the dictionary-encoding
+        cache (hits/misses/evictions, bytes, hit rate)."""
+        return self.catalog.encoding_cache.info()
 
 
 def _lookup_ci_dict(mapping: dict, name: str):

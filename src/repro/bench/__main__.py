@@ -1,0 +1,6 @@
+"""``python -m repro.bench``: the encoding-cache benchmark CLI."""
+
+from repro.bench.harness import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

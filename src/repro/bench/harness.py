@@ -4,10 +4,18 @@ record wall time plus the engine's logical cost counters.
 Timing covers plan generation *and* execution, matching how the paper
 measured its Java generator end to end (generation includes the
 discovery feedback queries for horizontal strategies).
+
+Running this module directly benchmarks the dictionary-encoding cache
+over the SIGMOD Table 4/5 workloads and writes a machine-readable
+report (cold vs warm timings, hit rates, logical-I/O identity):
+
+    PYTHONPATH=src python -m repro.bench \
+        --out BENCH_encoding_cache.json
 """
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass
 from typing import Optional, Union
@@ -36,6 +44,8 @@ class ExperimentResult:
     statements: int
     result_rows: int
     result_columns: int
+    encode_cache_hits: int = 0
+    encode_cache_misses: int = 0
 
     def row(self) -> tuple:
         return (self.label, self.strategy, round(self.seconds, 4),
@@ -56,7 +66,9 @@ def _measure(db: Database, label: str, strategy_name: str,
         case_evaluations=diff.case_evaluations,
         statements=db.stats.statements - statements_before,
         result_rows=result.n_rows,
-        result_columns=result.schema.width())
+        result_columns=result.schema.width(),
+        encode_cache_hits=diff.encode_cache_hits,
+        encode_cache_misses=diff.encode_cache_misses)
 
 
 def run_vpct_experiment(db: Database, spec: QuerySpec,
@@ -112,3 +124,136 @@ def run_olap_experiment(db: Database, spec: QuerySpec,
         return db.execute(sql)
 
     return _measure(db, spec.label, name, run)
+
+
+# ----------------------------------------------------------------------
+# Encoding-cache benchmark (cold vs warm over Tables 4/5 workloads)
+# ----------------------------------------------------------------------
+def run_encoding_cache_benchmark(employee_n: int = 100_000,
+                                 sales_n: int = 300_000,
+                                 warm_repeats: int = 3,
+                                 include_widest: bool = False) -> dict:
+    """Cold-vs-warm sweep of the dictionary-encoding cache.
+
+    For every SIGMOD Table 4 (Vpct) and Table 5 (Hpct) query the cache
+    is cleared, the query runs once cold, then ``warm_repeats`` more
+    times warm (fact-table encodings served from the cache), and once
+    with the cache disabled to check the logical-I/O cost model is
+    bit-identical either way.  The widest Hpct row (``dept,store``,
+    10,000 result columns) is skipped by default and recorded under
+    ``"skipped"`` -- pass ``include_widest=True`` to run it.
+    """
+    from repro.datagen import load_employee, load_sales
+
+    db = Database()
+    load_employee(db, employee_n)
+    load_sales(db, sales_n)
+    cache = db.catalog.encoding_cache
+
+    from repro.bench.workloads import SIGMOD_QUERIES
+
+    queries: list[tuple[str, str, str, Strategy]] = []
+    skipped: list[str] = []
+    for spec in SIGMOD_QUERIES:
+        queries.append((spec.label, "vpct", spec.vpct_sql(),
+                        VerticalStrategy()))
+        if "dept,store" in spec.label and not include_widest:
+            skipped.append(f"{spec.label} (hpct)")
+            continue
+        queries.append((spec.label, "hpct", spec.hpct_sql(),
+                        HorizontalStrategy(source="FV")))
+
+    def run_once(sql: str, strategy: Strategy) -> tuple[float, int]:
+        before = db.stats.snapshot()
+        started = time.perf_counter()
+        plan = generate_plan(db, sql, strategy)
+        execute_plan(db, plan)
+        elapsed = time.perf_counter() - started
+        return elapsed, db.stats.diff_since(before).logical_io()
+
+    entries = []
+    for label, form, sql, strategy in queries:
+        db.set_use_encoding_cache(True)
+        cache.clear()
+        cache.reset_counters()
+        cold_seconds, cold_io = run_once(sql, strategy)
+        warm_runs = []
+        for _ in range(warm_repeats):
+            seconds, warm_io = run_once(sql, strategy)
+            warm_runs.append(seconds)
+            assert warm_io == cold_io
+        warm_seconds = min(warm_runs)
+        info = cache.info()
+
+        db.set_use_encoding_cache(False)
+        off_seconds, off_io = run_once(sql, strategy)
+        db.set_use_encoding_cache(True)
+
+        entries.append({
+            "label": label,
+            "form": form,
+            "cold_seconds": round(cold_seconds, 6),
+            "warm_seconds": round(warm_seconds, 6),
+            "warm_runs": [round(s, 6) for s in warm_runs],
+            "cache_off_seconds": round(off_seconds, 6),
+            "speedup_warm_over_cold": round(
+                cold_seconds / warm_seconds, 4) if warm_seconds else None,
+            "hits": info["hits"],
+            "misses": info["misses"],
+            "hit_rate": round(info["hit_rate"], 4),
+            "logical_io": cold_io,
+            "logical_io_identical_cache_off": off_io == cold_io,
+        })
+
+    total_cold = sum(e["cold_seconds"] for e in entries)
+    total_warm = sum(e["warm_seconds"] for e in entries)
+    return {
+        "workload": "SIGMOD Tables 4+5 (vpct + hpct per query spec)",
+        "scales": {"employee_n": employee_n, "sales_n": sales_n},
+        "warm_repeats": warm_repeats,
+        "skipped": skipped,
+        "queries": entries,
+        "summary": {
+            "total_cold_seconds": round(total_cold, 6),
+            "total_warm_seconds": round(total_warm, 6),
+            "speedup_warm_over_cold": round(total_cold / total_warm, 4)
+            if total_warm else None,
+            "all_logical_io_identical": all(
+                e["logical_io_identical_cache_off"] for e in entries),
+            "cache": cache.info(),
+        },
+    }
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Benchmark the dictionary-encoding cache and write "
+                    "a machine-readable JSON report.")
+    parser.add_argument("--out", default="BENCH_encoding_cache.json")
+    parser.add_argument("--employee", type=int, default=100_000)
+    parser.add_argument("--sales", type=int, default=300_000)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--full", action="store_true",
+                        help="include the 10,000-column Hpct row")
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be at least 1")
+
+    report = run_encoding_cache_benchmark(
+        employee_n=args.employee, sales_n=args.sales,
+        warm_repeats=args.repeats, include_widest=args.full)
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    summary = report["summary"]
+    print(f"wrote {args.out}: "
+          f"{summary['speedup_warm_over_cold']}x warm-over-cold, "
+          f"logical I/O identical="
+          f"{summary['all_logical_io_identical']}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,7 @@ would not actually reduce the data.
 from __future__ import annotations
 
 import itertools
+import weakref
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -33,6 +34,14 @@ from repro.sql.formatter import format_expr, quote_ident
 
 _counter = itertools.count(1)
 
+#: Per-database registry of kept summaries: signature -> summary table
+#: name.  The signature embeds the fact table's *version* (see
+#: :mod:`repro.engine.table`), so any DML on the fact table silently
+#: invalidates its summaries -- the same mechanism that keys the
+#: dictionary-encoding cache.
+_kept_summaries: "weakref.WeakKeyDictionary[Database, dict]" = \
+    weakref.WeakKeyDictionary()
+
 
 @dataclass
 class BatchReport:
@@ -41,6 +50,7 @@ class BatchReport:
     results: list[Table]
     shared_groups: int = 0          # query groups that shared a summary
     fallback_queries: int = 0       # queries evaluated individually
+    reused_summaries: int = 0       # kept summaries served from registry
     summary_rows: dict[str, int] = field(default_factory=dict)
 
 
@@ -66,10 +76,13 @@ def run_percentage_batch(db: Database, queries: list[str],
         if len(positions) < 2:
             continue
         summary = _SharedSummary.build(db, [parsed[p] for p in
-                                            positions])
+                                            positions],
+                                       allow_reuse=keep_summaries)
         if summary is None:
             continue
         report.shared_groups += 1
+        if summary.reused:
+            report.reused_summaries += 1
         report.summary_rows[summary.table] = summary.n_rows
         try:
             for position in positions:
@@ -80,6 +93,9 @@ def run_percentage_batch(db: Database, queries: list[str],
         finally:
             if not keep_summaries:
                 db.drop_table(summary.table, if_exists=True)
+            elif summary.signature is not None:
+                _kept_summaries.setdefault(db, {})[summary.signature] = \
+                    summary.table
 
     for position, query in enumerate(parsed):
         if position not in shared_positions:
@@ -115,15 +131,19 @@ class _SharedSummary:
     """The shared summary table plus the term-rewriting rules."""
 
     def __init__(self, table: str, n_rows: int,
-                 bases: dict[tuple, _Base]):
+                 bases: dict[tuple, _Base],
+                 signature: Optional[tuple] = None,
+                 reused: bool = False):
         self.table = table
         self.n_rows = n_rows
+        self.signature = signature
+        self.reused = reused
         self._bases = bases
 
     # ------------------------------------------------------------------
     @classmethod
-    def build(cls, db: Database,
-              queries: list[PercentageQuery]) -> Optional["_SharedSummary"]:
+    def build(cls, db: Database, queries: list[PercentageQuery],
+              allow_reuse: bool = False) -> Optional["_SharedSummary"]:
         union: list[str] = []
         for query in queries:
             for column in query.group_by:
@@ -143,6 +163,24 @@ class _SharedSummary:
                 if key not in bases:
                     bases[key] = _make_base(term, len(bases))
 
+        first = queries[0]
+        signature = None
+        if db.has_table(first.table):
+            # The fact table's version uniquely identifies its contents
+            # (versions are never reused), so a kept summary built at
+            # this version is valid exactly until the next DML.
+            signature = (first.table.lower(),
+                         db.table(first.table).version,
+                         tuple(union), tuple(sorted(bases)),
+                         format_expr(first.where)
+                         if first.where is not None else "")
+        if allow_reuse and signature is not None:
+            registry = _kept_summaries.get(db, {})
+            kept = registry.get(signature)
+            if kept is not None and db.has_table(kept):
+                return cls(kept, db.table(kept).n_rows, bases,
+                           signature, reused=True)
+
         table = f"_shared{next(_counter)}"
         selects = [common.column_list(union)]
         for base in bases.values():
@@ -151,7 +189,6 @@ class _SharedSummary:
             else:
                 arg = format_expr(base.argument)
                 selects.append(f"{base.func}({arg}) AS {base.column}")
-        first = queries[0]
         sql = (f"CREATE TABLE {table} AS SELECT "
                + ", ".join(selects)
                + f" FROM {first.table}"
@@ -159,7 +196,7 @@ class _SharedSummary:
                + f" GROUP BY {common.column_list(union)}")
         db.execute(sql)
         n_rows = db.table(table).n_rows
-        return cls(table, n_rows, bases)
+        return cls(table, n_rows, bases, signature)
 
     # ------------------------------------------------------------------
     def rewrite(self, query: PercentageQuery) -> PercentageQuery:

@@ -14,9 +14,12 @@ definition, which "preserves the semantics of sum()"):
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.engine.column import ColumnData
+from repro.engine.encoding_cache import EncodingCache
 from repro.engine.groupby import encode_column
 from repro.engine.types import SQLType
 from repro.errors import PlanningError, TypeMismatchError
@@ -29,15 +32,17 @@ def count_star(group_ids: np.ndarray, n_groups: int) -> ColumnData:
 
 
 def compute_aggregate(func: str, arg: ColumnData, distinct: bool,
-                      group_ids: np.ndarray, n_groups: int) -> ColumnData:
+                      group_ids: np.ndarray, n_groups: int,
+                      cache: Optional[EncodingCache] = None) -> ColumnData:
     """Aggregate ``arg`` per group.
 
     ``func`` is one of sum/count/avg/min/max; ``count`` honors
-    ``distinct``.
+    ``distinct`` (and can reuse a cached dictionary encoding of a
+    base-table argument via ``cache``).
     """
     if func == "count":
         if distinct:
-            return _count_distinct(arg, group_ids, n_groups)
+            return _count_distinct(arg, group_ids, n_groups, cache)
         return _count(arg, group_ids, n_groups)
     if distinct:
         raise PlanningError(f"DISTINCT is only supported with count(), "
@@ -63,8 +68,9 @@ def _count(arg: ColumnData, group_ids: np.ndarray,
 
 
 def _count_distinct(arg: ColumnData, group_ids: np.ndarray,
-                    n_groups: int) -> ColumnData:
-    encoded = encode_column(arg)
+                    n_groups: int,
+                    cache: Optional[EncodingCache] = None) -> ColumnData:
+    encoded = encode_column(arg, cache)
     valid = encoded.codes != 0
     if not valid.any():
         zeros = np.zeros(n_groups, dtype=np.int64)

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from repro.engine.encoding_cache import (DEFAULT_ENCODING_CACHE_BYTES,
+                                         EncodingCache)
 from repro.engine.index import HashIndex
 from repro.engine.schema import (DEFAULT_MAX_COLUMNS,
                                  DEFAULT_MAX_NAME_LENGTH, TableSchema)
@@ -19,12 +21,21 @@ from repro.errors import CatalogError
 
 
 class Catalog:
-    """Case-insensitive registry of tables and their indexes."""
+    """Case-insensitive registry of tables and their indexes.
+
+    The catalog also owns the dictionary-encoding cache: it is the one
+    component that sees every base-table lifecycle event, so it seals
+    cache tokens onto table columns on create/replace and invalidates
+    entries on replace/drop (every DML path funnels through
+    :meth:`replace_table`).
+    """
 
     def __init__(self, max_columns: int = DEFAULT_MAX_COLUMNS,
-                 max_name_length: int = DEFAULT_MAX_NAME_LENGTH):
+                 max_name_length: int = DEFAULT_MAX_NAME_LENGTH,
+                 encoding_cache_bytes: int = DEFAULT_ENCODING_CACHE_BYTES):
         self.max_columns = max_columns
         self.max_name_length = max_name_length
+        self.encoding_cache = EncodingCache(encoding_cache_bytes)
         self._tables: dict[str, Table] = {}
         self._indexes: dict[str, HashIndex] = {}
         self._views: dict[str, object] = {}  # name -> ast.Select
@@ -51,6 +62,9 @@ class Catalog:
         if key in self._views:
             raise CatalogError(f"{table.name!r} is a view")
         self.validate_schema(table.schema)
+        if replace and key in self._tables:
+            self.encoding_cache.invalidate_table(key)
+        table.seal_cache_tokens()
         self._tables[key] = table
 
     def has_table(self, name: str) -> bool:
@@ -64,13 +78,17 @@ class Catalog:
 
     def replace_table(self, table: Table) -> None:
         """Swap in new contents for an existing table and refresh its
-        indexes."""
+        indexes.  The replacement carries a fresh version, so its
+        cached encodings start cold; the old version's entries are
+        dropped eagerly."""
         key = table.name.lower()
         if key not in self._tables:
             raise CatalogError(f"no such table: {table.name!r}")
+        self.encoding_cache.invalidate_table(key)
+        table.seal_cache_tokens()
         self._tables[key] = table
         for index in self.indexes_on(table.name):
-            index.rebuild(table)
+            index.rebuild(table, cache=self.encoding_cache)
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
         key = name.lower()
@@ -79,6 +97,7 @@ class Catalog:
                 return
             raise CatalogError(f"no such table: {name!r}")
         del self._tables[key]
+        self.encoding_cache.invalidate_table(key)
         stale = [idx_name for idx_name, idx in self._indexes.items()
                  if idx.table_name.lower() == key]
         for idx_name in stale:
@@ -139,7 +158,7 @@ class Catalog:
                 raise CatalogError(
                     f"no column {col!r} in table {table_name!r}")
         index = HashIndex(name, table.name, column_names)
-        index.rebuild(table)
+        index.rebuild(table, cache=self.encoding_cache)
         self._indexes[key] = index
         return index
 

@@ -12,8 +12,8 @@ intermediate expression results and aggregate outputs are all
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Optional, Sequence
 
 import numpy as np
 
@@ -30,11 +30,16 @@ class ColumnData:
         values: dense numpy array of ``sql_type.numpy_dtype``; positions
             where ``nulls`` is True hold an arbitrary filler.
         nulls: boolean numpy array, True where the value is NULL.
+        cache_token: ``(table, version, column)`` provenance stamped by
+            the catalog when this column belongs to a base table; keys
+            the dictionary-encoding cache.  None for intermediates.
     """
 
     sql_type: SQLType
     values: np.ndarray
     nulls: np.ndarray
+    cache_token: Optional[tuple] = field(default=None, repr=False,
+                                         compare=False)
 
     def __post_init__(self) -> None:
         if len(self.values) != len(self.nulls):
@@ -124,8 +129,18 @@ class ColumnData:
         return value
 
     def to_pylist(self) -> list[Any]:
-        """Materialize as a list of Python values (None for NULL)."""
-        return [self[i] for i in range(len(self))]
+        """Materialize as a list of Python values (None for NULL).
+
+        Bulk path: ``ndarray.tolist()`` converts the whole vector to
+        native Python values at C speed, then NULL positions are
+        patched in from the validity mask.  This sits on the
+        result-materialization path of every cursor fetch.
+        """
+        values = self.values.tolist()
+        if self.nulls.any():
+            for i in np.flatnonzero(self.nulls):
+                values[i] = None
+        return values
 
     def iter_values(self) -> Iterator[Any]:
         for i in range(len(self)):
@@ -165,8 +180,10 @@ class ColumnData:
             f"cannot cast {self.sql_type} to {target}")
 
     def copy(self) -> "ColumnData":
+        # The copy has identical content, so it keeps the cache token
+        # (e.g. the window spool copies partition keys before encoding).
         return ColumnData(self.sql_type, self.values.copy(),
-                          self.nulls.copy())
+                          self.nulls.copy(), cache_token=self.cache_token)
 
     @staticmethod
     def concat(parts: Sequence["ColumnData"]) -> "ColumnData":

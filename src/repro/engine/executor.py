@@ -52,10 +52,17 @@ class ExecutorOptions:
         DMKD Section 3.5) -- the ablation benchmark toggles this.
     ``use_indexes``:
         when True, joins reuse a covering index's pre-built hash side.
+    ``use_encoding_cache``:
+        when True (default), base-table dictionary encodings are served
+        from the catalog's table-versioned cache instead of being
+        recomputed per plan step.  Disabling it (the
+        ``--no-encoding-cache`` ablation) changes wall-clock time only;
+        results and logical-I/O counters are identical either way.
     """
 
     case_dispatch: str = "linear"
     use_indexes: bool = True
+    use_encoding_cache: bool = True
 
 
 @dataclass
@@ -134,6 +141,15 @@ class Executor:
         self.catalog = catalog
         self.stats = stats
         self.options = options or ExecutorOptions()
+        self.catalog.encoding_cache.bind_stats(stats)
+
+    @property
+    def encoding_cache(self):
+        """The catalog's dictionary-encoding cache, or None when the
+        ablation toggle disables it."""
+        if not self.options.use_encoding_cache:
+            return None
+        return self.catalog.encoding_cache
 
     # ------------------------------------------------------------------
     # Entry point
@@ -200,7 +216,8 @@ class Executor:
 
         if select.distinct:
             columns = [result.column(c) for c in result.column_names()]
-            keep = distinct_indices(columns, result.n_rows)
+            keep = distinct_indices(columns, result.n_rows,
+                                    self.encoding_cache)
             result = result.take(keep)
         if select.order_by:
             result = self._apply_order(select, result, order_fallback)
@@ -324,7 +341,8 @@ class Executor:
                             len(probe_cols[0]) if probe_cols else 0
 
             probe_idx, build_idx, _ = join_indices(
-                probe_cols, build_cols, outer, prepared_right=prepared)
+                probe_cols, build_cols, outer, prepared_right=prepared,
+                cache=self.encoding_cache)
 
             if swap:
                 left_indices, right_indices = build_idx, probe_idx
@@ -404,7 +422,8 @@ class Executor:
                         f"window function {node.name}() needs an "
                         f"argument")
                 result = evaluate_window(node.name, arg, partition,
-                                         frame.n_rows, self.stats)
+                                         frame.n_rows, self.stats,
+                                         self.encoding_cache)
                 name = f"__win{counter[0]}"
                 counter[0] += 1
                 frame.add_column(name, result)
@@ -419,7 +438,8 @@ class Executor:
         group_exprs = self._resolve_group_by(select)
         key_columns = [evaluate(e, frame, self.stats)
                        for e in group_exprs]
-        grouping = factorize(key_columns, frame.n_rows)
+        grouping = factorize(key_columns, frame.n_rows,
+                             self.encoding_cache)
         firsts = _first_positions(grouping.group_ids, grouping.n_groups)
 
         group_frame = Frame(grouping.n_groups)
@@ -492,7 +512,8 @@ class Executor:
         handled: set[int] = set()
         if self.options.case_dispatch == "hash":
             handled = pivot_mod.compute_pivot_aggregates(
-                agg_specs, frame, grouping, group_frame, self.stats)
+                agg_specs, frame, grouping, group_frame, self.stats,
+                self.encoding_cache)
         for i, spec in enumerate(agg_specs):
             if i in handled:
                 continue
@@ -509,7 +530,8 @@ class Executor:
                 arg = evaluate(spec.args[0], frame, self.stats)
                 data = agg_mod.compute_aggregate(
                     spec.name, _concrete(arg), spec.distinct,
-                    grouping.group_ids, grouping.n_groups)
+                    grouping.group_ids, grouping.n_groups,
+                    self.encoding_cache)
             group_frame.add_column(f"__agg{i}", data)
 
     def _resolve_group_by(self, select: ast.Select) -> list[ast.Expr]:
@@ -557,7 +579,8 @@ class Executor:
                     if fallback is None:
                         raise
                     column = evaluate(expr, fallback, self.stats)
-            keys.append(encode_column(_concrete(column)).codes)
+            keys.append(encode_column(_concrete(column),
+                                      self.encoding_cache).codes)
             directions.append(item.ascending)
         sort_keys = []
         for codes, ascending in zip(keys, directions):
@@ -735,7 +758,8 @@ class Executor:
 
         probe_idx, build_idx, _ = join_indices(join_left, join_right,
                                                outer=True,
-                                               prepared_right=prepared)
+                                               prepared_right=prepared,
+                                               cache=self.encoding_cache)
         if len(probe_idx) != table.n_rows:
             raise ExecutionError(
                 "UPDATE ... FROM matched a target row against more "

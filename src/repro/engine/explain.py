@@ -38,8 +38,20 @@ def explain_statement(executor, statement: ast.Statement) -> Table:
         lines.append(f"delete from {statement.table.name}")
     else:
         lines.append(type(statement).__name__.lower())
+    lines.append(_cache_line(executor))
     data = ColumnData.from_values(SQLType.VARCHAR, lines)
     return Table.from_columns("explain", [("plan", data)])
+
+
+def _cache_line(executor) -> str:
+    """Encoding-cache occupancy/traffic, appended as the last plan row
+    (existing consumers assert on the leading rows)."""
+    if not executor.options.use_encoding_cache:
+        return "encoding cache: off"
+    info = executor.catalog.encoding_cache.info()
+    return (f"encoding cache: {info['entries']} entries, "
+            f"{info['bytes']} bytes, hits={info['hits']} "
+            f"misses={info['misses']} evictions={info['evictions']}")
 
 
 def _explain_select(executor, select: ast.Select, lines: list[str],

@@ -15,10 +15,12 @@ window partitions, hash joins -- goes through :func:`factorize`:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from repro.engine.column import ColumnData
+from repro.engine.encoding_cache import EncodingCache
 from repro.engine.types import SQLType
 
 
@@ -34,6 +36,9 @@ class EncodedColumn:
     codes: np.ndarray
     uniques: np.ndarray
     sql_type: SQLType
+
+    #: Instances are shared through the encoding cache; treat ``codes``
+    #: and ``uniques`` as immutable.
 
     @property
     def cardinality(self) -> int:
@@ -53,21 +58,47 @@ class EncodedColumn:
         return ColumnData(self.sql_type, values, nulls)
 
 
-def encode_column(col: ColumnData) -> EncodedColumn:
-    """Encode one column to dense integer codes (NULL -> 0)."""
+def encode_column(col: ColumnData,
+                  cache: Optional[EncodingCache] = None) -> EncodedColumn:
+    """Encode one column to dense integer codes (NULL -> 0).
+
+    ``uniques`` holds exactly the distinct **non-NULL** values: NULL
+    lanes are excluded before ``np.unique`` rather than substituted
+    with a filler, so a NULL-bearing VARCHAR column no longer grows a
+    spurious ``""`` dictionary entry (and numeric fillers no longer
+    inflate ``cardinality``).
+
+    When ``cache`` is given and the column carries a base-table
+    ``cache_token``, the encoding is served from / stored into the
+    dictionary-encoding cache.
+    """
+    token = col.cache_token
+    if cache is not None and token is not None:
+        cached = cache.get(token)
+        if cached is not None:
+            return cached
+    encoded = _encode_values(col)
+    if cache is not None and token is not None:
+        cache.put(token, encoded)
+    return encoded
+
+
+def _encode_values(col: ColumnData) -> EncodedColumn:
     n = len(col)
     if n == 0:
         return EncodedColumn(np.empty(0, dtype=np.int64),
                              np.empty(0, dtype=col.sql_type.numpy_dtype),
                              col.sql_type)
-    values = col.values
-    if col.sql_type == SQLType.VARCHAR:
-        # np.unique on object arrays sorts with Python comparisons; make
-        # NULL lanes harmless by substituting a real string first.
-        values = np.where(col.nulls, "", values)
-    uniques, inverse = np.unique(values, return_inverse=True)
+    if col.nulls.any():
+        valid = ~col.nulls
+        present = col.values[valid]
+        uniques = np.unique(present)
+        codes = np.zeros(n, dtype=np.int64)
+        if len(uniques):
+            codes[valid] = np.searchsorted(uniques, present) + 1
+        return EncodedColumn(codes, uniques, col.sql_type)
+    uniques, inverse = np.unique(col.values, return_inverse=True)
     codes = inverse.astype(np.int64) + 1
-    codes[col.nulls] = 0
     return EncodedColumn(codes, uniques, col.sql_type)
 
 
@@ -94,18 +125,21 @@ class Grouping:
 _MAX_CODE_SPACE = 2 ** 62
 
 
-def factorize(columns: list[ColumnData], n_rows: int) -> Grouping:
+def factorize(columns: list[ColumnData], n_rows: int,
+              cache: Optional[EncodingCache] = None) -> Grouping:
     """Group rows by the tuple of ``columns`` (possibly empty).
 
     With no key columns every row lands in one global group, which is
-    exactly SQL's "aggregation without GROUP BY".
+    exactly SQL's "aggregation without GROUP BY".  ``cache`` lets
+    base-table key columns reuse dictionary encodings across plan
+    steps and queries.
     """
     if not columns:
         group_ids = np.zeros(n_rows, dtype=np.int64)
         return Grouping(group_ids, 1 if n_rows >= 0 else 0,
                         np.empty((1, 0), dtype=np.int64), [])
 
-    encodings = [encode_column(c) for c in columns]
+    encodings = [encode_column(c, cache) for c in columns]
     if len(encodings) == 1:
         return _factorize_single(encodings[0])
 
@@ -150,14 +184,14 @@ def _factorize_lex(encodings: list[EncodedColumn]) -> Grouping:
                     encodings)
 
 
-def distinct_indices(columns: list[ColumnData], n_rows: int) -> np.ndarray:
+def distinct_indices(columns: list[ColumnData], n_rows: int,
+                     cache: Optional[EncodingCache] = None) -> np.ndarray:
     """Positions of the first row of each distinct key combination, in
     first-appearance order (stable DISTINCT)."""
-    grouping = factorize(columns, n_rows)
+    grouping = factorize(columns, n_rows, cache)
     if n_rows == 0:
         return np.empty(0, dtype=np.int64)
-    order = np.argsort(grouping.group_ids, kind="stable")
-    sorted_ids = grouping.group_ids[order]
-    starts = np.ones(len(order), dtype=bool)
-    starts[1:] = sorted_ids[1:] != sorted_ids[:-1]
-    return np.sort(order[starts])
+    # np.unique(return_index=True) yields the first occurrence of each
+    # group id; sorting those positions restores appearance order.
+    _, firsts = np.unique(grouping.group_ids, return_index=True)
+    return np.sort(firsts.astype(np.int64))

@@ -31,11 +31,16 @@ class HashIndex:
         self._table: Table | None = None
 
     # ------------------------------------------------------------------
-    def rebuild(self, table: Table) -> None:
-        """(Re)digest the index from the table's current contents."""
+    def rebuild(self, table: Table, cache=None) -> None:
+        """(Re)digest the index from the table's current contents.
+
+        ``cache`` (an :class:`~repro.engine.encoding_cache.
+        EncodingCache`) lets the rebuild share per-column dictionaries
+        with GROUP BY/join encodings of the same table version.
+        """
         self._table = table
         columns = [table.column(c) for c in self.column_names]
-        self.prepared = prepare_side(columns)
+        self.prepared = prepare_side(columns, cache)
         self._buckets = None  # rebuilt lazily on next point lookup
 
     def covers(self, column_names: Sequence[str]) -> bool:

@@ -20,10 +20,13 @@ NULL join keys never match (SQL equality semantics).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from repro.engine.column import ColumnData
+from repro.engine.encoding_cache import EncodingCache
+from repro.engine.groupby import encode_column
 from repro.engine.types import SQLType
 
 
@@ -56,21 +59,28 @@ def _encode_against(uniques: np.ndarray,
     return codes
 
 
-def prepare_side(columns: list[ColumnData]) -> PreparedJoinSide:
-    """Digest build-side key columns (NULL-keyed rows are dropped)."""
+def prepare_side(columns: list[ColumnData],
+                 cache: Optional[EncodingCache] = None
+                 ) -> PreparedJoinSide:
+    """Digest build-side key columns (NULL-keyed rows are dropped).
+
+    Per-column dictionaries come from :func:`~repro.engine.groupby.
+    encode_column` (whose ``uniques`` are exactly the sorted non-NULL
+    distinct values), so base-table build keys reuse the
+    dictionary-encoding cache instead of re-running ``np.unique``.
+    """
     if not columns:
         raise ValueError("join requires at least one key column")
     n = len(columns[0])
     uniques_list: list[np.ndarray] = []
     codes_list: list[np.ndarray] = []
     for col in columns:
-        values = col.values
-        if col.sql_type == SQLType.VARCHAR:
-            values = np.where(col.nulls, "", values)
-        uniques = np.unique(values[~col.nulls]) if n else \
-            np.empty(0, dtype=col.sql_type.numpy_dtype)
-        uniques_list.append(uniques)
-        codes_list.append(_encode_against(uniques, col))
+        encoded = encode_column(col, cache)
+        uniques_list.append(encoded.uniques)
+        # Join convention: NULL keys never match, so the NULL code 0
+        # becomes the -1 "no match" sentinel.
+        codes_list.append(np.where(encoded.codes == 0, np.int64(-1),
+                                   encoded.codes))
 
     combined = np.zeros(n, dtype=np.int64)
     valid = np.ones(n, dtype=bool)
@@ -149,7 +159,8 @@ def probe(prepared: PreparedJoinSide, columns: list[ColumnData],
 def join_indices(left_columns: list[ColumnData],
                  right_columns: list[ColumnData],
                  outer: bool,
-                 prepared_right: PreparedJoinSide | None = None
+                 prepared_right: PreparedJoinSide | None = None,
+                 cache: Optional[EncodingCache] = None
                  ) -> tuple[np.ndarray, np.ndarray, PreparedJoinSide]:
     """Join row indices for ``left JOIN right`` on positional key pairs.
 
@@ -158,6 +169,6 @@ def join_indices(left_columns: list[ColumnData],
     cached one from an index).
     """
     if prepared_right is None:
-        prepared_right = prepare_side(right_columns)
+        prepared_right = prepare_side(right_columns, cache)
     left_idx, right_idx = probe(prepared_right, left_columns, outer)
     return left_idx, right_idx, prepared_right

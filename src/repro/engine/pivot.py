@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.engine import aggregates as agg_mod
 from repro.engine.column import ColumnData
+from repro.engine.encoding_cache import EncodingCache
 from repro.engine.expressions import Frame, evaluate
 from repro.engine.groupby import Grouping, factorize
 from repro.engine.stats import StatsCollector
@@ -49,7 +50,9 @@ class _PivotTerm:
 
 def compute_pivot_aggregates(agg_specs: list[ast.FuncCall], frame: Frame,
                              grouping: Grouping, group_frame: Frame,
-                             stats: Optional[StatsCollector]) -> set[int]:
+                             stats: Optional[StatsCollector],
+                             cache: Optional[EncodingCache] = None
+                             ) -> set[int]:
     """Compute every pivot-family aggregate, binding ``__aggI`` columns
     into ``group_frame``.  Returns the set of handled spec indexes."""
     families = _detect_families(agg_specs, frame)
@@ -59,7 +62,7 @@ def compute_pivot_aggregates(agg_specs: list[ast.FuncCall], frame: Frame,
         if len(terms) < 2:
             continue  # linear evaluation is fine for a single term
         _compute_family(terms, list(column_keys), columns, result_expr,
-                        frame, grouping, group_frame, stats)
+                        frame, grouping, group_frame, stats, cache)
         handled.update(t.index for t in terms)
     return handled
 
@@ -154,7 +157,8 @@ def _compute_family(terms: list[_PivotTerm], column_keys: list,
                     columns: dict[Any, ast.ColumnRef],
                     result_expr: ast.Expr, frame: Frame,
                     grouping: Grouping, group_frame: Frame,
-                    stats: Optional[StatsCollector]) -> None:
+                    stats: Optional[StatsCollector],
+                    cache: Optional[EncodingCache] = None) -> None:
     n_rows = frame.n_rows
     if stats is not None:
         # One hash probe per input row for the whole family.
@@ -165,7 +169,11 @@ def _compute_family(terms: list[_PivotTerm], column_keys: list,
     group_id_column = ColumnData(
         SQLType.INTEGER, grouping.group_ids.astype(np.int64),
         np.zeros(n_rows, dtype=bool))
-    combined = factorize([group_id_column] + pivot_columns, n_rows)
+    # The synthetic group-id column carries no cache token, but the
+    # pivot columns themselves are usually base-table references whose
+    # encodings the cache serves.
+    combined = factorize([group_id_column] + pivot_columns, n_rows,
+                         cache)
 
     arg = evaluate(result_expr, frame, None)
     if arg.sql_type is None:

@@ -16,6 +16,11 @@ Counters (all cumulative until :meth:`reset`):
   expressions (the paper's ``N`` comparisons-per-row cost).
 * ``statements``     -- SQL statements executed.
 * ``index_lookups``  -- probes served by a hash index.
+* ``encode_cache_hits`` / ``encode_cache_misses`` /
+  ``encode_cache_evictions`` -- dictionary-encoding cache traffic.
+  These are deliberately **not** part of :meth:`StatementStats.
+  logical_io`: the cache saves wall-clock work, not logical I/O, so
+  the paper's cost shapes are bit-identical with the cache on or off.
 """
 
 from __future__ import annotations
@@ -34,6 +39,9 @@ class StatementStats:
     rows_joined: int = 0
     case_evaluations: int = 0
     index_lookups: int = 0
+    encode_cache_hits: int = 0
+    encode_cache_misses: int = 0
+    encode_cache_evictions: int = 0
     elapsed_seconds: float = 0.0
 
     def logical_io(self) -> int:
@@ -53,6 +61,9 @@ class StatsCollector:
     rows_joined: int = 0
     case_evaluations: int = 0
     index_lookups: int = 0
+    encode_cache_hits: int = 0
+    encode_cache_misses: int = 0
+    encode_cache_evictions: int = 0
     statements: int = 0
     history: list[StatementStats] = field(default_factory=list)
     keep_history: bool = False
@@ -65,6 +76,9 @@ class StatsCollector:
         self.rows_joined = 0
         self.case_evaluations = 0
         self.index_lookups = 0
+        self.encode_cache_hits = 0
+        self.encode_cache_misses = 0
+        self.encode_cache_evictions = 0
         self.statements = 0
         self.history.clear()
 
@@ -76,7 +90,10 @@ class StatsCollector:
             rows_updated=self.rows_updated,
             rows_joined=self.rows_joined,
             case_evaluations=self.case_evaluations,
-            index_lookups=self.index_lookups)
+            index_lookups=self.index_lookups,
+            encode_cache_hits=self.encode_cache_hits,
+            encode_cache_misses=self.encode_cache_misses,
+            encode_cache_evictions=self.encode_cache_evictions)
 
     def diff_since(self, before: StatementStats) -> StatementStats:
         """Counters accumulated since ``before`` was snapshotted."""
@@ -88,7 +105,13 @@ class StatsCollector:
             rows_joined=now.rows_joined - before.rows_joined,
             case_evaluations=(now.case_evaluations
                               - before.case_evaluations),
-            index_lookups=now.index_lookups - before.index_lookups)
+            index_lookups=now.index_lookups - before.index_lookups,
+            encode_cache_hits=(now.encode_cache_hits
+                               - before.encode_cache_hits),
+            encode_cache_misses=(now.encode_cache_misses
+                                 - before.encode_cache_misses),
+            encode_cache_evictions=(now.encode_cache_evictions
+                                    - before.encode_cache_evictions))
 
     # ------------------------------------------------------------------
     def record_statement(self, stats: StatementStats) -> None:

@@ -8,6 +8,7 @@ passes intermediate ``Table`` objects between operators.
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Iterable, Iterator, Sequence
 
 import numpy as np
@@ -18,12 +19,20 @@ from repro.engine.types import SQLType
 from repro.errors import ExecutionError
 
 
+#: Globally unique, monotonically increasing table versions.  Every
+#: Table instance gets a fresh version (DML always swaps in a new
+#: instance via the catalog), so a ``(table, version, column)`` cache
+#: token can never outlive the column content it was minted for.
+_VERSION_COUNTER = itertools.count(1)
+
+
 class Table:
     """A named, schema-typed collection of equal-length columns."""
 
     def __init__(self, schema: TableSchema,
                  columns: dict[str, ColumnData] | None = None):
         self.schema = schema
+        self.version = next(_VERSION_COUNTER)
         if columns is None:
             columns = {c.name: ColumnData.empty(c.sql_type)
                        for c in schema.columns}
@@ -79,7 +88,13 @@ class Table:
             yield tuple(col[i] for col in cols)
 
     def to_rows(self) -> list[tuple[Any, ...]]:
-        return list(self.rows())
+        """Materialize all rows (bulk path: one ``to_pylist`` per
+        column, zipped, instead of a per-cell Python loop)."""
+        if not self.schema.columns or self.n_rows == 0:
+            return []
+        lists = [self._columns[c.name].to_pylist()
+                 for c in self.schema.columns]
+        return list(zip(*lists))
 
     def row(self, i: int) -> tuple[Any, ...]:
         return tuple(self._columns[c.name][i] for c in self.schema.columns)
@@ -165,7 +180,22 @@ class Table:
         schema = TableSchema(name=new_name,
                              columns=list(self.schema.columns),
                              primary_key=self.schema.primary_key)
-        return Table(schema, self._columns)
+        renamed = Table(schema, self._columns)
+        renamed.version = self.version  # identical content
+        return renamed
+
+    # ------------------------------------------------------------------
+    # Encoding-cache provenance
+    # ------------------------------------------------------------------
+    def seal_cache_tokens(self) -> None:
+        """Stamp every column with a ``(table, version, column)`` cache
+        token.  Called by the catalog when this table becomes (or
+        replaces) a base table; intermediate result tables are never
+        sealed, so only base-table encodings enter the cache."""
+        table_key = self.name.lower()
+        for col_def in self.schema.columns:
+            self._columns[col_def.name].cache_token = (
+                table_key, self.version, col_def.name.lower())
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -25,13 +25,15 @@ import numpy as np
 
 from repro.engine import aggregates
 from repro.engine.column import ColumnData
+from repro.engine.encoding_cache import EncodingCache
 from repro.engine.groupby import encode_column, factorize
 from repro.engine.stats import StatsCollector
 
 
 def evaluate_window(func: str, arg: Optional[ColumnData],
                     partition_columns: list[ColumnData], n_rows: int,
-                    stats: Optional[StatsCollector] = None) -> ColumnData:
+                    stats: Optional[StatsCollector] = None,
+                    cache: Optional[EncodingCache] = None) -> ColumnData:
     """Evaluate ``func(arg) OVER (PARTITION BY partition_columns)``.
 
     ``arg is None`` means ``count(*)``.  The result has one value per
@@ -43,27 +45,30 @@ def evaluate_window(func: str, arg: Optional[ColumnData],
         stats.rows_scanned += n_rows
         stats.rows_written += n_rows
 
-    order = _spool_sort(partition_columns, arg, n_rows)
-    grouping = factorize([c.take(order) for c in partition_columns],
-                         n_rows)
+    order = _spool_sort(partition_columns, arg, n_rows, cache)
+    # Factorize the *original* partition columns (cache-hittable for
+    # base-table keys) and permute the group ids into spool order; this
+    # is equivalent to factorizing the taken columns because group ids
+    # only identify equal-key rows.
+    base = factorize(partition_columns, n_rows, cache)
+    sorted_ids = base.group_ids[order]
     sorted_arg = arg.take(order) if arg is not None else None
 
     if sorted_arg is None:
-        per_group = aggregates.count_star(grouping.group_ids,
-                                          grouping.n_groups)
+        per_group = aggregates.count_star(sorted_ids, base.n_groups)
     else:
         per_group = aggregates.compute_aggregate(
-            func, sorted_arg, False, grouping.group_ids,
-            grouping.n_groups)
+            func, sorted_arg, False, sorted_ids, base.n_groups)
 
-    sorted_result = per_group.take(grouping.group_ids.astype(np.int64))
+    sorted_result = per_group.take(sorted_ids.astype(np.int64))
     inverse = np.empty(n_rows, dtype=np.int64)
     inverse[order] = np.arange(n_rows, dtype=np.int64)
     return sorted_result.take(inverse)
 
 
 def _spool_sort(partition_columns: list[ColumnData],
-                arg: Optional[ColumnData], n_rows: int) -> np.ndarray:
+                arg: Optional[ColumnData], n_rows: int,
+                cache: Optional[EncodingCache] = None) -> np.ndarray:
     """The sort phase of the spool: a stable lexicographic sort of the
     materialized partition keys (the write cost the stats counters
     charge; the sort itself is the wall-clock cost)."""
@@ -72,8 +77,9 @@ def _spool_sort(partition_columns: list[ColumnData],
     keys = []
     for column in partition_columns:
         # Materialize the spool column (copy), then reduce it to
-        # sortable codes.
-        keys.append(encode_column(column.copy()).codes)
+        # sortable codes.  The copy keeps its cache token, so the
+        # encoding is served from the cache for base-table keys.
+        keys.append(encode_column(column.copy(), cache).codes)
     if arg is not None:
         _ = arg.values.copy()  # the argument rides along in the spool
     return np.lexsort(tuple(reversed(keys))).astype(np.int64)

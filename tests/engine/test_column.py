@@ -111,3 +111,24 @@ class TestTransformations:
         cloned = col.copy()
         cloned.values[0] = 99
         assert col[0] == 1
+
+    def test_copy_preserves_cache_token(self):
+        col = ColumnData.from_values(SQLType.INTEGER, [1, 2])
+        col.cache_token = ("t", 7, "a")
+        assert col.copy().cache_token == ("t", 7, "a")
+
+    def test_to_pylist_matches_getitem(self):
+        # The bulk tolist() + null-mask patch must agree element-wise
+        # with scalar access across types and NULL placements.
+        cases = [
+            ColumnData.from_values(SQLType.INTEGER, [1, None, 3, None]),
+            ColumnData.from_values(SQLType.REAL, [None, 2.5, -1.0]),
+            ColumnData.from_values(SQLType.VARCHAR,
+                                   ["a", None, "", "z"]),
+            ColumnData.from_values(SQLType.BOOLEAN,
+                                   [True, None, False]),
+        ]
+        for col in cases:
+            assert col.to_pylist() == [col[i] for i in range(len(col))]
+            assert all(value is None or not hasattr(value, "dtype")
+                       for value in col.to_pylist())

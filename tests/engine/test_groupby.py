@@ -26,6 +26,22 @@ class TestEncodeColumn:
         enc = encode_column(str_col(["", None]))
         assert enc.codes[0] != enc.codes[1]
 
+    def test_uniques_exclude_nulls(self):
+        # A NULL-bearing VARCHAR column must not grow a spurious ""
+        # dictionary entry (the old NULL-substitution did).
+        enc = encode_column(str_col(["a", None, "b"]))
+        assert enc.uniques.tolist() == ["a", "b"]
+        assert enc.cardinality == 3  # two values + the NULL slot
+
+    def test_numeric_uniques_exclude_null_filler(self):
+        enc = encode_column(int_col([5, None, 7]))
+        assert enc.uniques.tolist() == [5, 7]
+
+    def test_all_null_column(self):
+        enc = encode_column(int_col([None, None]))
+        assert enc.codes.tolist() == [0, 0]
+        assert len(enc.uniques) == 0
+
     def test_decode_roundtrip(self):
         col = int_col([3, None, 1, 3])
         enc = encode_column(col)
@@ -106,3 +122,14 @@ class TestDistinctIndices:
         indices = distinct_indices(
             [int_col([1, 1, 1]), int_col([2, 2, 3])], 3)
         assert indices.tolist() == [0, 2]
+
+    def test_nulls_are_one_distinct_value(self):
+        indices = distinct_indices([int_col([None, 4, None, 4])], 4)
+        assert indices.tolist() == [0, 1]
+
+    def test_appearance_order_with_unsorted_values(self):
+        # First occurrences must come back in row order even when the
+        # values themselves are descending (np.unique sorts by value;
+        # the positions are re-sorted afterwards).
+        indices = distinct_indices([int_col([9, 1, 5, 9, 1])], 5)
+        assert indices.tolist() == [0, 1, 2]

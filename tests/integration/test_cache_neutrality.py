@@ -1,0 +1,165 @@
+"""E1-E7: the dictionary-encoding cache must be invisible.
+
+Each scenario runs twice -- once with the cache enabled, once with the
+``--no-encoding-cache`` ablation -- on identically seeded databases.
+Results must match row for row and the logical-I/O cost model
+(rows scanned / written / updated, joins, CASE evaluations, index
+lookups, per-statement logical I/O) must be **bit-identical**: the
+cache saves wall-clock work only, never logical work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+from repro.core import (HorizontalAggStrategy, HorizontalStrategy,
+                        VerticalStrategy, run_percentage_query)
+from repro.core.shared import run_percentage_batch
+from repro.datagen import load_transaction_line
+
+ROWS = 2_000
+SEED = 1234
+
+#: Counter fields that must be identical cache-on vs cache-off.  The
+#: encode_cache_* counters are deliberately excluded: they are the one
+#: thing that is *supposed* to differ.
+NEUTRAL_FIELDS = ("rows_scanned", "rows_written", "rows_updated",
+                  "rows_joined", "case_evaluations", "index_lookups",
+                  "statements")
+
+
+def fresh_db(use_encoding_cache: bool) -> Database:
+    db = Database(use_encoding_cache=use_encoding_cache,
+                  keep_history=True)
+    load_transaction_line(db, ROWS, seed=SEED)
+    return db
+
+
+def scenario_e1_vpct_simple(db: Database) -> list:
+    """E1: one-dimensional vertical percentage (paper Section 3.1)."""
+    sql = ("SELECT regionid, Vpct(salesamt) FROM transactionline "
+           "GROUP BY regionid")
+    return [run_percentage_query(db, sql).to_rows(),
+            run_percentage_query(db, sql).to_rows()]  # warm repeat
+
+
+def scenario_e2_vpct_multi(db: Database) -> list:
+    sql = ("SELECT regionid, dayofweekno, "
+           "Vpct(salesamt BY dayofweekno) FROM transactionline "
+           "GROUP BY regionid, dayofweekno")
+    return [run_percentage_query(db, sql,
+                                 VerticalStrategy()).to_rows(),
+            run_percentage_query(
+                db, sql, VerticalStrategy(use_update=True)).to_rows()]
+
+
+def scenario_e3_hpct(db: Database) -> list:
+    sql = ("SELECT regionid, Hpct(salesamt BY dayofweekno) "
+           "FROM transactionline GROUP BY regionid")
+    return [run_percentage_query(db, sql,
+                                 HorizontalStrategy()).to_rows(),
+            run_percentage_query(db, sql,
+                                 HorizontalStrategy()).to_rows()]
+
+
+def scenario_e4_hagg_and_join(db: Database) -> list:
+    out = [run_percentage_query(
+        db, "SELECT regionid, sum(salesamt BY dayofweekno) "
+            "FROM transactionline GROUP BY regionid",
+        HorizontalAggStrategy()).to_rows()]
+    db.execute("CREATE TABLE dims AS SELECT DISTINCT regionid, "
+               "dayofweekno FROM transactionline")
+    out.append(db.query(
+        "SELECT d.regionid, count(*) FROM dims d, transactionline t "
+        "WHERE d.regionid = t.regionid "
+        "AND d.dayofweekno = t.dayofweekno "
+        "GROUP BY d.regionid"))
+    db.execute("DROP TABLE dims")
+    return out
+
+
+def scenario_e5_window(db: Database) -> list:
+    sql = ("SELECT regionid, salesamt / sum(salesamt) "
+           "OVER (PARTITION BY regionid) FROM transactionline")
+    return [sorted(db.query(sql)), sorted(db.query(sql))]
+
+
+def scenario_e6_dml_sequence(db: Database) -> list:
+    out = [db.query("SELECT regionid, sum(salesamt) "
+                    "FROM transactionline GROUP BY regionid")]
+    db.execute("INSERT INTO transactionline SELECT * "
+               "FROM transactionline WHERE regionid = 1")
+    out.append(db.query("SELECT regionid, count(*) "
+                        "FROM transactionline GROUP BY regionid"))
+    db.execute("UPDATE transactionline SET salesamt = salesamt + 1 "
+               "WHERE regionid = 2")
+    out.append(db.query("SELECT regionid, sum(salesamt) "
+                        "FROM transactionline GROUP BY regionid"))
+    db.execute("DELETE FROM transactionline WHERE regionid = 1")
+    out.append(db.query("SELECT regionid, count(*) "
+                        "FROM transactionline GROUP BY regionid"))
+    return out
+
+
+def scenario_e7_shared_batch(db: Database) -> list:
+    report = run_percentage_batch(db, [
+        "SELECT regionid, Vpct(salesamt) FROM transactionline "
+        "GROUP BY regionid",
+        "SELECT regionid, Vpct(itemqty) FROM transactionline "
+        "GROUP BY regionid",
+    ])
+    return [result.to_rows() for result in report.results] + \
+        [[("shared", report.shared_groups,
+           report.fallback_queries)]]
+
+
+SCENARIOS = [
+    ("E1", scenario_e1_vpct_simple),
+    ("E2", scenario_e2_vpct_multi),
+    ("E3", scenario_e3_hpct),
+    ("E4", scenario_e4_hagg_and_join),
+    ("E5", scenario_e5_window),
+    ("E6", scenario_e6_dml_sequence),
+    ("E7", scenario_e7_shared_batch),
+]
+
+
+def rows_match(left, right):
+    assert len(left) == len(right)
+    for a, b in zip(left, right):
+        assert a == pytest.approx(b, nan_ok=True)
+
+
+@pytest.mark.parametrize("name,scenario", SCENARIOS,
+                         ids=[n for n, _ in SCENARIOS])
+def test_results_and_logical_io_identical(name, scenario):
+    on_db, off_db = fresh_db(True), fresh_db(False)
+    on_results = scenario(on_db)
+    off_results = scenario(off_db)
+
+    assert len(on_results) == len(off_results)
+    for on_rows, off_rows in zip(on_results, off_results):
+        rows_match(on_rows, off_rows)
+
+    on_totals, off_totals = on_db.stats, off_db.stats
+    for field in NEUTRAL_FIELDS:
+        assert getattr(on_totals, field) == getattr(off_totals, field), \
+            f"{name}: {field} differs cache-on vs cache-off"
+
+    on_io = [s.logical_io() for s in on_db.stats.history]
+    off_io = [s.logical_io() for s in off_db.stats.history]
+    assert on_io == off_io, f"{name}: per-statement logical I/O differs"
+
+    # The ablation side never touches the cache; the enabled side only
+    # reads it (logical neutrality is enforced above).
+    assert off_db.catalog.encoding_cache.hits == 0
+    assert off_db.catalog.encoding_cache.entry_count == 0
+
+
+def test_warm_repeat_actually_hits():
+    """Guards against the neutrality suite passing vacuously because
+    nothing ever consulted the cache."""
+    db = fresh_db(True)
+    scenario_e1_vpct_simple(db)
+    assert db.catalog.encoding_cache.hits > 0
