@@ -82,6 +82,23 @@ def equality_join(left: str, right: str,
         for c in columns)
 
 
+def null_safe_equality_join(left: str, right: str,
+                            columns: Sequence[str]) -> str:
+    """Equality join where NULL keys match each other.
+
+    GROUP BY places all NULLs of a dimension into one group (Gray's
+    data-cube semantics), so joining aggregate levels on plain ``=``
+    silently drops NULL groups.  The engine's planner recognizes this
+    exact pattern and keeps it a hash equi-join.
+    """
+
+    def one(c: str) -> str:
+        l, r = f"{left}.{quote_ident(c)}", f"{right}.{quote_ident(c)}"
+        return f"({l} = {r} OR ({l} IS NULL AND {r} IS NULL))"
+
+    return " AND ".join(one(c) for c in columns)
+
+
 def vertical_term_name(term: model.AggregateTerm,
                        used: set[str]) -> str:
     """Output column name for a (vertical or percentage) term."""

@@ -286,8 +286,11 @@ def _assemble(db: Database, query: model.PercentageQuery, f0: str,
         joins = []
         for p, select in chunk:
             selects.append(select)
+            # Null-safe ON: a NULL grouping key in F0 must still find
+            # its per-combination aggregate row.
             joins.append(f" LEFT OUTER JOIN {p.table} ON "
-                         + common.equality_join(f0, p.table, keys))
+                         + common.null_safe_equality_join(f0, p.table,
+                                                          keys))
         result.add(f"INSERT INTO {fh} SELECT " + ", ".join(selects)
                    + f" FROM {f0}" + "".join(joins), plan_mod.ASSEMBLE)
 
@@ -310,7 +313,7 @@ def _assemble(db: Database, query: model.PercentageQuery, f0: str,
     for table, chunk in zip(tables, partitions):
         selects.extend(f"{table}.{quote_ident(p.column)}"
                        for p, _ in chunk)
-    conditions = [common.equality_join(first, other, keys)
+    conditions = [common.null_safe_equality_join(first, other, keys)
                   for other in tables[1:]]
     order = f" ORDER BY {common.column_list(query.group_by)}" \
         if query.group_by else ""

@@ -359,8 +359,11 @@ def _generate_insert_division(db: Database,
             selects.append(_division_case(fk, tp))
             sources.append(tp.fj_table)
             if tp.totals:
+                # Null-safe: a NULL totals key is a group like any
+                # other, and plain = would drop its rows from FV.
                 join_conditions.append(
-                    common.equality_join(tp.fj_table, fk, tp.totals))
+                    common.null_safe_equality_join(tp.fj_table, fk,
+                                                   tp.totals))
         else:
             selects.append(f"{fk}.{quote_ident(tp.column)}")
     where = f" WHERE {' AND '.join(join_conditions)}" \
@@ -383,7 +386,8 @@ def _generate_update_division(db: Database,
             continue
         column = quote_ident(tp.column)
         if tp.totals:
-            condition = common.equality_join(fk, tp.fj_table, tp.totals)
+            condition = common.null_safe_equality_join(fk, tp.fj_table,
+                                                       tp.totals)
             result.add(
                 f"UPDATE {fk} SET {column} = "
                 f"{_division_case(fk, tp)} "
@@ -445,8 +449,9 @@ def _generate_single_statement(db: Database,
                            + f" AS {quote_ident(p.column)}")
         else:
             selects.append(f"Fk.{quote_ident(p.column)}")
-    where = f" WHERE {common.equality_join('Fj', 'Fk', tp.totals)}" \
-        if tp.totals else ""
+    where = (f" WHERE "
+             f"{common.null_safe_equality_join('Fj', 'Fk', tp.totals)}"
+             if tp.totals else "")
     order = f" ORDER BY {common.column_list(query.group_by)}" \
         if query.group_by else ""
     result.result_select = (

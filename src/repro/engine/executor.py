@@ -29,7 +29,8 @@ from repro.engine.column import ColumnData
 from repro.engine.expressions import Frame, evaluate, untyped_null
 from repro.engine.groupby import distinct_indices, encode_column, factorize
 from repro.engine.join import join_indices, prepare_side
-from repro.engine.planner import FromPlan, PlannedJoin, plan_from
+from repro.engine.planner import (FromPlan, PlannedJoin,
+                                  null_safe_equality, plan_from)
 from repro.engine.schema import ColumnDef, TableSchema
 from repro.engine.stats import StatsCollector
 from repro.engine.table import Table
@@ -324,8 +325,11 @@ class Executor:
                 build_cols, probe_cols = right_cols, left_cols
                 build_binding, build_base = binding, right_base
 
+            null_safe = list(join.null_safe) \
+                or [False] * len(join.left_keys)
             prepared = None
             if self.options.use_indexes and build_base is not None \
+                    and not any(null_safe) \
                     and dataset_pristine(dataset, build_binding,
                                          right_base, right_table):
                 key_names = _plain_key_names(join.right_keys)
@@ -342,7 +346,7 @@ class Executor:
 
             probe_idx, build_idx, _ = join_indices(
                 probe_cols, build_cols, outer, prepared_right=prepared,
-                cache=self.encoding_cache)
+                cache=self.encoding_cache, null_safe=null_safe)
 
             if swap:
                 left_indices, right_indices = build_idx, probe_idx
@@ -729,14 +733,16 @@ class Executor:
         join_left: list[ColumnData] = []
         join_right: list[ColumnData] = []
         right_key_names: list[str] = []
+        null_safe: list[bool] = []
         residual: list[ast.Expr] = []
         for conjunct in _split_and(statement.where):
             pair = _update_key_pair(conjunct, target_frame, from_frame)
             if pair is not None:
-                left_col, right_col, right_name = pair
+                left_col, right_col, right_name, ns = pair
                 join_left.append(left_col)
                 join_right.append(right_col)
                 right_key_names.append(right_name)
+                null_safe.append(ns)
             else:
                 residual.append(conjunct)
         if not join_left:
@@ -745,7 +751,7 @@ class Executor:
                 "the target and the FROM table")
 
         prepared = None
-        if self.options.use_indexes:
+        if self.options.use_indexes and not any(null_safe):
             index = self.catalog.find_index(from_ref.name,
                                             right_key_names)
             if index is not None and index.prepared is not None:
@@ -759,7 +765,8 @@ class Executor:
         probe_idx, build_idx, _ = join_indices(join_left, join_right,
                                                outer=True,
                                                prepared_right=prepared,
-                                               cache=self.encoding_cache)
+                                               cache=self.encoding_cache,
+                                               null_safe=null_safe)
         if len(probe_idx) != table.n_rows:
             raise ExecutionError(
                 "UPDATE ... FROM matched a target row against more "
@@ -891,24 +898,31 @@ def _split_and(expr: Optional[ast.Expr]) -> list[ast.Expr]:
 
 def _update_key_pair(conjunct: ast.Expr, target_frame: Frame,
                      from_frame: Frame):
-    """Resolve ``a.x = b.y`` into (target key column, from key column,
-    from-side column name), in either order."""
-    if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="):
-        return None
-    left, right = conjunct.left, conjunct.right
-    if not (isinstance(left, ast.ColumnRef)
-            and isinstance(right, ast.ColumnRef)):
-        return None
+    """Resolve ``a.x = b.y`` (or its null-safe OR form) into (target
+    key column, from key column, from-side column name, null_safe), in
+    either order."""
+    null_safe = False
+    if isinstance(conjunct, ast.BinaryOp) and conjunct.op == "=":
+        left, right = conjunct.left, conjunct.right
+        if not (isinstance(left, ast.ColumnRef)
+                and isinstance(right, ast.ColumnRef)):
+            return None
+    else:
+        pair = null_safe_equality(conjunct)
+        if pair is None:
+            return None
+        left, right = pair
+        null_safe = True
     left_in_target = target_frame.has(left)
     right_in_target = target_frame.has(right)
     left_in_from = from_frame.has(left)
     right_in_from = from_frame.has(right)
     if left_in_target and right_in_from and not right_in_target:
         return (target_frame.resolve(left), from_frame.resolve(right),
-                right.name.lower())
+                right.name.lower(), null_safe)
     if right_in_target and left_in_from and not left_in_target:
         return (target_frame.resolve(right), from_frame.resolve(left),
-                left.name.lower())
+                left.name.lower(), null_safe)
     return None
 
 

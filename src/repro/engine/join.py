@@ -14,13 +14,17 @@ build keys it skips the build phase entirely, which is the concrete
 mechanism behind the paper's "identical indexes on D1..Dj improve the
 join used to perform divisions" finding.
 
-NULL join keys never match (SQL equality semantics).
+NULL join keys never match (SQL equality semantics) unless a key is
+marked *null-safe*: the planner recognizes the generated pattern
+``a = b OR (a IS NULL AND b IS NULL)`` and asks for NULL keys to join
+as one ordinary value (Gray's data-cube semantics, where a NULL group
+is a group like any other).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -40,29 +44,44 @@ class PreparedJoinSide:
     row_order: np.ndarray          # build rows ordered by combined code
     offsets: np.ndarray            # CSR offsets into row_order
     n_rows: int                    # build-side row count
+    null_safe: tuple[bool, ...] = ()   # per key column
 
 
-def _encode_against(uniques: np.ndarray,
-                    col: ColumnData) -> np.ndarray:
+def _encode_against(uniques: np.ndarray, col: ColumnData,
+                    null_safe: bool = False) -> np.ndarray:
     """Codes of ``col`` values in ``uniques`` (1-based), -1 for values
-    absent from the dictionary or NULL."""
+    absent from the dictionary; NULLs get -1, or the joinable code 0
+    when the key is null-safe."""
     values = col.values
     if col.sql_type == SQLType.VARCHAR:
         values = np.where(col.nulls, "", values)
     if len(uniques) == 0:
-        return np.full(len(col), -1, dtype=np.int64)
-    pos = np.searchsorted(uniques, values)
-    pos_clipped = np.minimum(pos, len(uniques) - 1)
-    hit = uniques[pos_clipped] == values
-    codes = np.where(hit, pos_clipped + 1, -1).astype(np.int64)
-    codes[col.nulls] = -1
+        codes = np.full(len(col), -1, dtype=np.int64)
+    else:
+        pos = np.searchsorted(uniques, values)
+        pos_clipped = np.minimum(pos, len(uniques) - 1)
+        hit = uniques[pos_clipped] == values
+        codes = np.where(hit, pos_clipped + 1, -1).astype(np.int64)
+    codes[col.nulls] = 0 if null_safe else -1
     return codes
 
 
+def _null_safe_flags(null_safe: Optional[Sequence[bool]],
+                     n: int) -> tuple[bool, ...]:
+    if null_safe is None:
+        return (False,) * n
+    flags = tuple(bool(f) for f in null_safe)
+    if len(flags) != n:
+        raise ValueError("null_safe flags must match the key columns")
+    return flags
+
+
 def prepare_side(columns: list[ColumnData],
-                 cache: Optional[EncodingCache] = None
+                 cache: Optional[EncodingCache] = None,
+                 null_safe: Optional[Sequence[bool]] = None
                  ) -> PreparedJoinSide:
-    """Digest build-side key columns (NULL-keyed rows are dropped).
+    """Digest build-side key columns (NULL-keyed rows are dropped,
+    except on null-safe keys, where NULL joins as an ordinary value).
 
     Per-column dictionaries come from :func:`~repro.engine.groupby.
     encode_column` (whose ``uniques`` are exactly the sorted non-NULL
@@ -71,23 +90,28 @@ def prepare_side(columns: list[ColumnData],
     """
     if not columns:
         raise ValueError("join requires at least one key column")
+    flags = _null_safe_flags(null_safe, len(columns))
     n = len(columns[0])
     uniques_list: list[np.ndarray] = []
     codes_list: list[np.ndarray] = []
-    for col in columns:
+    for col, ns in zip(columns, flags):
         encoded = encode_column(col, cache)
         uniques_list.append(encoded.uniques)
-        # Join convention: NULL keys never match, so the NULL code 0
-        # becomes the -1 "no match" sentinel.
-        codes_list.append(np.where(encoded.codes == 0, np.int64(-1),
-                                   encoded.codes))
+        if ns:
+            # NULL keeps its dictionary code 0 and matches probe NULLs.
+            codes_list.append(encoded.codes.astype(np.int64, copy=False))
+        else:
+            # Join convention: NULL keys never match, so the NULL code 0
+            # becomes the -1 "no match" sentinel.
+            codes_list.append(np.where(encoded.codes == 0, np.int64(-1),
+                                       encoded.codes))
 
     combined = np.zeros(n, dtype=np.int64)
     valid = np.ones(n, dtype=bool)
-    for uniques, codes in zip(uniques_list, codes_list):
+    for uniques, codes, ns in zip(uniques_list, codes_list, flags):
         combined = combined * np.int64(len(uniques) + 1) + \
             np.maximum(codes, 0)
-        valid &= codes > 0
+        valid &= codes >= 0 if ns else codes > 0
     rows = np.nonzero(valid)[0]
     comb_valid = combined[valid]
     order = np.argsort(comb_valid, kind="stable")
@@ -100,7 +124,7 @@ def prepare_side(columns: list[ColumnData],
     offsets = np.concatenate([starts, [len(sorted_codes)]]).astype(np.int64)
     return PreparedJoinSide(uniques_list,
                             [c.sql_type for c in columns],
-                            gcodes, row_order, offsets, n)
+                            gcodes, row_order, offsets, n, flags)
 
 
 def probe(prepared: PreparedJoinSide, columns: list[ColumnData],
@@ -112,13 +136,14 @@ def probe(prepared: PreparedJoinSide, columns: list[ColumnData],
     once with ``build_index == -1``.
     """
     n = len(columns[0]) if columns else 0
+    flags = prepared.null_safe or (False,) * len(columns)
     combined = np.zeros(n, dtype=np.int64)
     possible = np.ones(n, dtype=bool)
-    for uniques, col in zip(prepared.uniques, columns):
-        codes = _encode_against(uniques, col)
+    for uniques, col, ns in zip(prepared.uniques, columns, flags):
+        codes = _encode_against(uniques, col, null_safe=ns)
         combined = combined * np.int64(len(uniques) + 1) + \
             np.maximum(codes, 0)
-        possible &= codes > 0
+        possible &= codes >= 0 if ns else codes > 0
 
     slot = np.searchsorted(prepared.gcodes, combined)
     in_range = slot < len(prepared.gcodes)
@@ -160,15 +185,17 @@ def join_indices(left_columns: list[ColumnData],
                  right_columns: list[ColumnData],
                  outer: bool,
                  prepared_right: PreparedJoinSide | None = None,
-                 cache: Optional[EncodingCache] = None
+                 cache: Optional[EncodingCache] = None,
+                 null_safe: Optional[Sequence[bool]] = None
                  ) -> tuple[np.ndarray, np.ndarray, PreparedJoinSide]:
     """Join row indices for ``left JOIN right`` on positional key pairs.
 
     Returns ``(left_idx, right_idx, prepared)`` where ``prepared`` is
     the build-side digest actually used (caller may have supplied a
-    cached one from an index).
+    cached one from an index; cached sides carry their own null-safe
+    flags, so ``null_safe`` applies only when building fresh).
     """
     if prepared_right is None:
-        prepared_right = prepare_side(right_columns, cache)
+        prepared_right = prepare_side(right_columns, cache, null_safe)
     left_idx, right_idx = probe(prepared_right, left_columns, outer)
     return left_idx, right_idx, prepared_right

@@ -178,15 +178,21 @@ def _compute_family(terms: list[_PivotTerm], column_keys: list,
     arg = evaluate(result_expr, frame, None)
     if arg.sql_type is None:
         arg = ColumnData.all_null(SQLType.REAL, len(arg))
-    func = terms[0].func
-    cell_values = agg_mod.compute_aggregate(
-        func, arg, False, combined.group_ids, combined.n_groups)
+    # One aggregation pass per distinct function: terms with different
+    # functions share the factorization (the O(1) dispatch) but must
+    # not share cell values.
+    cells_by_func = {
+        func: agg_mod.compute_aggregate(func, arg, False,
+                                        combined.group_ids,
+                                        combined.n_groups)
+        for func in {t.func for t in terms}}
 
     firsts = _first_positions(combined.group_ids, combined.n_groups)
     cell_group = grouping.group_ids[firsts]
     cell_pivot = [col.take(firsts) for col in pivot_columns]
 
     for term in terms:
+        cell_values = cells_by_func[term.func]
         out = ColumnData.all_null(cell_values.sql_type, grouping.n_groups)
         mask = np.ones(combined.n_groups, dtype=bool)
         for key, cell_col in zip(column_keys, cell_pivot):

@@ -38,6 +38,8 @@ class PlannedJoin:
 
     ``left_keys``/``right_keys`` are parallel column references; empty
     keys mean a cartesian product (only reasonable for tiny tables).
+    ``null_safe`` flags (parallel to the keys) mark pairs written as
+    ``a = b OR (a IS NULL AND b IS NULL)``, where NULL joins NULL.
     ``residual`` holds non-equi parts of an explicit ON condition.
     """
 
@@ -45,6 +47,7 @@ class PlannedJoin:
     source: PlannedSource
     left_keys: list[ast.ColumnRef] = field(default_factory=list)
     right_keys: list[ast.ColumnRef] = field(default_factory=list)
+    null_safe: list[bool] = field(default_factory=list)
     residual: Optional[ast.Expr] = None
 
 
@@ -110,6 +113,7 @@ def _plan_explicit_join(step: ast.JoinStep, source: PlannedSource,
                         resolve_binding) -> PlannedJoin:
     left_keys: list[ast.ColumnRef] = []
     right_keys: list[ast.ColumnRef] = []
+    null_safe: list[bool] = []
     residual: list[ast.Expr] = []
     for conjunct in split_conjuncts(step.on):
         pair = _equi_key_pair(conjunct, accumulated, new_binding,
@@ -117,6 +121,7 @@ def _plan_explicit_join(step: ast.JoinStep, source: PlannedSource,
         if pair is not None:
             left_keys.append(pair[0])
             right_keys.append(pair[1])
+            null_safe.append(pair[2])
         else:
             residual.append(conjunct)
     if step.kind == "left" and residual:
@@ -127,7 +132,7 @@ def _plan_explicit_join(step: ast.JoinStep, source: PlannedSource,
         raise PlanningError("JOIN ... ON requires at least one "
                             "equality between the two sides")
     return PlannedJoin(step.kind, source, left_keys, right_keys,
-                       join_conjuncts(residual))
+                       null_safe, join_conjuncts(residual))
 
 
 def _plan_comma_join(source: PlannedSource, accumulated: list[str],
@@ -135,6 +140,7 @@ def _plan_comma_join(source: PlannedSource, accumulated: list[str],
                      used: list[bool], resolve_binding) -> PlannedJoin:
     left_keys: list[ast.ColumnRef] = []
     right_keys: list[ast.ColumnRef] = []
+    null_safe: list[bool] = []
     for i, conjunct in enumerate(conjuncts):
         if used[i]:
             continue
@@ -143,27 +149,64 @@ def _plan_comma_join(source: PlannedSource, accumulated: list[str],
         if pair is not None:
             left_keys.append(pair[0])
             right_keys.append(pair[1])
+            null_safe.append(pair[2])
             used[i] = True
-    return PlannedJoin("inner", source, left_keys, right_keys, None)
+    return PlannedJoin("inner", source, left_keys, right_keys,
+                       null_safe, None)
+
+
+def null_safe_equality(expr: ast.Expr
+                       ) -> Optional[tuple[ast.ColumnRef, ast.ColumnRef]]:
+    """The ``(a, b)`` of ``a = b OR (a IS NULL AND b IS NULL)`` (either
+    disjunct order), or None when ``expr`` is not that pattern."""
+    if not (isinstance(expr, ast.BinaryOp) and expr.op == "OR"):
+        return None
+    eq, both_null = expr.left, expr.right
+    if not (isinstance(eq, ast.BinaryOp) and eq.op == "="):
+        eq, both_null = both_null, eq
+    if not (isinstance(eq, ast.BinaryOp) and eq.op == "="
+            and isinstance(eq.left, ast.ColumnRef)
+            and isinstance(eq.right, ast.ColumnRef)):
+        return None
+    if not (isinstance(both_null, ast.BinaryOp)
+            and both_null.op == "AND"):
+        return None
+    checks = (both_null.left, both_null.right)
+    if not all(isinstance(c, ast.IsNull) and not c.negated
+               and isinstance(c.operand, ast.ColumnRef)
+               for c in checks):
+        return None
+    checked = {c.operand.key() for c in checks}
+    if checked != {eq.left.key(), eq.right.key()}:
+        return None
+    return eq.left, eq.right
 
 
 def _equi_key_pair(conjunct: ast.Expr, accumulated: list[str],
                    new_binding: str, resolve_binding
-                   ) -> Optional[tuple[ast.ColumnRef, ast.ColumnRef]]:
-    """``(left_key, right_key)`` when ``conjunct`` equates a column of
-    the accumulated side with a column of the new source."""
-    if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="):
-        return None
-    left, right = conjunct.left, conjunct.right
-    if not (isinstance(left, ast.ColumnRef)
-            and isinstance(right, ast.ColumnRef)):
-        return None
+                   ) -> Optional[tuple[ast.ColumnRef, ast.ColumnRef,
+                                       bool]]:
+    """``(left_key, right_key, null_safe)`` when ``conjunct`` equates a
+    column of the accumulated side with a column of the new source
+    (plain ``=`` or the null-safe OR form)."""
+    null_safe = False
+    if isinstance(conjunct, ast.BinaryOp) and conjunct.op == "=":
+        left, right = conjunct.left, conjunct.right
+        if not (isinstance(left, ast.ColumnRef)
+                and isinstance(right, ast.ColumnRef)):
+            return None
+    else:
+        pair = null_safe_equality(conjunct)
+        if pair is None:
+            return None
+        left, right = pair
+        null_safe = True
     left_owner = resolve_binding(left, accumulated + [new_binding])
     right_owner = resolve_binding(right, accumulated + [new_binding])
     if left_owner is None or right_owner is None:
         return None
     if left_owner in accumulated and right_owner == new_binding:
-        return left, right
+        return left, right, null_safe
     if right_owner in accumulated and left_owner == new_binding:
-        return right, left
+        return right, left, null_safe
     return None

@@ -1,0 +1,132 @@
+"""``python -m repro.fuzz`` -- the differential fuzzing CLI.
+
+Examples::
+
+    python -m repro.fuzz --seed 0 --budget 500
+    python -m repro.fuzz --seed 7 --budget 200 --max-seconds 60
+    python -m repro.fuzz --replay tests/fuzz/corpus
+    python -m repro.fuzz --seed 0 --budget 50 --inject-bug vpct-denominator
+
+Exit status 0 means every case was consistent across all strategies
+and the sqlite oracle; 1 means at least one divergence (each one is
+minimized and written to ``--out`` as a replayable JSON repro).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections import Counter
+from pathlib import Path
+from typing import Optional
+
+from repro.fuzz.corpus import load_corpus, save_repro
+from repro.fuzz.generator import CaseGenerator, FuzzCase
+from repro.fuzz.reducer import reduce_case
+from repro.fuzz.runner import INJECTABLE_BUGS, run_case
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="Differential fuzzer: every percentage-query "
+                    "strategy vs. the sqlite3 oracle.")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="generator seed (default 0)")
+    parser.add_argument("--budget", type=int, default=200,
+                        help="number of cases to run (default 200)")
+    parser.add_argument("--max-seconds", type=float, default=None,
+                        help="stop early after this wall-clock budget")
+    parser.add_argument("--replay", metavar="DIR", default=None,
+                        help="replay a corpus directory instead of "
+                             "generating new cases")
+    parser.add_argument("--out", metavar="DIR",
+                        default="fuzz-failures",
+                        help="where minimized divergences are written "
+                             "(default: fuzz-failures/)")
+    parser.add_argument("--inject-bug", choices=INJECTABLE_BUGS,
+                        default=None,
+                        help="deliberately mis-compile one variant; "
+                             "the run must diverge (harness self-test)")
+    parser.add_argument("--stop-on-first", action="store_true",
+                        help="exit after minimizing the first "
+                             "divergence")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress per-divergence detail")
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.replay:
+        return _replay(args)
+    return _fuzz(args)
+
+
+# ----------------------------------------------------------------------
+def _fuzz(args: argparse.Namespace) -> int:
+    generator = CaseGenerator(seed=args.seed)
+    started = time.monotonic()
+    families: Counter = Counter()
+    divergences = 0
+    ran = 0
+    for case in generator.cases(args.budget):
+        if args.max_seconds is not None and \
+                time.monotonic() - started > args.max_seconds:
+            print(f"time budget reached after {ran} cases")
+            break
+        ran += 1
+        families[case.family] += 1
+        result = run_case(case, inject_bug=args.inject_bug)
+        if result.divergent:
+            divergences += 1
+            _report(case, result, args)
+            if args.stop_on_first:
+                break
+    elapsed = time.monotonic() - started
+    mix = ", ".join(f"{family}={count}"
+                    for family, count in sorted(families.items()))
+    print(f"ran {ran} cases in {elapsed:.1f}s ({mix}); "
+          f"{divergences} divergence(s)")
+    if args.inject_bug and divergences == 0:
+        print(f"error: --inject-bug {args.inject_bug} produced no "
+              f"divergence -- the harness is blind to it", file=sys.stderr)
+        return 1
+    return 1 if divergences else 0
+
+
+def _report(case: FuzzCase, result, args: argparse.Namespace) -> None:
+    print(f"DIVERGENCE at case {case.index}: {result.explanation}")
+    minimized = reduce_case(
+        case, lambda c: run_case(c, args.inject_bug).divergent)
+    final = run_case(minimized, inject_bug=args.inject_bug)
+    path = save_repro(
+        minimized, Path(args.out),
+        description=f"minimized divergence (seed={case.seed}, "
+                    f"case={case.index}): {final.explanation}",
+        expect="divergent")
+    print(f"  minimized to {len(minimized.rows)} row(s), "
+          f"{len(minimized.group_by)} group column(s): "
+          f"{minimized.query_sql()}")
+    print(f"  repro written to {path}")
+    if not args.quiet:
+        print(final.divergence_report())
+
+
+def _replay(args: argparse.Namespace) -> int:
+    failures = 0
+    total = 0
+    for path, case, expect in load_corpus(args.replay):
+        total += 1
+        result = run_case(case)
+        verdict = "divergent" if result.divergent else "consistent"
+        ok = verdict == expect
+        status = "ok" if ok else f"FAIL (expected {expect}, got {verdict})"
+        print(f"{path.name}: {status}")
+        if not ok:
+            failures += 1
+            if not args.quiet and result.divergent:
+                print(result.divergence_report())
+    print(f"replayed {total} corpus case(s); {failures} failure(s)")
+    return 1 if failures else 0

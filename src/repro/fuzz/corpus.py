@@ -1,0 +1,57 @@
+"""Persistence for minimized fuzz cases.
+
+Every divergence the fuzzer ever found (and every interesting shape
+worth pinning) lives as one JSON file in ``tests/fuzz/corpus/``.  The
+corpus is checked in: ``tests/fuzz/test_corpus.py`` replays it on
+every test run, so a once-fixed divergence can never quietly return.
+
+File format (one case per file)::
+
+    {
+      "description": "why this case exists",
+      "expect": "consistent",
+      "case": { ...FuzzCase.to_dict()... }
+    }
+
+``expect`` is always ``"consistent"`` today -- a checked-in repro is a
+*fixed* bug.  The field exists so a known-open divergence could be
+parked as ``"divergent"`` without failing CI.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator
+
+from repro.fuzz.generator import FuzzCase
+
+#: repo-relative default corpus directory.
+DEFAULT_CORPUS = Path(__file__).resolve().parents[3] \
+    / "tests" / "fuzz" / "corpus"
+
+
+def save_repro(case: FuzzCase, directory: Path | str,
+               description: str = "",
+               expect: str = "consistent") -> Path:
+    """Write one case; the name encodes (seed, index) for provenance."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / (f"{case.family}-seed{case.seed}"
+                        f"-case{case.index}.json")
+    payload = {"description": description, "expect": expect,
+               "case": case.to_dict()}
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def load_corpus(directory: Path | str = DEFAULT_CORPUS
+                ) -> Iterator[tuple[Path, FuzzCase, str]]:
+    """Yield ``(path, case, expect)`` for every corpus file."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return
+    for path in sorted(directory.glob("*.json")):
+        payload = json.loads(path.read_text())
+        yield path, FuzzCase.from_dict(payload["case"]), \
+            payload.get("expect", "consistent")

@@ -1,0 +1,149 @@
+"""Translate generated standard SQL into sqlite's dialect.
+
+The oracle replays plan statements in stdlib ``sqlite3``.  The plans
+are emitted by :mod:`repro.sql.formatter` and are almost-portable SQL;
+two sqlite behaviors would silently change results, so each statement
+is parsed back with :mod:`repro.sql.parser`, rewritten, and
+re-formatted:
+
+* ``x / y`` on two integers truncates in sqlite but is true division
+  in the engine (and in the paper's Teradata SQL).  Every division's
+  numerator is wrapped in ``CAST(... AS REAL)``.
+* a single-column ``INTEGER PRIMARY KEY`` is an alias for sqlite's
+  rowid, which silently rewrites inserted NULLs into fresh row numbers
+  -- catastrophic for NULL-group testing.  ``PRIMARY KEY`` clauses are
+  dropped entirely; they only declare intent in the engine too.
+
+Type names (INT/REAL/VARCHAR/BOOLEAN) pass through: sqlite's type
+affinity maps them correctly.  Known remaining dialect gaps are
+declared in :data:`UNSUPPORTED_FUNCS`; the fuzz generator never emits
+them (sqlite has no ``var``/``stdev``) and the oracle refuses them
+loudly rather than diverging quietly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.sql import ast
+from repro.sql.formatter import format_statement
+from repro.sql.parser import parse_statement
+
+#: aggregate names the engine knows but sqlite does not provide.
+UNSUPPORTED_FUNCS = frozenset({"var", "stdev"})
+
+
+class DialectError(Exception):
+    """The statement cannot be expressed in sqlite faithfully."""
+
+
+def to_sqlite(sql: str) -> str:
+    """Rewrite one formatted statement for sqlite."""
+    return format_statement(rewrite_statement(parse_statement(sql)))
+
+
+# ----------------------------------------------------------------------
+# Statement rewriting
+# ----------------------------------------------------------------------
+def rewrite_statement(statement: ast.Statement) -> ast.Statement:
+    if isinstance(statement, ast.Select):
+        return _rewrite_select(statement)
+    if isinstance(statement, ast.CreateTable):
+        return replace(statement, primary_key=())
+    if isinstance(statement, ast.CreateTableAs):
+        return replace(statement, select=_rewrite_select(statement.select))
+    if isinstance(statement, ast.InsertSelect):
+        return replace(statement, select=_rewrite_select(statement.select))
+    if isinstance(statement, ast.InsertValues):
+        rows = tuple(tuple(_rewrite_expr(v) for v in row)
+                     for row in statement.rows)
+        return replace(statement, rows=rows)
+    if isinstance(statement, ast.Update):
+        assignments = tuple(
+            replace(a, value=_rewrite_expr(a.value))
+            for a in statement.assignments)
+        where = _rewrite_optional(statement.where)
+        return replace(statement, assignments=assignments, where=where)
+    if isinstance(statement, ast.Delete):
+        return replace(statement, where=_rewrite_optional(statement.where))
+    if isinstance(statement, (ast.DropTable, ast.CreateIndex,
+                              ast.DropIndex)):
+        return statement
+    raise DialectError(f"no sqlite rendering for {type(statement).__name__}")
+
+
+def _rewrite_select(select: ast.Select) -> ast.Select:
+    items = tuple(replace(i, expr=_rewrite_expr(i.expr))
+                  for i in select.items)
+    from_ = _rewrite_from(select.from_)
+    group_by = tuple(_rewrite_expr(e) for e in select.group_by)
+    order_by = tuple(replace(o, expr=_rewrite_expr(o.expr))
+                     for o in select.order_by)
+    return replace(select, items=items, from_=from_,
+                   where=_rewrite_optional(select.where),
+                   group_by=group_by,
+                   having=_rewrite_optional(select.having),
+                   order_by=order_by)
+
+
+def _rewrite_from(from_):
+    if from_ is None:
+        return None
+    joins = tuple(
+        replace(j, source=_rewrite_source(j.source),
+                on=_rewrite_optional(j.on))
+        for j in from_.joins)
+    return replace(from_, first=_rewrite_source(from_.first),
+                   joins=joins)
+
+
+def _rewrite_source(source: ast.FromSource) -> ast.FromSource:
+    if isinstance(source, ast.SubquerySource):
+        return replace(source, select=_rewrite_select(source.select))
+    return source
+
+
+# ----------------------------------------------------------------------
+# Expression rewriting
+# ----------------------------------------------------------------------
+def _rewrite_optional(expr):
+    return None if expr is None else _rewrite_expr(expr)
+
+
+def _rewrite_expr(expr: ast.Expr) -> ast.Expr:
+    if isinstance(expr, (ast.Literal, ast.ColumnRef, ast.Star)):
+        return expr
+    if isinstance(expr, ast.UnaryOp):
+        return replace(expr, operand=_rewrite_expr(expr.operand))
+    if isinstance(expr, ast.BinaryOp):
+        left = _rewrite_expr(expr.left)
+        right = _rewrite_expr(expr.right)
+        if expr.op == "/":
+            left = ast.Cast(operand=left, type_name="REAL")
+        return replace(expr, left=left, right=right)
+    if isinstance(expr, ast.IsNull):
+        return replace(expr, operand=_rewrite_expr(expr.operand))
+    if isinstance(expr, ast.InList):
+        return replace(expr, operand=_rewrite_expr(expr.operand),
+                       items=tuple(_rewrite_expr(i) for i in expr.items))
+    if isinstance(expr, ast.CaseWhen):
+        whens = tuple((_rewrite_expr(c), _rewrite_expr(r))
+                      for c, r in expr.whens)
+        return replace(expr, whens=whens,
+                       else_=_rewrite_optional(expr.else_))
+    if isinstance(expr, ast.Cast):
+        return replace(expr, operand=_rewrite_expr(expr.operand))
+    if isinstance(expr, ast.FuncCall):
+        if expr.name in UNSUPPORTED_FUNCS:
+            raise DialectError(f"sqlite has no {expr.name}() aggregate")
+        if expr.by_columns or expr.default is not None:
+            raise DialectError(
+                "extended BY/DEFAULT syntax must be rewritten by the "
+                "code generator before the oracle can run it")
+        args = tuple(_rewrite_expr(a) for a in expr.args)
+        over = expr.over
+        if over is not None:
+            over = replace(over, partition_by=tuple(
+                _rewrite_expr(e) for e in over.partition_by))
+        return replace(expr, args=args, over=over)
+    raise DialectError(f"no sqlite rendering for {type(expr).__name__}")

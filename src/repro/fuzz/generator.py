@@ -1,0 +1,262 @@
+"""Deterministic random generation of fuzz cases.
+
+A :class:`FuzzCase` bundles a small schema, a dataset and one extended
+query.  Everything derives from ``random.Random(f"{seed}:{index}")``,
+so a (seed, index) pair identifies a case forever -- the property the
+CLI's ``--seed`` flag and the checked-in corpus rely on.
+
+The data generator is deliberately adversarial for percentage
+arithmetic: heavy NULL rates on both dimensions and measures, zeros
+and sign-cancelling pairs (so coarse denominators hit exactly zero),
+duplicate rows, empty tables, and single-row tables.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional, Sequence
+
+#: families of generated queries; each maps to a strategy set in
+#: :mod:`repro.fuzz.runner`.
+FAMILIES = ("vpct", "hpct", "hagg", "plain")
+
+#: aggregate functions safe on both engines (sqlite has no var/stdev).
+PLAIN_FUNCS = ("sum", "count", "avg", "min", "max")
+HAGG_FUNCS = ("sum", "count", "avg", "min", "max")
+
+_DIM_POOL = (("d1", "varchar"), ("d2", "int"), ("d3", "varchar"))
+_MEASURE_POOL = (("m1", "real"), ("m2", "int"))
+
+_VARCHAR_VALUES = ("a", "b", "c")
+_INT_DIM_VALUES = (0, 1, 2)
+
+
+@dataclass(frozen=True)
+class TermSpec:
+    """One aggregate item of a generated select list."""
+
+    kind: str                      # vpct | hpct | hagg | plain
+    func: str                      # vpct/hpct or sum/count/avg/min/max
+    argument: str                  # column name, or "*" (count only)
+    by: tuple[str, ...] = ()
+    default: Optional[Any] = None  # literal for ``DEFAULT`` (hagg only)
+
+    def sql(self) -> str:
+        inner = self.argument
+        if self.by:
+            inner += " BY " + ", ".join(self.by)
+        if self.default is not None:
+            inner += f" DEFAULT {self.default}"
+        name = {"vpct": "Vpct", "hpct": "Hpct"}.get(self.kind, self.func)
+        return f"{name}({inner})"
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "func": self.func,
+                "argument": self.argument, "by": list(self.by),
+                "default": self.default}
+
+    @staticmethod
+    def from_dict(data: dict) -> "TermSpec":
+        return TermSpec(kind=data["kind"], func=data["func"],
+                        argument=data["argument"],
+                        by=tuple(data.get("by", ())),
+                        default=data.get("default"))
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """A self-contained differential-testing input."""
+
+    seed: int
+    index: int
+    columns: tuple[tuple[str, str], ...]   # (name, type name)
+    rows: tuple[tuple[Any, ...], ...]
+    group_by: tuple[str, ...]
+    terms: tuple[TermSpec, ...]
+    family: str
+    note: str = ""
+
+    @property
+    def table(self) -> str:
+        return "f"
+
+    def column_names(self) -> list[str]:
+        return [name for name, _ in self.columns]
+
+    def query_sql(self) -> str:
+        items = list(self.group_by)
+        items += [t.sql() for t in self.terms]
+        sql = f"SELECT {', '.join(items)} FROM {self.table}"
+        if self.group_by:
+            sql += " GROUP BY " + ", ".join(self.group_by)
+        return sql
+
+    def to_dict(self) -> dict:
+        return {"seed": self.seed, "index": self.index,
+                "columns": [list(c) for c in self.columns],
+                "rows": [list(r) for r in self.rows],
+                "group_by": list(self.group_by),
+                "terms": [t.to_dict() for t in self.terms],
+                "family": self.family, "note": self.note}
+
+    @staticmethod
+    def from_dict(data: dict) -> "FuzzCase":
+        return FuzzCase(
+            seed=data.get("seed", 0), index=data.get("index", 0),
+            columns=tuple((c[0], c[1]) for c in data["columns"]),
+            rows=tuple(tuple(r) for r in data["rows"]),
+            group_by=tuple(data["group_by"]),
+            terms=tuple(TermSpec.from_dict(t) for t in data["terms"]),
+            family=data["family"], note=data.get("note", ""))
+
+    # Convenience for the reducer --------------------------------------
+    def with_rows(self, rows: Sequence[Sequence[Any]]) -> "FuzzCase":
+        return replace(self, rows=tuple(tuple(r) for r in rows))
+
+    def referenced_columns(self) -> list[str]:
+        """Columns the query actually touches, in schema order."""
+        needed = set(self.group_by)
+        for term in self.terms:
+            needed.update(term.by)
+            if term.argument != "*":
+                needed.add(term.argument)
+        return [n for n in self.column_names() if n in needed]
+
+
+class CaseGenerator:
+    """Seeded stream of :class:`FuzzCase` values."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def case(self, index: int) -> FuzzCase:
+        rng = random.Random(f"{self.seed}:{index}")
+        family = rng.choice(FAMILIES)
+        dims = sorted(rng.sample(_DIM_POOL,
+                                 rng.randint(1 if family != "plain" else 0,
+                                             len(_DIM_POOL))))
+        measures = sorted(rng.sample(_MEASURE_POOL,
+                                     rng.randint(1, len(_MEASURE_POOL))))
+        if family in ("hpct", "hagg") and not dims:
+            dims = [rng.choice(_DIM_POOL)]
+        columns = tuple(dims + measures)
+        rows = self._rows(rng, columns)
+        group_by, terms = self._query(rng, family,
+                                      [d for d, _ in dims],
+                                      [m for m, _ in measures])
+        return FuzzCase(seed=self.seed, index=index, columns=columns,
+                        rows=rows, group_by=group_by, terms=terms,
+                        family=family)
+
+    def cases(self, budget: int):
+        for index in range(budget):
+            yield self.case(index)
+
+    # ------------------------------------------------------------------
+    def _rows(self, rng: random.Random,
+              columns: Sequence[tuple[str, str]]) -> tuple:
+        n_rows = rng.choice((0, 1, rng.randint(2, 8),
+                             rng.randint(9, 30)))
+        null_prob = {name: rng.choice((0.0, 0.15, 0.5))
+                     for name, _ in columns}
+        rows = [tuple(self._value(rng, type_name, null_prob[name])
+                      for name, type_name in columns)
+                for _ in range(n_rows)]
+        # Sign-cancelling pair: same dimensions, measures v and -v, so a
+        # coarse-level sum over that group is exactly zero.
+        if rows and rng.random() < 0.35:
+            base = list(rng.choice(rows))
+            mirror = list(base)
+            for i, (_, type_name) in enumerate(columns):
+                if type_name in ("real", "int"):
+                    v = rng.choice((1, 2.5, 4))
+                    if type_name == "int":
+                        v = int(v)
+                    base[i], mirror[i] = v, -v
+            rows += [tuple(base), tuple(mirror)]
+        # All-NULL measure clone: duplicate a row with its measures
+        # NULLed out, feeding the all-NULL-denominator path.
+        if rows and rng.random() < 0.35:
+            victim = list(rng.choice(rows))
+            for i, (_, type_name) in enumerate(columns):
+                if type_name in ("real", "int"):
+                    victim[i] = None
+            rows.append(tuple(victim))
+        if rows and rng.random() < 0.2:       # exact duplicate row
+            rows.append(rng.choice(rows))
+        return tuple(rows)
+
+    def _value(self, rng: random.Random, type_name: str,
+               null_prob: float):
+        if rng.random() < null_prob:
+            return None
+        if type_name == "varchar":
+            return rng.choice(_VARCHAR_VALUES)
+        if type_name == "int":
+            return rng.choice(_INT_DIM_VALUES + (0, 5, -3))
+        # real measure: zeros and negatives are over-weighted so that
+        # denominators hit 0 and percentages leave [0, 1].
+        return rng.choice((0.0, 0.0, 1.0, 2.5, -1.5, 10.0, 0.25))
+
+    # ------------------------------------------------------------------
+    def _query(self, rng: random.Random, family: str,
+               dims: list[str], measures: list[str]):
+        if family == "vpct":
+            # Favor >= 2 grouping columns with a proper non-empty BY
+            # subset: that is the only shape where the coarse
+            # denominator level differs from both the fine level and
+            # the grand total, so denominator-level bugs only show
+            # there.
+            low = 2 if len(dims) >= 2 and rng.random() < 0.7 else 1
+            group_by = tuple(sorted(rng.sample(
+                dims, rng.randint(low, len(dims)))))
+            terms = []
+            for _ in range(rng.randint(1, 2)):
+                if len(group_by) >= 2 and rng.random() < 0.7:
+                    width = rng.randint(1, len(group_by) - 1)
+                else:
+                    width = rng.randint(0, len(group_by))
+                by = tuple(sorted(rng.sample(group_by, width)))
+                terms.append(TermSpec("vpct", "vpct",
+                                      rng.choice(measures), by))
+            if rng.random() < 0.4:
+                terms.append(self._plain_term(rng, measures))
+            return group_by, tuple(terms)
+
+        if family in ("hpct", "hagg"):
+            # BY columns must be disjoint from GROUP BY; keep the BY
+            # width at 1-2 so the pivoted table stays small.
+            by_pool = list(dims)
+            by = tuple(sorted(rng.sample(
+                by_pool, rng.randint(1, min(2, len(by_pool))))))
+            remaining = [d for d in dims if d not in by]
+            group_by = tuple(sorted(rng.sample(
+                remaining, rng.randint(0, len(remaining)))))
+            terms = []
+            for _ in range(rng.randint(1, 2)):
+                if family == "hpct":
+                    terms.append(TermSpec("hpct", "hpct",
+                                          rng.choice(measures), by))
+                else:
+                    func = rng.choice(HAGG_FUNCS)
+                    default = rng.choice((None, None, 0, -1))
+                    terms.append(TermSpec("hagg", func,
+                                          rng.choice(measures), by,
+                                          default=default))
+            if rng.random() < 0.4:
+                terms.append(self._plain_term(rng, measures))
+            return group_by, tuple(terms)
+
+        group_by = tuple(sorted(rng.sample(
+            dims, rng.randint(0, len(dims)))))
+        terms = tuple(self._plain_term(rng, measures)
+                      for _ in range(rng.randint(1, 3)))
+        return group_by, terms
+
+    def _plain_term(self, rng: random.Random,
+                    measures: list[str]) -> TermSpec:
+        func = rng.choice(PLAIN_FUNCS)
+        if func == "count" and rng.random() < 0.5:
+            return TermSpec("plain", "count", "*")
+        return TermSpec("plain", func, rng.choice(measures))

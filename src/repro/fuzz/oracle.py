@@ -1,0 +1,62 @@
+"""The external oracle: Python's stdlib ``sqlite3``.
+
+Each verdict uses a fresh in-memory connection, loads the case's fact
+table, replays (dialect-adapted) plan statements, and fetches the
+result rows.  sqlite was built by people who never saw this codebase,
+so agreement here rules out a bug shared by every engine strategy.
+
+Version gates: ``UPDATE ... FROM`` (the paper's join-update strategy)
+needs sqlite >= 3.33 and window functions need >= 3.25; callers check
+:func:`supports_update_from` / :func:`supports_windows` and simply
+skip those oracle variants on museum-grade interpreters.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Any, Iterable, Sequence
+
+from repro.fuzz.dialect import to_sqlite
+
+#: engine type name -> sqlite column type (affinity does the rest).
+_TYPE_MAP = {"varchar": "TEXT", "int": "INTEGER", "real": "REAL",
+             "boolean": "INTEGER"}
+
+
+def supports_update_from() -> bool:
+    return sqlite3.sqlite_version_info >= (3, 33, 0)
+
+
+def supports_windows() -> bool:
+    return sqlite3.sqlite_version_info >= (3, 25, 0)
+
+
+class SqliteOracle:
+    """One disposable sqlite database pre-loaded with the fact table."""
+
+    def __init__(self, table: str,
+                 columns: Sequence[tuple[str, str]],
+                 rows: Iterable[Sequence[Any]]):
+        self.conn = sqlite3.connect(":memory:")
+        specs = ", ".join(
+            f'"{name}" {_TYPE_MAP[type_name.lower()]}'
+            for name, type_name in columns)
+        self.conn.execute(f'CREATE TABLE "{table}" ({specs})')
+        placeholders = ", ".join("?" for _ in columns)
+        self.conn.executemany(
+            f'INSERT INTO "{table}" VALUES ({placeholders})',
+            [tuple(row) for row in rows])
+
+    def close(self) -> None:
+        self.conn.close()
+
+    def run_select(self, sql: str) -> list[tuple[Any, ...]]:
+        """Adapt one SELECT to the sqlite dialect and fetch its rows."""
+        return [tuple(r) for r in self.conn.execute(to_sqlite(sql))]
+
+    def replay_plan(self, statements: Sequence[str],
+                    result_select: str) -> list[tuple[Any, ...]]:
+        """Replay a generated plan's statements, then its result query."""
+        for sql in statements:
+            self.conn.execute(to_sqlite(sql))
+        return self.run_select(result_select)

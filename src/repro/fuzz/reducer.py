@@ -1,0 +1,121 @@
+"""Delta-debugging reduction of divergent fuzz cases.
+
+Given a case and a predicate ("does this still diverge?"), shrink it
+along every axis a human would: ddmin over the data rows, greedy
+removal of grouping columns and aggregate terms, and finally dropping
+schema columns the query no longer references.  The output is what
+gets checked into the corpus, so small matters: a five-row, two-column
+repro is a bug report; a thirty-row one is homework.
+
+Validity is preserved structurally (a Vpct query keeps a GROUP BY, a
+horizontal term keeps a non-empty BY); beyond that the predicate is
+the only judge -- a candidate that merely turns the divergence into a
+uniform error is rejected because the runner calls uniform errors
+consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Sequence, TypeVar
+
+from repro.fuzz.generator import FuzzCase, TermSpec
+
+T = TypeVar("T")
+
+Predicate = Callable[[FuzzCase], bool]
+
+
+def ddmin(items: list[T],
+          still_fails: Callable[[list[T]], bool]) -> list[T]:
+    """Zeller's ddmin: a 1-minimal failing sublist of ``items``."""
+    if still_fails([]):
+        return []
+    n = 2
+    while len(items) >= 2:
+        chunk = max(1, len(items) // n)
+        reduced = False
+        for start in range(0, len(items), chunk):
+            candidate = items[:start] + items[start + chunk:]
+            if candidate and still_fails(candidate):
+                items = candidate
+                n = max(n - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if chunk == 1:
+                break
+            n = min(len(items), n * 2)
+    # Final greedy pass guarantees 1-minimality.
+    i = 0
+    while i < len(items) and len(items) > 1:
+        candidate = items[:i] + items[i + 1:]
+        if still_fails(candidate):
+            items = candidate
+        else:
+            i += 1
+    return items
+
+
+def reduce_case(case: FuzzCase, still_diverges: Predicate) -> FuzzCase:
+    """Shrink ``case`` while ``still_diverges`` holds."""
+    case = _reduce_rows(case, still_diverges)
+    case = _reduce_terms(case, still_diverges)
+    case = _reduce_group_columns(case, still_diverges)
+    case = _reduce_rows(case, still_diverges)   # columns gone -> retry
+    case = _drop_unreferenced_columns(case)
+    return case
+
+
+# ----------------------------------------------------------------------
+def _reduce_rows(case: FuzzCase,
+                 still_diverges: Predicate) -> FuzzCase:
+    rows = ddmin(list(case.rows),
+                 lambda rs: still_diverges(case.with_rows(rs)))
+    return case.with_rows(rows)
+
+
+def _reduce_terms(case: FuzzCase,
+                  still_diverges: Predicate) -> FuzzCase:
+    terms = list(case.terms)
+    i = 0
+    while i < len(terms) and len(terms) > 1:
+        candidate = replace(case,
+                            terms=tuple(terms[:i] + terms[i + 1:]))
+        if still_diverges(candidate):
+            terms = list(candidate.terms)
+        else:
+            i += 1
+    return replace(case, terms=tuple(terms))
+
+
+def _reduce_group_columns(case: FuzzCase,
+                          still_diverges: Predicate) -> FuzzCase:
+    for column in list(case.group_by):
+        candidate = _without_group_column(case, column)
+        if candidate is not None and still_diverges(candidate):
+            case = candidate
+    return case
+
+
+def _without_group_column(case: FuzzCase,
+                          column: str) -> FuzzCase | None:
+    group_by = tuple(c for c in case.group_by if c != column)
+    if case.family == "vpct" and not group_by:
+        return None           # Vpct requires a GROUP BY (rule 1)
+    terms = tuple(
+        replace(t, by=tuple(c for c in t.by if c != column))
+        if t.kind == "vpct" else t
+        for t in case.terms)
+    return replace(case, group_by=group_by, terms=terms)
+
+
+def _drop_unreferenced_columns(case: FuzzCase) -> FuzzCase:
+    keep = case.referenced_columns()
+    if len(keep) == len(case.columns):
+        return case
+    indexes = [i for i, (name, _) in enumerate(case.columns)
+               if name in keep]
+    columns = tuple(case.columns[i] for i in indexes)
+    rows = tuple(tuple(row[i] for i in indexes) for row in case.rows)
+    return replace(case, columns=columns, rows=rows)

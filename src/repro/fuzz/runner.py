@@ -1,0 +1,258 @@
+"""Run one fuzz case under every applicable evaluation path.
+
+Per family:
+
+``vpct``
+    every Table 4 vertical strategy (insert join, no-reaggregation,
+    update join, no indexes, mismatched indexes, single statement when
+    legal), the OLAP window rewrite on the engine, the OLAP rewrite on
+    sqlite, and sqlite replays of the insert-join and update-join
+    plans.
+``hpct``
+    both CASE pivots (direct F, indirect FV), the hash-dispatch
+    engine, and a sqlite replay of the direct CASE plan.
+``hagg``
+    the CASE pivots plus both SPJ forms, hash dispatch, and sqlite
+    replays of the CASE and SPJ plans.
+``plain``
+    the engine executing the query directly versus sqlite -- a pure
+    engine-vs-oracle check with no code generator in the loop.
+
+An exception is an outcome, not a crash: if **every** variant raises,
+the engines agree the input is degenerate and the case is consistent;
+a mix of rows and errors (or different rows) is a divergence.
+
+``inject_bug="vpct-denominator"`` deliberately mis-compiles the OLAP
+variant (drops the ``BY`` list, flipping the denominator from the
+coarse level to the grand total).  The harness must then both detect
+the divergence and reduce it -- the self-test behind the acceptance
+criterion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.api.database import Database
+from repro.core import plan as plan_mod
+from repro.core.execute import execute_plan, generate_plan
+from repro.core.hagg import HorizontalAggStrategy
+from repro.core.horizontal import HorizontalStrategy
+from repro.core.model import parse_percentage_query
+from repro.core.vertical import VerticalStrategy
+from repro.fuzz.comparator import compare_outcomes
+from repro.fuzz.generator import FuzzCase
+from repro.fuzz.oracle import (SqliteOracle, supports_update_from,
+                               supports_windows)
+from repro.olap.windowgen import generate_olap_percentage_query
+
+#: plan steps the oracle replay skips: DISCOVER/MATERIALIZE already ran
+#: at generation time and indexes cannot change results.
+_REPLAY_SKIP = frozenset({plan_mod.DISCOVER, plan_mod.MATERIALIZE,
+                          plan_mod.INDEX})
+
+INJECTABLE_BUGS = ("vpct-denominator",)
+
+
+@dataclass
+class VariantResult:
+    """Outcome of one evaluation path."""
+
+    name: str
+    status: str                      # "rows" | "error"
+    rows: Optional[list] = None
+    error: Optional[str] = None
+
+    @property
+    def outcome(self) -> tuple:
+        if self.status == "rows":
+            return ("rows", self.rows)
+        return ("error", self.error)
+
+
+@dataclass
+class CaseResult:
+    case: FuzzCase
+    variants: list[VariantResult] = field(default_factory=list)
+    divergent: bool = False
+    explanation: str = ""
+
+    def divergence_report(self) -> str:
+        lines = [f"case seed={self.case.seed} index={self.case.index} "
+                 f"({self.case.family}): {self.explanation}",
+                 f"  query: {self.case.query_sql()}",
+                 f"  rows:  {len(self.case.rows)}"]
+        for variant in self.variants:
+            if variant.status == "error":
+                lines.append(f"  {variant.name}: error {variant.error}")
+            else:
+                lines.append(f"  {variant.name}: {len(variant.rows)} "
+                             f"rows {variant.rows!r}")
+        return "\n".join(lines)
+
+
+def run_case(case: FuzzCase,
+             inject_bug: Optional[str] = None) -> CaseResult:
+    """Evaluate every variant and compare outcomes pairwise."""
+    result = CaseResult(case=case)
+    for name, thunk in _variants(case, inject_bug):
+        result.variants.append(_evaluate(name, thunk))
+    base = result.variants[0]
+    for other in result.variants[1:]:
+        difference = compare_outcomes(base.outcome, other.outcome)
+        if difference is not None:
+            result.divergent = True
+            result.explanation = (f"{base.name} vs {other.name}: "
+                                  f"{difference}")
+            break
+    return result
+
+
+# ----------------------------------------------------------------------
+def _evaluate(name: str, thunk: Callable[[], list]) -> VariantResult:
+    try:
+        rows = thunk()
+    except Exception as exc:  # noqa: BLE001 - errors are outcomes here
+        return VariantResult(name=name, status="error",
+                             error=type(exc).__name__)
+    return VariantResult(name=name, status="rows", rows=rows)
+
+
+def _load_db(case: FuzzCase, **db_kwargs: Any) -> Database:
+    db = Database(**db_kwargs)
+    db.load_table(case.table, list(case.columns),
+                  [list(row) for row in case.rows])
+    return db
+
+
+def _strategy_rows(case: FuzzCase, strategy, **db_kwargs: Any) -> list:
+    db = _load_db(case, **db_kwargs)
+    plan = generate_plan(db, case.query_sql(), strategy)
+    return execute_plan(db, plan).result.to_rows()
+
+
+def _replay_rows(case: FuzzCase, strategy) -> list:
+    """Generate a plan against the engine, execute it in sqlite."""
+    db = _load_db(case)
+    plan = generate_plan(db, case.query_sql(), strategy)
+    statements = [step.sql for step in plan.steps
+                  if step.purpose not in _REPLAY_SKIP]
+    oracle = SqliteOracle(case.table, case.columns, case.rows)
+    try:
+        return oracle.replay_plan(statements, plan.result_select)
+    finally:
+        oracle.close()
+
+
+def _olap_sql(case: FuzzCase, inject_bug: Optional[str]) -> str:
+    query = parse_percentage_query(case.query_sql())
+    if inject_bug == "vpct-denominator":
+        for term in query.vertical_pct_terms():
+            term.by_columns = ()
+    return generate_olap_percentage_query(query)
+
+
+def _engine_olap_rows(case: FuzzCase,
+                      inject_bug: Optional[str]) -> list:
+    db = _load_db(case)
+    result = db.execute(_olap_sql(case, inject_bug))
+    return result.to_rows()
+
+
+def _sqlite_olap_rows(case: FuzzCase,
+                      inject_bug: Optional[str]) -> list:
+    sql = _olap_sql(case, inject_bug)
+    oracle = SqliteOracle(case.table, case.columns, case.rows)
+    try:
+        return oracle.run_select(sql)
+    finally:
+        oracle.close()
+
+
+def _sqlite_direct_rows(case: FuzzCase) -> list:
+    oracle = SqliteOracle(case.table, case.columns, case.rows)
+    try:
+        return oracle.run_select(case.query_sql())
+    finally:
+        oracle.close()
+
+
+def _variants(case: FuzzCase, inject_bug: Optional[str]
+              ) -> list[tuple[str, Callable[[], list]]]:
+    if inject_bug is not None and inject_bug not in INJECTABLE_BUGS:
+        raise ValueError(f"unknown injectable bug {inject_bug!r}; "
+                         f"known: {', '.join(INJECTABLE_BUGS)}")
+    if case.family == "vpct":
+        return _vpct_variants(case, inject_bug)
+    if case.family in ("hpct", "hagg"):
+        return _horizontal_variants(case)
+    return [
+        ("engine:direct",
+         lambda: _load_db(case).query(case.query_sql())),
+        ("sqlite:direct", lambda: _sqlite_direct_rows(case)),
+    ]
+
+
+def _vpct_variants(case: FuzzCase, inject_bug: Optional[str]):
+    variants = [
+        ("engine:join-insert",
+         lambda: _strategy_rows(case, VerticalStrategy())),
+        ("engine:join-rescan-fj",
+         lambda: _strategy_rows(case,
+                                VerticalStrategy(fj_from_fk=False))),
+        ("engine:join-update",
+         lambda: _strategy_rows(case,
+                                VerticalStrategy(use_update=True))),
+        ("engine:join-noindex",
+         lambda: _strategy_rows(
+             case, VerticalStrategy(create_indexes=False))),
+        ("engine:join-mismatched-index",
+         lambda: _strategy_rows(
+             case, VerticalStrategy(matching_indexes=False))),
+    ]
+    if len(case.terms) == 1:
+        variants.append(
+            ("engine:single-statement",
+             lambda: _strategy_rows(
+                 case, VerticalStrategy(single_statement=True))))
+    variants.append(("engine:olap-window",
+                     lambda: _engine_olap_rows(case, inject_bug)))
+    if supports_windows():
+        variants.append(("sqlite:olap-window",
+                         lambda: _sqlite_olap_rows(case, inject_bug)))
+    variants.append(("sqlite:replay-join-insert",
+                     lambda: _replay_rows(case, VerticalStrategy())))
+    if supports_update_from():
+        variants.append(
+            ("sqlite:replay-join-update",
+             lambda: _replay_rows(case,
+                                  VerticalStrategy(use_update=True))))
+    return variants
+
+
+def _horizontal_variants(case: FuzzCase):
+    variants = [
+        ("engine:case-direct",
+         lambda: _strategy_rows(case, HorizontalStrategy(source="F"))),
+        ("engine:case-indirect",
+         lambda: _strategy_rows(case, HorizontalStrategy(source="FV"))),
+        ("engine:case-direct-hash",
+         lambda: _strategy_rows(case, HorizontalStrategy(source="F"),
+                                case_dispatch="hash")),
+        ("sqlite:replay-case-direct",
+         lambda: _replay_rows(case, HorizontalStrategy(source="F"))),
+    ]
+    if case.family == "hagg":
+        variants += [
+            ("engine:spj-direct",
+             lambda: _strategy_rows(case,
+                                    HorizontalAggStrategy(source="F"))),
+            ("engine:spj-indirect",
+             lambda: _strategy_rows(
+                 case, HorizontalAggStrategy(source="FV"))),
+            ("sqlite:replay-spj-direct",
+             lambda: _replay_rows(case,
+                                  HorizontalAggStrategy(source="F"))),
+        ]
+    return variants

@@ -217,6 +217,7 @@ class _Parser:
 
     def _is_clause_boundary(self, token: Token) -> bool:
         return (isinstance(token.value, str)
+                and not token.quoted
                 and token.value.upper() in self._CLAUSE_KEYWORDS)
 
     def _from_clause(self) -> ast.FromClause:

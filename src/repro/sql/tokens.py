@@ -31,9 +31,14 @@ class Token:
     value: Any
     line: int
     column: int
+    quoted: bool = False
 
     def matches_keyword(self, keyword: str) -> bool:
+        # A double-quoted identifier is never a keyword: the generated
+        # horizontal column for a NULL combination is literally named
+        # "null", and must not re-parse as the NULL literal.
         return (self.type == TokenType.IDENT
+                and not self.quoted
                 and isinstance(self.value, str)
                 and self.value.upper() == keyword.upper())
 
@@ -90,7 +95,8 @@ def tokenize(text: str) -> list[Token]:
             continue
         if ch == '"':
             value, i = _scan_quoted_ident(text, i, line, column)
-            tokens.append(Token(TokenType.IDENT, value, line, column))
+            tokens.append(Token(TokenType.IDENT, value, line, column,
+                                quoted=True))
             continue
         if ch in _DIGITS or (ch == "." and i + 1 < n
                              and text[i + 1] in _DIGITS):

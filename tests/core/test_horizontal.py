@@ -197,3 +197,103 @@ class TestVerticalPartitioning:
         assert len(fh_tables) >= 2
         for name in fh_tables:
             assert db.table(name).schema.width() <= 6
+
+
+class TestThreeWayCellSemantics:
+    """An Hpct cell distinguishes three situations, in both the direct
+    CASE transpose and the indirect FV path:
+
+    * sick group (denominator zero or all-NULL)  -> whole row NULL;
+    * combination present but its measures all NULL -> NULL cell;
+    * combination genuinely absent from the group -> 0 cell.
+
+    This keeps Hpct transposition-consistent with Vpct on the same
+    cells.
+    """
+
+    SOURCES = ["F", "FV"]
+
+    def _run(self, db, source):
+        return run_percentage_query(
+            db, "SELECT g, Hpct(m BY d) FROM f GROUP BY g",
+            HorizontalStrategy(source=source))
+
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_all_null_denominator_nulls_the_row(self, db, source):
+        db.load_table("f", [("g", "varchar"), ("d", "varchar"),
+                            ("m", "real")],
+                      [("a", "x", None), ("a", "y", None),
+                       ("b", "x", 2.0)])
+        result = self._run(db, source)
+        names = result.column_names()
+        rows = {r[0]: dict(zip(names, r)) for r in result.to_rows()}
+        assert rows["a"]["x"] is None
+        assert rows["a"]["y"] is None
+        assert rows["b"]["x"] == pytest.approx(1.0)
+        assert rows["b"]["y"] == 0          # absent combination
+
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_zero_denominator_nulls_the_row(self, db, source):
+        db.load_table("f", [("g", "varchar"), ("d", "varchar"),
+                            ("m", "real")],
+                      [("a", "x", 2.5), ("a", "y", -2.5),
+                       ("b", "x", 2.0)])
+        result = self._run(db, source)
+        names = result.column_names()
+        rows = {r[0]: dict(zip(names, r)) for r in result.to_rows()}
+        assert rows["a"]["x"] is None
+        assert rows["a"]["y"] is None
+        assert rows["b"]["x"] == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_present_all_null_cell_differs_from_absent(self, db,
+                                                       source):
+        # Group "a" is healthy (x sums to 4): its all-NULL y cell is
+        # NULL, its absent z cell is 0.
+        db.load_table("f", [("g", "varchar"), ("d", "varchar"),
+                            ("m", "real")],
+                      [("a", "x", 4.0), ("a", "y", None),
+                       ("b", "z", 1.0)])
+        result = self._run(db, source)
+        names = result.column_names()
+        rows = {r[0]: dict(zip(names, r)) for r in result.to_rows()}
+        assert rows["a"]["x"] == pytest.approx(1.0)
+        assert rows["a"]["y"] is None
+        assert rows["a"]["z"] == 0
+
+
+class TestEmptyTableGlobalAggregates:
+    """A global count over an empty table is 0 in every path; the
+    indirect strategy's recombination (a sum of partial counts over an
+    empty FV) must coalesce to 0 rather than report NULL."""
+
+    def _load(self, db):
+        db.load_table("f", [("d", "varchar"), ("m", "int")], [])
+
+    @pytest.mark.parametrize("indirect", [False, True],
+                             ids=["direct", "indirect"])
+    def test_global_count_star_is_zero(self, db, indirect):
+        self._load(db)
+        # The horizontal term contributes no columns (DISTINCT d over
+        # an empty table is empty); only the count survives.
+        result = run_percentage_query(
+            db, "SELECT sum(m BY d DEFAULT -1), count(*) FROM f",
+            HorizontalStrategy(source="FV" if indirect else "F"))
+        assert result.to_rows() == [(0,)]
+
+    @pytest.mark.parametrize("indirect", [False, True],
+                             ids=["direct", "indirect"])
+    def test_count_backfills_zero_but_sum_stays_null(self, db,
+                                                     indirect):
+        # One row whose measure is NULL: count of the cell is 0, the
+        # sum of the same cell is NULL (SQL's empty-sum semantics).
+        db.load_table("f", [("d", "varchar"), ("m", "int")],
+                      [("x", None)])
+        result = run_percentage_query(
+            db, "SELECT count(m BY d), sum(m BY d), count(*) FROM f",
+            HorizontalStrategy(source="FV" if indirect else "F"))
+        record = dict(zip(result.column_names(),
+                          result.to_rows()[0]))
+        assert record["count_m_x"] == 0
+        assert record["sum_m_x"] is None
+        assert record["count_3"] == 1

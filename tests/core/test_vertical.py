@@ -218,3 +218,79 @@ class TestSingleStatement:
         assert plan.temp_tables == []
         assert plan.result_table is None
         assert "FROM (" in plan.result_select
+
+
+ALL_JOIN_STRATEGIES = [
+    VerticalStrategy(),
+    VerticalStrategy(fj_from_fk=False),
+    VerticalStrategy(use_update=True),
+    VerticalStrategy(create_indexes=False),
+    VerticalStrategy(matching_indexes=False),
+]
+
+
+class TestDenominatorNullSemantics:
+    """Zero and all-NULL coarse denominators yield NULL percentages
+    identically in the join strategies, the single-statement CASE
+    form, and the OLAP window rewrite."""
+
+    ZERO_ROWS = [("a", "x", 5.0), ("a", "y", -5.0), ("b", "x", 2.0)]
+    NULL_ROWS = [("a", "x", None), ("a", "y", None), ("b", "x", 2.0)]
+    QUERY = "SELECT g, c, Vpct(m BY c) FROM f GROUP BY g, c"
+
+    def _load(self, db, rows):
+        db.load_table("f", [("g", "varchar"), ("c", "varchar"),
+                            ("m", "real")], rows)
+        return db
+
+    def _expected(self, rows):
+        return {("a", "x"): None, ("a", "y"): None,
+                ("b", "x"): 1.0}
+
+    @pytest.mark.parametrize("rows", [ZERO_ROWS, NULL_ROWS],
+                             ids=["zero-total", "all-null-total"])
+    @pytest.mark.parametrize(
+        "strategy", ALL_JOIN_STRATEGIES + [
+            VerticalStrategy(single_statement=True)],
+        ids=["join", "join-rescan", "join-update", "join-noindex",
+             "join-mismatch", "case-single-statement"])
+    def test_sick_denominators_are_null(self, db, rows, strategy):
+        self._load(db, rows)
+        result = run_percentage_query(db, self.QUERY, strategy)
+        got = {(r[0], r[1]): r[2] for r in result.to_rows()}
+        assert got == self._expected(rows)
+
+    @pytest.mark.parametrize("rows", [ZERO_ROWS, NULL_ROWS],
+                             ids=["zero-total", "all-null-total"])
+    def test_olap_rewrite_agrees(self, db, rows):
+        from repro.olap import run_olap_percentage_query
+        self._load(db, rows)
+        result = run_olap_percentage_query(db, self.QUERY)
+        got = {(r[0], r[1]): r[2] for r in result.to_rows()}
+        assert got == self._expected(rows)
+
+
+class TestNullGroupingValues:
+    """NULL grouping values form a group of their own (the paper
+    follows SQL GROUP BY semantics); the equi-joins between F, Fk and
+    Fj must be null-safe or those rows silently disappear."""
+
+    ROWS = [(None, "x", 6.0), (None, "x", 2.0), (None, "y", 8.0),
+            ("b", None, 3.0), ("b", "x", 9.0)]
+
+    @pytest.mark.parametrize(
+        "strategy", ALL_JOIN_STRATEGIES,
+        ids=["join", "join-rescan", "join-update", "join-noindex",
+             "join-mismatch"])
+    def test_null_groups_survive_the_join(self, db, strategy):
+        db.load_table("f", [("g", "varchar"), ("c", "varchar"),
+                            ("m", "real")], self.ROWS)
+        result = run_percentage_query(
+            db, "SELECT g, c, Vpct(m BY c) FROM f GROUP BY g, c",
+            strategy)
+        got = {(r[0], r[1]): r[2] for r in result.to_rows()}
+        assert got[(None, "x")] == pytest.approx(8 / 16)
+        assert got[(None, "y")] == pytest.approx(8 / 16)
+        assert got[("b", None)] == pytest.approx(3 / 12)
+        assert got[("b", "x")] == pytest.approx(9 / 12)
+        assert len(got) == 4

@@ -117,3 +117,38 @@ class TestNonPivotShapesFallThrough:
     def test_matches_linear(self, pair, sql):
         linear, hashed = pair
         assert linear.query(sql) == hashed.query(sql)
+
+
+class TestMixedFunctionFamilies:
+    """Terms sharing (pivot column, argument) form one dispatch family
+    and share a single factorization pass -- but each distinct
+    function still needs its own aggregate pass.  A shared family must
+    never reuse the first term's aggregate for the others."""
+
+    MIXED_SQL = """
+    SELECT g,
+      avg(CASE WHEN d = 1 THEN a ELSE null END) AS a1,
+      sum(CASE WHEN d = 1 THEN a ELSE null END) AS s1,
+      sum(CASE WHEN d = 2 THEN a ELSE null END) AS s2
+    FROM t GROUP BY g ORDER BY g
+    """
+
+    def test_avg_and_sum_differ_per_cell(self, pair):
+        linear, hashed = pair
+        expected = linear.query(self.MIXED_SQL)
+        assert hashed.query(self.MIXED_SQL) == expected
+        # g=1, d=1 holds 10.0 and 5.0: avg 7.5, sum 15.0.
+        assert expected[0] == (1, 7.5, 15.0, 2.0)
+
+    def test_count_zero_does_not_leak_into_min(self, pair):
+        # count() backfills 0 for untouched cells; min() of the same
+        # family must stay NULL.
+        sql = """
+        SELECT
+          count(CASE WHEN d = 3 THEN a ELSE null END) AS c3,
+          min(CASE WHEN d = 3 THEN a ELSE null END) AS m3
+        FROM t
+        """
+        linear, hashed = pair
+        for db in (linear, hashed):
+            assert db.query(sql) == [(0, None)]

@@ -1,0 +1,41 @@
+"""Replay of the checked-in fuzz corpus.
+
+Every divergence the fuzzer ever found lands here, minimized, as a
+JSON file under ``tests/fuzz/corpus/``.  Files carry an ``expect``
+field: ``"consistent"`` pins a fixed bug (all strategies and the
+sqlite oracle must agree forever), ``"divergent"`` parks a known-open
+one so the suite documents it without failing.
+"""
+
+import pytest
+
+from repro.fuzz import load_corpus, run_case
+from repro.fuzz.corpus import DEFAULT_CORPUS
+
+CORPUS = list(load_corpus(DEFAULT_CORPUS))
+
+
+def test_corpus_is_not_empty():
+    assert CORPUS, f"no corpus files under {DEFAULT_CORPUS}"
+
+
+@pytest.mark.parametrize(
+    "path,case,expect", CORPUS,
+    ids=[path.stem for path, _, _ in CORPUS])
+def test_corpus_case(path, case, expect):
+    result = run_case(case)
+    if expect == "consistent":
+        assert not result.divergent, result.divergence_report()
+    elif expect == "divergent":
+        assert result.divergent, (
+            f"{path.name} replays clean: the bug it parks appears "
+            "fixed -- flip its expect field to 'consistent'")
+    else:
+        pytest.fail(f"{path.name}: unknown expect value {expect!r}")
+
+
+def test_corpus_cases_are_minimal_enough():
+    """Check-in hygiene: minimized repros stay small and readable."""
+    for path, case, _ in CORPUS:
+        assert len(case.rows) <= 10, f"{path.name}: too many rows"
+        assert len(case.columns) <= 6, f"{path.name}: too many columns"

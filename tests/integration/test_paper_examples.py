@@ -109,6 +109,9 @@ class TestGeneratedSQLMatchesPaperShapes:
             "GROUP BY store", HorizontalStrategy(source="F"))
         script = plan.sql_script()
         assert "SELECT DISTINCT dweek FROM sales" in script
-        assert "sum(CASE WHEN dweek = 'Mo' THEN salesamt ELSE 0 END)" \
-            in script
+        # The pivoting numerator: one CASE per discovered dweek value.
+        # ELSE NULL (not 0) keeps all-NULL cells distinct from missing
+        # combinations, matching the Vpct row for the same cell.
+        assert "sum(CASE WHEN dweek = 'Mo' THEN salesamt " \
+            "ELSE NULL END)" in script
         assert "GROUP BY store" in script

@@ -1,0 +1,141 @@
+"""Property-based invariants of horizontal aggregations (Hagg) and the
+DEFAULT clause:
+
+* every horizontal ``sum``/``min``/``max``/``avg`` cell equals the
+  plain vertical aggregate of the matching (group, pivot) slice;
+* the horizontal cells of a row recombine into the plain group
+  aggregate (sum of sums, min of mins, max of maxes);
+* ``DEFAULT v`` fills exactly the combinations with no contributing
+  non-NULL measure, and leaves every real cell untouched;
+* the CASE and SPJ evaluation paths agree cell by cell.
+"""
+
+import math
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database
+from repro.core import (HorizontalAggStrategy, HorizontalStrategy,
+                        run_percentage_query)
+
+#: Strictly positive measures: no group or cell can be all-NULL, so a
+#: NULL horizontal cell means exactly "this combination is absent".
+POSITIVE_ROWS = st.lists(
+    st.tuples(st.integers(0, 2), st.integers(0, 3),
+              st.integers(1, 50)),
+    min_size=1, max_size=25)
+
+MIXED_ROWS = st.lists(
+    st.tuples(st.integers(0, 2), st.integers(0, 3),
+              st.one_of(st.none(), st.integers(-20, 20))),
+    min_size=1, max_size=25)
+
+
+def load(rows):
+    db = Database()
+    db.execute("CREATE TABLE f (g INT, d INT, m REAL)")
+    values = ", ".join(f"({g}, {d}, {'NULL' if m is None else m})"
+                       for g, d, m in rows)
+    db.execute(f"INSERT INTO f VALUES {values}")
+    return db
+
+
+def slices(rows):
+    """(g, d) -> list of non-NULL measures."""
+    out = {}
+    for g, d, m in rows:
+        if m is not None:
+            out.setdefault((g, d), []).append(float(m))
+    return out
+
+
+def cells(result):
+    """(g, pivot column name) -> cell value."""
+    names = result.column_names()
+    return {(row[0], name): value
+            for row in result.to_rows()
+            for name, value in zip(names, row) if name != "g"}
+
+
+@pytest.mark.parametrize("func,combine", [
+    ("sum", sum), ("min", min), ("max", max),
+    ("avg", lambda vs: sum(vs) / len(vs)),
+])
+@given(MIXED_ROWS)
+@settings(max_examples=30, deadline=None)
+def test_cells_match_slice_aggregates(func, combine, rows):
+    db = load(rows)
+    result = run_percentage_query(
+        db, f"SELECT g, {func}(m BY d) FROM f GROUP BY g")
+    expected = slices(rows)
+    for (g, name), value in cells(result).items():
+        # Single-term naming is "c<value>"; multi-term is
+        # "<func>_m_<value>".  The pivot value is the trailing digits.
+        d = int(re.search(r"(\d+)$", name).group(1))
+        measures = expected.get((g, d))
+        if measures is None:
+            assert value is None
+        else:
+            assert math.isclose(value, combine(measures))
+
+
+@given(MIXED_ROWS)
+@settings(max_examples=30, deadline=None)
+def test_row_cells_recombine_to_group_aggregate(rows):
+    """sum of a row's horizontal sums == the group's plain sum; same
+    for min-of-mins and max-of-maxes."""
+    db = load(rows)
+    result = run_percentage_query(
+        db, "SELECT g, sum(m BY d), min(m BY d), max(m BY d), "
+            "sum(m), min(m), max(m) FROM f GROUP BY g")
+    names = result.column_names()
+    for row in result.to_rows():
+        record = dict(zip(names, row))
+        for func in ("sum", "min", "max"):
+            parts = [v for k, v in record.items()
+                     if k.startswith(f"{func}_m_") and v is not None]
+            combine = {"sum": sum, "min": min, "max": max}[func]
+            plain = record[f"{func}_m"]
+            if parts:
+                assert math.isclose(combine(parts), plain)
+            else:
+                assert plain is None
+
+
+@given(POSITIVE_ROWS)
+@settings(max_examples=30, deadline=None)
+def test_default_fills_exactly_the_missing_combinations(rows):
+    db = load(rows)
+    plain = run_percentage_query(
+        db, "SELECT g, sum(m BY d) FROM f GROUP BY g")
+    filled = run_percentage_query(
+        db, "SELECT g, sum(m BY d DEFAULT -1) FROM f GROUP BY g")
+    bare, defaulted = cells(plain), cells(filled)
+    assert bare.keys() == defaulted.keys()
+    for key, value in bare.items():
+        if value is None:
+            assert defaulted[key] == -1
+        else:
+            assert math.isclose(defaulted[key], value)
+
+
+@given(MIXED_ROWS)
+@settings(max_examples=30, deadline=None)
+def test_case_and_spj_paths_agree(rows):
+    db = load(rows)
+    sql = "SELECT g, avg(m BY d), count(m BY d) FROM f GROUP BY g"
+    baseline = None
+    for strategy in (HorizontalStrategy(source="F"),
+                     HorizontalStrategy(source="FV"),
+                     HorizontalAggStrategy(source="F"),
+                     HorizontalAggStrategy(source="FV")):
+        rows_out = run_percentage_query(db, sql, strategy).to_rows()
+        if baseline is None:
+            baseline = rows_out
+        else:
+            assert len(rows_out) == len(baseline)
+            for a, b in zip(rows_out, baseline):
+                assert a == pytest.approx(b, nan_ok=True)

@@ -213,3 +213,26 @@ class TestScripts:
     def test_trailing_junk_raises(self):
         with pytest.raises(SQLSyntaxError):
             parse_statement("SELECT 1 garbage extra tokens ,")
+
+
+class TestQuotedKeywordColumns:
+    """Columns named after keywords stay selectable when quoted."""
+
+    def test_select_column_named_null(self):
+        from repro.sql import ast
+        stmt = parse_statement('SELECT "null" FROM t')
+        expr = stmt.items[0].expr
+        assert isinstance(expr, ast.ColumnRef)
+        assert expr.name == "null"
+
+    def test_column_named_null_round_trips_with_data(self):
+        from repro import Database
+        db = Database()
+        db.execute('CREATE TABLE t ("null" REAL, "case" INT)')
+        db.execute("INSERT INTO t VALUES (2.5, 1), (NULL, 2)")
+        assert db.query('SELECT "null", "case" FROM t '
+                        'ORDER BY "case"') == [(2.5, 1), (None, 2)]
+
+    def test_quoted_from_is_a_table_name(self):
+        stmt = parse_statement('SELECT x FROM "from"')
+        assert stmt.from_.first.name == "from"

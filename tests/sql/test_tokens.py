@@ -73,3 +73,26 @@ class TestErrors:
         with pytest.raises(SQLSyntaxError) as err:
             tokenize("a ~ b")
         assert err.value.line == 1
+
+
+class TestQuotedKeywordIdentifiers:
+    """A double-quoted identifier never matches a keyword.  The
+    horizontal generators emit a column literally named "null" for a
+    NULL pivot combination; re-parsing that name as the NULL literal
+    silently nulled every value selected through it."""
+
+    def test_quoted_flag_is_set(self):
+        bare, quoted = tokenize('null "null"')[:2]
+        assert bare.value == "null" and not bare.quoted
+        assert quoted.value == "null" and quoted.quoted
+
+    @pytest.mark.parametrize("word", ["null", "NULL", "case", "from",
+                                      "select", "default"])
+    def test_quoted_never_matches_keyword(self, word):
+        token = tokenize(f'"{word}"')[0]
+        assert token.type == TokenType.IDENT
+        assert not token.matches_keyword(word)
+        assert not token.matches_keyword(word.upper())
+
+    def test_bare_still_matches_keyword(self):
+        assert tokenize("null")[0].matches_keyword("NULL")
