@@ -18,6 +18,7 @@ from repro.engine.catalog import Catalog
 from repro.engine.column import ColumnData
 from repro.engine.encoding_cache import DEFAULT_ENCODING_CACHE_BYTES
 from repro.engine.executor import Executor, ExecutorOptions
+from repro.engine.governor import ResourceBudget, ResourceGovernor
 from repro.engine.schema import (DEFAULT_MAX_COLUMNS,
                                  DEFAULT_MAX_NAME_LENGTH, TableSchema)
 from repro.engine.stats import StatementStats, StatsCollector
@@ -41,6 +42,12 @@ class Database:
             the table-versioned cache (wall-clock only; results and
             logical I/O are identical with it off).
         encoding_cache_bytes: LRU byte budget for that cache.
+        max_query_seconds / max_query_rows / max_result_width:
+            per-query resource budgets enforced cooperatively by the
+            :class:`~repro.engine.governor.ResourceGovernor` (``None``
+            = unlimited).  A generated percentage plan counts as one
+            query: its whole multi-statement script shares one budget
+            window.
         keep_history: record per-statement stats in
             ``db.stats.history``.
     """
@@ -51,6 +58,9 @@ class Database:
                  use_indexes: bool = True,
                  use_encoding_cache: bool = True,
                  encoding_cache_bytes: int = DEFAULT_ENCODING_CACHE_BYTES,
+                 max_query_seconds: Optional[float] = None,
+                 max_query_rows: Optional[int] = None,
+                 max_result_width: Optional[int] = None,
                  keep_history: bool = False):
         if case_dispatch not in ("linear", "hash"):
             raise ValueError("case_dispatch must be 'linear' or 'hash'")
@@ -62,7 +72,12 @@ class Database:
             case_dispatch=case_dispatch,
             use_indexes=use_indexes,
             use_encoding_cache=use_encoding_cache)
-        self.executor = Executor(self.catalog, self.stats, self.options)
+        self.governor = ResourceGovernor(ResourceBudget(
+            max_seconds=max_query_seconds,
+            max_rows=max_query_rows,
+            max_result_width=max_result_width))
+        self.executor = Executor(self.catalog, self.stats, self.options,
+                                 governor=self.governor)
         # Statement-level serialization: concurrent sessions (the
         # paper's closing scenario, "users concurrently submit
         # percentage queries") interleave whole statements safely.
@@ -99,7 +114,7 @@ class Database:
         return result.to_rows()
 
     def _run(self, statement: ast.Statement, sql: str) -> Table | int:
-        with self._lock:
+        with self._lock, self.governor.window():
             before = self.stats.snapshot()
             started = time.perf_counter()
             result = self.executor.execute(statement)
@@ -164,7 +179,9 @@ class Database:
     def has_table(self, name: str) -> bool:
         return self.catalog.has_table(name)
 
-    def drop_table(self, name: str, if_exists: bool = True) -> None:
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        # The default matches Catalog.drop_table (and SQL DROP TABLE):
+        # dropping a missing table is an error unless opted out.
         self.catalog.drop_table(name, if_exists=if_exists)
 
     def table_names(self) -> list[str]:
@@ -185,6 +202,23 @@ class Database:
         """Occupancy and traffic counters of the dictionary-encoding
         cache (hits/misses/evictions, bytes, hit rate)."""
         return self.catalog.encoding_cache.info()
+
+    def set_resource_budget(self,
+                            max_seconds: Optional[float] = None,
+                            max_rows: Optional[int] = None,
+                            max_result_width: Optional[int] = None
+                            ) -> None:
+        """Replace the per-query resource budgets (None = unlimited).
+
+        Takes effect for the next query window; a window already open
+        keeps the budget it started with only for its elapsed clock
+        (limits are read at each checkpoint)."""
+        self.governor.set_budget(ResourceBudget(
+            max_seconds=max_seconds, max_rows=max_rows,
+            max_result_width=max_result_width))
+
+    def resource_budget(self) -> ResourceBudget:
+        return self.governor.budget
 
 
 def _lookup_ci_dict(mapping: dict, name: str):

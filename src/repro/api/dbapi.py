@@ -26,7 +26,7 @@ from typing import Any, Iterable, Optional, Sequence
 from repro.api.database import Database
 from repro.engine.table import Table
 from repro.engine.types import SQLType
-from repro.errors import ReproError
+from repro.errors import ExecutionError, ReproError, ResourceExhausted
 
 apilevel = "2.0"
 #: Threads may share the module and connections: the Database
@@ -133,7 +133,7 @@ class Cursor:
         try:
             result = self.connection.database.execute(sql)
         except ReproError as exc:
-            raise ProgrammingError(str(exc)) from exc
+            raise _map_error(exc) from exc
         if isinstance(result, Table):
             self._rows = result.to_rows()
             self._cursor_position = 0
@@ -161,7 +161,7 @@ class Cursor:
         try:
             self.connection.database.execute_script(script)
         except ReproError as exc:
-            raise ProgrammingError(str(exc)) from exc
+            raise _map_error(exc) from exc
         self._rows = []
         self.description = None
         self.rowcount = -1
@@ -216,6 +216,15 @@ class Cursor:
 
 
 # ----------------------------------------------------------------------
+def _map_error(exc: ReproError) -> DatabaseError:
+    """PEP 249 classification: statement problems are programming
+    errors; runtime failures (budget overruns, transient faults) are
+    operational -- the class a retry loop is expected to catch."""
+    if isinstance(exc, (ResourceExhausted, ExecutionError)):
+        return OperationalError(str(exc))
+    return ProgrammingError(str(exc))
+
+
 def _bind_parameters(operation: str, parameters: Sequence[Any]) -> str:
     """Substitute qmark placeholders with quoted literals.
 

@@ -5,25 +5,46 @@ parses the extended syntax, validates the paper's usage rules, picks
 (or accepts) an evaluation strategy, generates the standard-SQL plan,
 executes it, and returns the result table -- dropping the temporary
 tables afterwards unless asked to keep them.
+
+Execution is *resilient*:
+
+* both generation and execution are guarded by catalog savepoints, so
+  a failure anywhere in a multi-statement plan restores the pre-plan
+  catalog (no half-built temp tables, base tables untouched);
+* :class:`~repro.errors.TransientError` faults are retried with
+  exponential backoff under a :class:`RetryPolicy` -- the whole plan
+  re-runs from the savepoint, which is exactly the recovery a DBA
+  performs on a deadlock-victim script;
+* cleanup/rollback failures never mask the execution error that was
+  already in flight (the original propagates with the secondary
+  failure chained via ``__cause__``);
+* :func:`run_resilient` adds automatic strategy fallback: when a plan
+  dies with a fallback-eligible resource error, the query is re-planned
+  through the paper's alternate evaluation route (direct-from-F versus
+  indirect-via-FV, Table 5) and the report records what happened.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Optional, Union
+from dataclasses import dataclass, field
+from typing import Any, Optional, Union
 
 from repro.api.database import Database
 from repro.core import model, plan as plan_mod, validate as validate_mod
 from repro.core.hagg import HorizontalAggStrategy, generate_spj
 from repro.core.horizontal import HorizontalStrategy, generate_horizontal
 from repro.core.model import PercentageQuery, parse_percentage_query
-from repro.core.optimizer import (choose_horizontal_strategy,
+from repro.core.optimizer import (alternate_strategy,
+                                  choose_horizontal_strategy,
                                   choose_vertical_strategy)
 from repro.core.plan import GeneratedPlan
 from repro.core.vertical import VerticalStrategy, generate_vertical
+from repro.engine import faults
+from repro.engine.catalog import CatalogSavepoint
 from repro.engine.table import Table
-from repro.errors import PercentageQueryError
+from repro.errors import (PercentageQueryError, ReproError,
+                          TransientError)
 
 Strategy = Union[VerticalStrategy, HorizontalStrategy,
                  HorizontalAggStrategy]
@@ -33,6 +54,34 @@ Strategy = Union[VerticalStrategy, HorizontalStrategy,
 _GENERATION_TIME = frozenset({plan_mod.DISCOVER, plan_mod.MATERIALIZE})
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How :func:`execute_plan` reacts to transient faults.
+
+    Attributes:
+        max_attempts: total tries for the plan (1 = no retry).
+        backoff_seconds: sleep before the second attempt.
+        multiplier: backoff growth factor per further attempt.
+    """
+
+    max_attempts: int = 3
+    backoff_seconds: float = 0.005
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_seconds < 0 or self.multiplier < 0:
+            raise ValueError("backoff must be non-negative")
+
+    def delay(self, failed_attempts: int) -> float:
+        """Seconds to sleep after the ``failed_attempts``-th failure."""
+        return self.backoff_seconds * self.multiplier ** (failed_attempts - 1)
+
+
+DEFAULT_RETRY = RetryPolicy()
+
+
 def generate_plan(db: Database, query: Union[str, PercentageQuery],
                   strategy: Optional[Strategy] = None) -> GeneratedPlan:
     """Parse/validate a percentage query and generate its plan.
@@ -40,11 +89,24 @@ def generate_plan(db: Database, query: Union[str, PercentageQuery],
     With no explicit strategy the optimizer's recommendation is used.
     The strategy type selects the generator: a
     :class:`HorizontalAggStrategy` forces the SPJ form.
+
+    Generation may itself execute statements (MATERIALIZE/DISCOVER
+    steps feed combination discovery); if it fails midway the catalog
+    is rolled back so no half-built temp table leaks.
     """
     if isinstance(query, str):
         query = parse_percentage_query(query)
     validate_mod.validate(query)
+    savepoint = db.catalog.savepoint()
+    try:
+        return _generate(db, query, strategy)
+    except BaseException as exc:
+        _rollback_or_chain(db, savepoint, exc)
+        raise
 
+
+def _generate(db: Database, query: PercentageQuery,
+              strategy: Optional[Strategy]) -> GeneratedPlan:
     if isinstance(strategy, HorizontalAggStrategy):
         return generate_spj(db, query, strategy)
     if query.has_vertical_pct:
@@ -69,50 +131,192 @@ def generate_plan(db: Database, query: Union[str, PercentageQuery],
 
 @dataclass
 class ExecutionReport:
-    """What executing a plan cost."""
+    """What executing a plan cost (and what it took to succeed)."""
 
     result: Table
     plan: GeneratedPlan
     elapsed_seconds: float
+    #: Statements the successful attempt ran (plan steps + result
+    #: SELECT); generation-time steps are not counted.
     statements_run: int
+    #: Attempts made, counting the successful one (>1 means transient
+    #: faults were retried).
+    attempts: int = 1
+    #: ``describe()`` of the strategy that failed before the fallback
+    #: re-plan, or None when the first plan succeeded.
+    fallback_from: Optional[str] = None
+    #: ``"ErrorType: message"`` of the error that triggered fallback.
+    fallback_error: Optional[str] = None
+    #: Resource-governor snapshot of the plan's query window.
+    governor_usage: dict[str, Any] = field(default_factory=dict)
 
 
 def execute_plan(db: Database, plan: GeneratedPlan,
-                 keep_temps: bool = False) -> ExecutionReport:
-    """Run a generated plan and fetch its result."""
+                 keep_temps: bool = False,
+                 retry: Optional[RetryPolicy] = None) -> ExecutionReport:
+    """Run a generated plan and fetch its result.
+
+    The whole plan runs inside one savepoint and one governor window:
+    on any failure the catalog is rolled back to its pre-execution
+    state; :class:`~repro.errors.TransientError` additionally re-runs
+    the plan per ``retry`` (default :data:`DEFAULT_RETRY`).  When the
+    final attempt fails, generation-time temp tables are dropped too,
+    so the caller observes the catalog exactly as it was before the
+    plan -- and a cleanup/rollback failure never masks the execution
+    error (it is chained via ``__cause__`` instead).
+    """
+    policy = retry if retry is not None else DEFAULT_RETRY
     started = time.perf_counter()
-    statements = 0
-    try:
-        for step in plan.steps:
-            if step.purpose in _GENERATION_TIME:
-                continue
-            db.execute(step.sql)
-            statements += 1
-        result = db.execute(plan.result_select)
-        statements += 1
-    finally:
-        if not keep_temps:
-            cleanup_plan(db, plan)
+    savepoint = db.catalog.savepoint()
+    attempts = 0
+    with db.governor.window():
+        while True:
+            attempts += 1
+            try:
+                result, statements = _run_steps(db, plan)
+                break
+            except TransientError as exc:
+                _rollback_or_chain(db, savepoint, exc)
+                if attempts >= policy.max_attempts:
+                    _cleanup_or_chain(db, plan, exc)
+                    raise
+                time.sleep(policy.delay(attempts))
+            except BaseException as exc:
+                _rollback_or_chain(db, savepoint, exc)
+                _cleanup_or_chain(db, plan, exc)
+                raise
+        usage = db.governor.usage()
     if not isinstance(result, Table):
-        raise PercentageQueryError(
+        error = PercentageQueryError(
             "the plan's result statement did not return rows")
+        _cleanup_or_chain(db, plan, error)
+        raise error
+    if not keep_temps:
+        cleanup_plan(db, plan)
     elapsed = time.perf_counter() - started
     return ExecutionReport(result=result, plan=plan,
                            elapsed_seconds=elapsed,
-                           statements_run=statements)
+                           statements_run=statements,
+                           attempts=attempts,
+                           governor_usage=usage)
+
+
+def _run_steps(db: Database, plan: GeneratedPlan) -> tuple[Any, int]:
+    """One execution attempt.  The ``statement`` fault site fires at
+    every statement boundary (index i = before the i-th executable
+    statement; the last index is the result SELECT), which is what the
+    crash-consistency sweep iterates over."""
+    statements = 0
+    for step in plan.steps:
+        if step.purpose in _GENERATION_TIME:
+            continue
+        faults.fire("statement")
+        db.execute(step.sql)
+        statements += 1
+    faults.fire("statement")
+    result = db.execute(plan.result_select)
+    statements += 1
+    return result, statements
+
+
+def _rollback_or_chain(db: Database, savepoint: CatalogSavepoint,
+                       exc: BaseException) -> None:
+    """Roll the catalog back; if rollback itself fails, re-raise the
+    *original* error with the rollback failure chained (never mask the
+    root cause)."""
+    try:
+        db.catalog.rollback(savepoint)
+    except Exception as rollback_exc:
+        raise exc from rollback_exc
+
+
+def _cleanup_or_chain(db: Database, plan: GeneratedPlan,
+                      exc: BaseException) -> None:
+    """Drop the plan's temps (including generation-time
+    materializations); failures chain onto ``exc`` instead of masking
+    it."""
+    try:
+        cleanup_plan(db, plan)
+    except Exception as cleanup_exc:
+        raise exc from cleanup_exc
 
 
 def cleanup_plan(db: Database, plan: GeneratedPlan) -> None:
-    """Drop every temp table the plan created (idempotent)."""
+    """Drop every temp table the plan created.
+
+    Idempotent by construction: ``if_exists=True`` makes a second
+    call -- or a cleanup after a plan that faulted before creating a
+    recorded name -- a no-op rather than an error.
+    """
     for table in reversed(plan.temp_tables):
         db.drop_table(table, if_exists=True)
+
+
+def run_resilient(db: Database, query: Union[str, PercentageQuery],
+                  strategy: Optional[Strategy] = None,
+                  keep_temps: bool = False,
+                  retry: Optional[RetryPolicy] = None,
+                  allow_fallback: bool = True) -> ExecutionReport:
+    """Plan and execute with automatic strategy fallback.
+
+    When the plan fails with a fallback-eligible error (resource
+    exhaustion other than a wall-clock timeout), the query is
+    re-planned through :func:`~repro.core.optimizer.alternate_strategy`
+    -- the paper's other evaluation route -- and the report records
+    ``fallback_from``/``fallback_error``.  Errors that re-planning
+    cannot help (syntax, catalog, timeout, simulated crash) propagate
+    unchanged, as does the original error when no alternate route
+    exists.
+    """
+    if isinstance(query, str):
+        query = parse_percentage_query(query)
+    try:
+        plan = generate_plan(db, query, strategy)
+        return execute_plan(db, plan, keep_temps=keep_temps, retry=retry)
+    except ReproError as exc:
+        if not allow_fallback or not exc.fallback_eligible:
+            raise
+        chosen = _resolved_strategy(db, query, strategy)
+        fallback = (alternate_strategy(db, query, chosen)
+                    if chosen is not None else None)
+        if fallback is None:
+            raise
+        plan = generate_plan(db, query, fallback)
+        report = execute_plan(db, plan, keep_temps=keep_temps,
+                              retry=retry)
+        report.fallback_from = chosen.describe()
+        report.fallback_error = f"{type(exc).__name__}: {exc}"
+        return report
+
+
+def _resolved_strategy(db: Database, query: PercentageQuery,
+                       strategy: Optional[Strategy]
+                       ) -> Optional[Strategy]:
+    """The strategy the first plan ran under (mirrors the dispatch in
+    :func:`generate_plan` when none was given explicitly)."""
+    if strategy is not None:
+        return strategy
+    if query.has_vertical_pct:
+        return choose_vertical_strategy(db, query)
+    if query.has_horizontal:
+        return choose_horizontal_strategy(db, query)
+    return None
 
 
 def run_percentage_query(db: Database,
                          query: Union[str, PercentageQuery],
                          strategy: Optional[Strategy] = None,
-                         keep_temps: bool = False) -> Table:
-    """Parse, plan, execute; return the result table."""
-    plan = generate_plan(db, query, strategy)
-    report = execute_plan(db, plan, keep_temps=keep_temps)
+                         keep_temps: bool = False,
+                         retry: Optional[RetryPolicy] = None,
+                         allow_fallback: bool = False) -> Table:
+    """Parse, plan, execute; return the result table.
+
+    Fallback is off by default so an explicitly requested strategy is
+    the one that runs (the fuzz harness compares strategies against
+    each other); pass ``allow_fallback=True`` or use
+    :func:`run_resilient` for the self-healing behavior.
+    """
+    report = run_resilient(db, query, strategy=strategy,
+                           keep_temps=keep_temps, retry=retry,
+                           allow_fallback=allow_fallback)
     return report.result

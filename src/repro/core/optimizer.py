@@ -18,8 +18,12 @@ a real optimizer keeps anyway).
 
 from __future__ import annotations
 
+from dataclasses import replace
+from typing import Optional, Union
+
 from repro.api.database import Database
 from repro.core import model
+from repro.core.hagg import HorizontalAggStrategy
 from repro.core.horizontal import HorizontalStrategy
 from repro.core.naming import NamingPolicy
 from repro.core.vertical import VerticalStrategy
@@ -68,6 +72,48 @@ def choose_horizontal_strategy(
                               vertical=choose_vertical_strategy(db,
                                                                 query),
                               naming=naming)
+
+
+def alternate_strategy(
+        db: Database, query: model.PercentageQuery,
+        strategy: Union[VerticalStrategy, HorizontalStrategy,
+                        HorizontalAggStrategy],
+) -> Optional[Union[VerticalStrategy, HorizontalStrategy,
+                    HorizontalAggStrategy]]:
+    """The paper's *other* evaluation route for the same query.
+
+    Used by the resilient runner when a plan dies with a
+    fallback-eligible resource error: the horizontal strategies flip
+    between direct-from-F and indirect-via-FV (Table 5's two columns),
+    and a vertical strategy falls back to the recommended knobs -- or,
+    if those already failed, to the UPDATE form that materializes one
+    fewer temp table (Table 4 column (3)).  Knobs that change the
+    *result* (``missing_rows``, naming) are preserved; only execution
+    routes change.  Returns None when no alternate route can serve the
+    query (e.g. FV cannot evaluate DISTINCT/var/stdev terms).
+    """
+    distributive = not any(t.distinct or t.func in ("var", "stdev")
+                           for t in query.terms)
+    if isinstance(strategy, HorizontalAggStrategy):
+        if strategy.source == "F":
+            if not distributive:
+                return None
+            return replace(strategy, source="FV")
+        return replace(strategy, source="F")
+    if isinstance(strategy, HorizontalStrategy):
+        if strategy.source == "F":
+            if not distributive:
+                return None
+            return replace(strategy, source="FV")
+        return replace(strategy, source="F")
+    if isinstance(strategy, VerticalStrategy):
+        recommended = replace(choose_vertical_strategy(db, query),
+                              missing_rows=strategy.missing_rows)
+        if strategy != recommended:
+            return recommended
+        return replace(recommended, use_update=True,
+                       single_statement=False)
+    return None
 
 
 def column_cardinality(db: Database, query: model.PercentageQuery,

@@ -9,6 +9,7 @@ exercise the failure paths at small sizes.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.engine.encoding_cache import (DEFAULT_ENCODING_CACHE_BYTES,
@@ -18,6 +19,23 @@ from repro.engine.schema import (DEFAULT_MAX_COLUMNS,
                                  DEFAULT_MAX_NAME_LENGTH, TableSchema)
 from repro.engine.table import Table
 from repro.errors import CatalogError
+
+
+@dataclass(frozen=True)
+class CatalogSavepoint:
+    """An O(#names) snapshot of the catalog's name spaces.
+
+    Tables are immutable (every DML swaps in a whole new
+    :class:`~repro.engine.table.Table`), so shallow dict copies pin the
+    exact pre-savepoint contents; no column data is duplicated.
+    Indexes are the one mutable species (``rebuild`` digests in
+    place), so rollback re-digests any index whose table binding no
+    longer matches the restored table.
+    """
+
+    tables: dict[str, Table] = field(default_factory=dict)
+    views: dict[str, object] = field(default_factory=dict)
+    indexes: dict[str, HashIndex] = field(default_factory=dict)
 
 
 class Catalog:
@@ -186,3 +204,50 @@ class Catalog:
 
     def index_names(self) -> list[str]:
         return [idx.name for idx in self._indexes.values()]
+
+    # ------------------------------------------------------------------
+    # Savepoints (the atomicity substrate for multi-statement plans)
+    # ------------------------------------------------------------------
+    def savepoint(self) -> CatalogSavepoint:
+        """Snapshot every name space; cheap (no data is copied)."""
+        return CatalogSavepoint(tables=dict(self._tables),
+                                views=dict(self._views),
+                                indexes=dict(self._indexes))
+
+    def fingerprint(self) -> tuple:
+        """An identity snapshot for crash-consistency checks.
+
+        Because tables are immutable, "same name bound to the same
+        object" implies "same content": two fingerprints being equal
+        means the catalog is byte-identical from a reader's point of
+        view.  Hold a :meth:`savepoint` alongside the fingerprint to
+        pin the objects (so ``id`` values cannot be recycled).
+        """
+        return (tuple(sorted((k, id(t))
+                             for k, t in self._tables.items())),
+                tuple(sorted(self._views)),
+                tuple(sorted((k, id(i))
+                             for k, i in self._indexes.items())))
+
+    def rollback(self, savepoint: CatalogSavepoint) -> None:
+        """Restore the catalog to ``savepoint``.
+
+        Tables and views snap back to the exact objects captured
+        (immutability makes that sufficient); encoding-cache entries
+        of tables created or replaced since the savepoint are
+        invalidated, and indexes that were rebuilt against
+        now-discarded table versions are re-digested from the
+        restored tables.
+        """
+        for key, table in self._tables.items():
+            if savepoint.tables.get(key) is not table:
+                # Created or replaced since the savepoint: its cached
+                # encodings (any version) must not outlive it.
+                self.encoding_cache.invalidate_table(key)
+        self._tables = dict(savepoint.tables)
+        self._views = dict(savepoint.views)
+        self._indexes = dict(savepoint.indexes)
+        for index in self._indexes.values():
+            table = self._tables.get(index.table_name.lower())
+            if table is not None and index.source_table() is not table:
+                index.rebuild(table, cache=self.encoding_cache)

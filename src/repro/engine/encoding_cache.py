@@ -38,6 +38,8 @@ import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Optional
 
+from repro.engine import faults
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.groupby import EncodedColumn
     from repro.engine.stats import StatsCollector
@@ -87,6 +89,7 @@ class EncodingCache:
         miss -- callers only ask for tokens they are about to fill)."""
         if not self.enabled:
             return None
+        faults.fire("encoding-cache")
         with self._lock:
             entry = self._entries.get(token)
             if entry is None:

@@ -27,6 +27,7 @@ from repro.engine import pivot as pivot_mod
 from repro.engine.catalog import Catalog
 from repro.engine.column import ColumnData
 from repro.engine.expressions import Frame, evaluate, untyped_null
+from repro.engine.governor import ResourceGovernor
 from repro.engine.groupby import distinct_indices, encode_column, factorize
 from repro.engine.join import join_indices, prepare_side
 from repro.engine.planner import (FromPlan, PlannedJoin,
@@ -138,10 +139,14 @@ class Executor:
     """Executes statements against a catalog, charging ``stats``."""
 
     def __init__(self, catalog: Catalog, stats: StatsCollector,
-                 options: Optional[ExecutorOptions] = None):
+                 options: Optional[ExecutorOptions] = None,
+                 governor: Optional[ResourceGovernor] = None):
         self.catalog = catalog
         self.stats = stats
         self.options = options or ExecutorOptions()
+        # Budget checks are no-ops outside an open governor window, so
+        # a standalone Executor (unit tests) runs ungoverned.
+        self.governor = governor or ResourceGovernor()
         self.catalog.encoding_cache.bind_stats(stats)
 
     @property
@@ -157,6 +162,7 @@ class Executor:
     # ------------------------------------------------------------------
     def execute(self, statement: ast.Statement) -> Table | int:
         """Run one statement; SELECT returns a Table, DML a row count."""
+        self.governor.check_time("statement start")
         if isinstance(statement, ast.Select):
             return self.run_select(statement)
         if isinstance(statement, ast.CreateTable):
@@ -225,6 +231,8 @@ class Executor:
         if select.limit is not None:
             result = result.take(
                 np.arange(min(select.limit, result.n_rows)))
+        self.governor.check_width(result.schema.width(), "projection")
+        self.governor.charge_rows(result.n_rows, "projection")
         return result
 
     def _reject_extended(self, select: ast.Select) -> None:
@@ -272,12 +280,14 @@ class Executor:
 
         first_table, first_base = materialized[plan.first.binding.lower()]
         self.stats.rows_scanned += first_table.n_rows
+        self.governor.charge_rows(first_table.n_rows, "scan")
         dataset.add(plan.first.binding, first_table, first_base)
 
         for join in plan.joins:
             right_table, right_base = \
                 materialized[join.source.binding.lower()]
             self.stats.rows_scanned += right_table.n_rows
+            self.governor.charge_rows(right_table.n_rows, "scan")
             self._apply_join(dataset, join, right_table, right_base)
 
         if plan.residual_where is not None:
@@ -353,6 +363,7 @@ class Executor:
             else:
                 left_indices, right_indices = probe_idx, build_idx
             self.stats.rows_joined += len(left_indices)
+            self.governor.charge_rows(len(left_indices), "join")
 
             dataset.gather(left_indices)
             dataset.add(binding, right_table, None)
@@ -373,6 +384,7 @@ class Executor:
         right_indices = np.tile(np.arange(n_right, dtype=np.int64),
                                 n_left)
         self.stats.rows_joined += n_left * n_right
+        self.governor.charge_rows(n_left * n_right, "cartesian join")
         dataset.gather(left_indices)
         dataset.add(binding, right_table, None)
         dataset.gather(right_indices, which=[binding.lower()])
@@ -444,6 +456,7 @@ class Executor:
                        for e in group_exprs]
         grouping = factorize(key_columns, frame.n_rows,
                              self.encoding_cache)
+        self.governor.charge_rows(grouping.n_groups, "group-by")
         firsts = _first_positions(grouping.group_ids, grouping.n_groups)
 
         group_frame = Frame(grouping.n_groups)
@@ -603,6 +616,7 @@ class Executor:
                    for c in statement.columns]
         schema = TableSchema(statement.name, columns,
                              tuple(statement.primary_key))
+        self.governor.check_width(schema.width(), "create table")
         self.catalog.create_table(Table(schema))
         return 0
 
@@ -638,6 +652,7 @@ class Executor:
         appended = table.append(Table.from_rows(schema, rows))
         self.catalog.replace_table(appended)
         self.stats.rows_written += len(rows)
+        self.governor.charge_rows(len(rows), "insert")
         return len(rows)
 
     def _insert_select(self, statement: ast.InsertSelect) -> int:
@@ -664,6 +679,7 @@ class Executor:
         appended = table.append(Table(schema, ordered))
         self.catalog.replace_table(appended)
         self.stats.rows_written += result.n_rows
+        self.governor.charge_rows(result.n_rows, "insert-select")
         return result.n_rows
 
     def _update(self, statement: ast.Update) -> int:
@@ -711,6 +727,7 @@ class Executor:
         self.catalog.replace_table(updated)
         count = int(to_update.sum())
         self.stats.rows_updated += count
+        self.governor.charge_rows(n, "update")
         return count
 
     def _update_join_frame(self, statement: ast.Update, table: Table,
@@ -808,6 +825,7 @@ class Executor:
         deleted = n - int(keep.sum())
         self.catalog.replace_table(table.filter(keep))
         self.stats.rows_updated += deleted
+        self.governor.charge_rows(n, "delete")
         return deleted
 
 

@@ -38,9 +38,16 @@ def explain_statement(executor, statement: ast.Statement) -> Table:
         lines.append(f"delete from {statement.table.name}")
     else:
         lines.append(type(statement).__name__.lower())
+    lines.append(_governor_line(executor))
     lines.append(_cache_line(executor))
     data = ColumnData.from_values(SQLType.VARCHAR, lines)
     return Table.from_columns("explain", [("plan", data)])
+
+
+def _governor_line(executor) -> str:
+    """The resource budgets this statement will run under (the cache
+    line stays last; consumers assert on the leading rows)."""
+    return f"governor: {executor.governor.budget.describe()}"
 
 
 def _cache_line(executor) -> str:

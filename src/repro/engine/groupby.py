@@ -19,6 +19,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.engine import faults
 from repro.engine.column import ColumnData
 from repro.engine.encoding_cache import EncodingCache
 from repro.engine.types import SQLType
@@ -134,6 +135,7 @@ def factorize(columns: list[ColumnData], n_rows: int,
     base-table key columns reuse dictionary encodings across plan
     steps and queries.
     """
+    faults.fire("group-by")
     if not columns:
         group_ids = np.zeros(n_rows, dtype=np.int64)
         return Grouping(group_ids, 1 if n_rows >= 0 else 0,

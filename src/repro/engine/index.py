@@ -43,6 +43,11 @@ class HashIndex:
         self.prepared = prepare_side(columns, cache)
         self._buckets = None  # rebuilt lazily on next point lookup
 
+    def source_table(self) -> Table | None:
+        """The table object this index was last digested from (used by
+        catalog rollback to spot stale in-place rebuilds)."""
+        return self._table
+
     def covers(self, column_names: Sequence[str]) -> bool:
         """True when this index is exactly on ``column_names``
         (order-insensitive, case-insensitive)."""

@@ -13,13 +13,41 @@ was detected:
   limits such as the maximum column count exceeded...).
 * :class:`PercentageQueryError` -- a percentage query violates the usage
   rules of Vpct()/Hpct()/Hagg() defined in the paper (Section 3).
+
+The resilient-execution layer adds a structured runtime taxonomy on
+top of :class:`ExecutionError`, classified by *what the caller should
+do next*:
+
+* :class:`TransientError` (``retryable``) -- the failure is expected to
+  go away on its own; the plan runner retries the whole plan with
+  backoff after rolling the catalog back to its pre-plan savepoint.
+* :class:`ResourceExhausted` (``fallback_eligible``) -- the query blew
+  a resource budget; retrying the same plan would fail identically,
+  but re-planning with the alternate evaluation strategy may succeed.
+  Concrete budgets raise the subtypes :class:`QueryTimeout`
+  (wall-clock; never falls back -- an alternate plan is not presumed
+  faster), :class:`RowBudgetExceeded` and :class:`WidthBudgetExceeded`.
+* :class:`SimulatedCrash` -- a fault-injection-only hard stop; neither
+  retried nor replanned, it must surface to the caller after rollback
+  (the crash-consistency sweep asserts the catalog is untouched).
+
+Every class carries ``retryable`` / ``fallback_eligible`` flags so
+policy code switches on capability, not on class identity.
 """
 
 from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for every error raised by this package."""
+    """Base class for every error raised by this package.
+
+    ``retryable``: re-running the same plan may succeed.
+    ``fallback_eligible``: re-planning with an alternate evaluation
+    strategy may succeed.
+    """
+
+    retryable = False
+    fallback_eligible = False
 
 
 class SQLSyntaxError(ReproError):
@@ -44,6 +72,51 @@ class PlanningError(ReproError):
 
 class ExecutionError(ReproError):
     """A failure occurred while executing a plan."""
+
+
+class TransientError(ExecutionError):
+    """A failure expected to disappear on retry (injected flaky I/O,
+    a lost lock race...).  The plan runner retries with backoff."""
+
+    retryable = True
+
+
+class ResourceExhausted(ExecutionError):
+    """A per-query resource budget was exceeded.
+
+    Retrying the identical plan is pointless, but the alternate
+    evaluation strategy may stay within budget (e.g. the indirect
+    FV route materializes narrower intermediates than a direct
+    CASE pivot pass, and vice versa).
+    """
+
+    fallback_eligible = True
+
+
+class QueryTimeout(ResourceExhausted):
+    """The per-query wall-clock budget expired.
+
+    Not fallback-eligible: an alternate strategy is not presumed any
+    faster, so the timeout surfaces immediately after rollback.
+    """
+
+    fallback_eligible = False
+
+
+class RowBudgetExceeded(ResourceExhausted):
+    """The query materialized more rows than its budget allows."""
+
+
+class WidthBudgetExceeded(ResourceExhausted):
+    """A result or temp table is wider than the per-query budget."""
+
+
+class SimulatedCrash(ExecutionError):
+    """A fault-injection hard stop (process-crash stand-in).
+
+    Never retried and never replanned: the point of injecting it is
+    to prove the savepoint machinery restores the catalog.
+    """
 
 
 class CatalogError(ReproError):

@@ -6,10 +6,20 @@ Examples::
     python -m repro.fuzz --seed 7 --budget 200 --max-seconds 60
     python -m repro.fuzz --replay tests/fuzz/corpus
     python -m repro.fuzz --seed 0 --budget 50 --inject-bug vpct-denominator
+    python -m repro.fuzz --fault-sweep --seed 0 --budget 40
+    python -m repro.fuzz --seed 0 --budget 200 --case-timeout 10
 
 Exit status 0 means every case was consistent across all strategies
 and the sqlite oracle; 1 means at least one divergence (each one is
 minimized and written to ``--out`` as a replayable JSON repro).
+
+``--case-timeout`` runs every engine variant under the resource
+governor's wall-clock budget so one pathological case cannot stall a
+whole run; timed-out variants are excluded from comparison.
+``--fault-sweep`` switches to the crash-consistency sweep: instead of
+comparing strategies it injects faults at every statement boundary of
+every case's plan and verifies recovery (see
+:mod:`repro.fuzz.crash`).
 """
 
 from __future__ import annotations
@@ -52,6 +62,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--stop-on-first", action="store_true",
                         help="exit after minimizing the first "
                              "divergence")
+    parser.add_argument("--case-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock budget per engine variant "
+                             "(enforced by the resource governor; "
+                             "timed-out variants are excluded from "
+                             "comparison)")
+    parser.add_argument("--fault-sweep", action="store_true",
+                        help="run the crash-consistency sweep instead "
+                             "of differential comparison: inject a "
+                             "fault at every statement boundary and "
+                             "check recovery invariants")
     parser.add_argument("-q", "--quiet", action="store_true",
                         help="suppress per-divergence detail")
     return parser
@@ -59,6 +80,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[list[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.fault_sweep:
+        return _sweep(args)
     if args.replay:
         return _replay(args)
     return _fuzz(args)
@@ -78,7 +101,8 @@ def _fuzz(args: argparse.Namespace) -> int:
             break
         ran += 1
         families[case.family] += 1
-        result = run_case(case, inject_bug=args.inject_bug)
+        result = run_case(case, inject_bug=args.inject_bug,
+                          case_timeout=args.case_timeout)
         if result.divergent:
             divergences += 1
             _report(case, result, args)
@@ -112,6 +136,25 @@ def _report(case: FuzzCase, result, args: argparse.Namespace) -> None:
     print(f"  repro written to {path}")
     if not args.quiet:
         print(final.divergence_report())
+
+
+def _sweep(args: argparse.Namespace) -> int:
+    from repro.fuzz.crash import SweepStats, sweep_case
+
+    generator = CaseGenerator(seed=args.seed)
+    started = time.monotonic()
+    stats = SweepStats()
+    for case in generator.cases(args.budget):
+        if args.max_seconds is not None and \
+                time.monotonic() - started > args.max_seconds:
+            print(f"time budget reached after {stats.cases} cases")
+            break
+        sweep_case(case, stats)
+    elapsed = time.monotonic() - started
+    print(f"{stats.summary()} in {elapsed:.1f}s")
+    for finding in stats.findings:
+        print(f"FINDING: {finding.describe()}", file=sys.stderr)
+    return 0 if stats.ok else 1
 
 
 def _replay(args: argparse.Namespace) -> int:

@@ -1,0 +1,187 @@
+"""The crash-consistency sweep: every fault, every statement boundary.
+
+For each fuzz case the sweep first runs the query cleanly under a
+counting :class:`~repro.engine.faults.FaultInjector` to learn the
+reference rows and how many times each injection site is hit.  It then
+re-runs the query once per ``(site, hit index, fault kind)``
+combination and asserts the resilient runtime's contract after every
+single injection:
+
+* the run either returns the reference rows (the retry loop absorbed a
+  transient fault, or strategy fallback re-planned around a resource
+  fault) or raises a *typed* :class:`~repro.errors.ReproError` --
+  nothing else may escape;
+* a one-shot transient fault at a statement boundary **must** be
+  absorbed (that is exactly what the retry loop is for);
+* a permanent simulated crash **must** surface as a clean error;
+* in every outcome the catalog fingerprint is unchanged -- same names
+  bound to the same immutable objects, so base tables are untouched
+  and zero temp tables leak.
+
+Any broken invariant becomes a :class:`SweepFinding`; a sweep with no
+findings is the acceptance criterion for the savepoint/retry/fallback
+machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.execute import RetryPolicy, run_resilient
+from repro.engine import faults
+from repro.engine.faults import FaultInjector, FaultSpec
+from repro.errors import ReproError
+from repro.fuzz.generator import FuzzCase
+from repro.fuzz.runner import _load_db
+
+#: ``(kind, times)`` grid: a one-shot transient (the retry loop must
+#: absorb it), a one-shot resource fault (fallback may absorb it), and
+#: a permanent crash (must surface as a clean error).
+FAULT_KINDS = (("transient", 1), ("resource", 1), ("crash", None))
+
+#: Operator sites swept at hit index 0 when the reference run touched
+#: them (statement boundaries are swept exhaustively).
+OPERATOR_SITES = ("join-build", "group-by", "pivot", "encoding-cache")
+
+#: Retries should not slow the sweep down.
+_NO_BACKOFF = RetryPolicy(backoff_seconds=0.0)
+
+
+@dataclass
+class SweepFinding:
+    """One broken invariant observed under one injection."""
+
+    case: FuzzCase
+    site: str
+    index: int
+    kind: str
+    problem: str
+    detail: str = ""
+
+    def describe(self) -> str:
+        text = (f"seed={self.case.seed} case={self.case.index} "
+                f"({self.case.family}) [{self.site}#{self.index} "
+                f"{self.kind}]: {self.problem}")
+        if self.detail:
+            text += f" -- {self.detail}"
+        return text
+
+
+@dataclass
+class SweepStats:
+    """Aggregate outcome of a sweep."""
+
+    cases: int = 0
+    injections: int = 0
+    #: Runs that returned the reference rows despite the fault.
+    recovered: int = 0
+    #: Runs that surfaced a typed ReproError with a clean catalog.
+    clean_errors: int = 0
+    findings: list[SweepFinding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def summary(self) -> str:
+        return (f"swept {self.cases} case(s), {self.injections} "
+                f"injection(s): {self.recovered} recovered, "
+                f"{self.clean_errors} clean error(s), "
+                f"{len(self.findings)} finding(s)")
+
+
+def sweep_case(case: FuzzCase, stats: SweepStats,
+               operator_sites: bool = True) -> None:
+    """Sweep one case, appending findings to ``stats``."""
+    db = _load_db(case)
+    # The savepoint pins the baseline objects so the identity-based
+    # fingerprint cannot suffer id() recycling.
+    baseline = db.catalog.savepoint()
+    fingerprint = db.catalog.fingerprint()
+    base_names = set(db.table_names())
+    sql = case.query_sql()
+
+    probe = FaultInjector()
+    reference: Optional[list] = None
+    try:
+        with faults.active(probe):
+            reference = run_resilient(
+                db, sql, retry=_NO_BACKOFF).result.to_rows()
+    except ReproError:
+        pass  # degenerate case: errors are an acceptable outcome
+    stats.cases += 1
+
+    sites = [("statement", i)
+             for i in range(probe.hits.get("statement", 0))]
+    if operator_sites:
+        sites += [(site, 0) for site in OPERATOR_SITES
+                  if probe.hits.get(site)]
+
+    for site, index in sites:
+        for kind, times in FAULT_KINDS:
+            stats.injections += 1
+            injector = FaultInjector([FaultSpec(site, error=kind,
+                                                at=index, times=times)])
+            rows: Optional[list] = None
+            error: Optional[BaseException] = None
+            try:
+                with faults.active(injector):
+                    rows = run_resilient(
+                        db, sql, retry=_NO_BACKOFF).result.to_rows()
+            except ReproError as exc:
+                error = exc
+            except Exception as exc:  # noqa: BLE001 - the invariant
+                error = exc
+                stats.findings.append(SweepFinding(
+                    case, site, index, kind,
+                    "untyped error escaped the runtime",
+                    f"{type(exc).__name__}: {exc}"))
+
+            if error is None:
+                if reference is not None and rows != reference:
+                    stats.findings.append(SweepFinding(
+                        case, site, index, kind,
+                        "recovered run returned different rows",
+                        f"{rows!r} != {reference!r}"))
+                else:
+                    stats.recovered += 1
+                if kind == "crash":
+                    # A permanent crash fault fires on every hit; the
+                    # run returning rows means the site was silently
+                    # skipped on the rerun.
+                    stats.findings.append(SweepFinding(
+                        case, site, index, kind,
+                        "permanent crash fault did not surface"))
+            elif isinstance(error, ReproError):
+                stats.clean_errors += 1
+                if kind == "transient" and site == "statement" \
+                        and reference is not None:
+                    stats.findings.append(SweepFinding(
+                        case, site, index, kind,
+                        "retry loop failed to absorb a one-shot "
+                        "transient fault",
+                        f"{type(error).__name__}: {error}"))
+
+            leaked = [n for n in db.table_names()
+                      if n not in base_names]
+            if leaked:
+                stats.findings.append(SweepFinding(
+                    case, site, index, kind,
+                    "temp tables leaked", ", ".join(sorted(leaked))))
+            if db.catalog.fingerprint() != fingerprint:
+                stats.findings.append(SweepFinding(
+                    case, site, index, kind,
+                    "catalog changed across the plan boundary"))
+                # Contain the damage so later injections of this case
+                # still sweep against the intended baseline.
+                db.catalog.rollback(baseline)
+
+
+def sweep_cases(cases, stats: Optional[SweepStats] = None,
+                operator_sites: bool = True) -> SweepStats:
+    """Sweep an iterable of cases; returns the (given) stats."""
+    stats = stats or SweepStats()
+    for case in cases:
+        sweep_case(case, stats, operator_sites=operator_sites)
+    return stats

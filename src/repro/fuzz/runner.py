@@ -41,6 +41,7 @@ from repro.core.hagg import HorizontalAggStrategy
 from repro.core.horizontal import HorizontalStrategy
 from repro.core.model import parse_percentage_query
 from repro.core.vertical import VerticalStrategy
+from repro.errors import QueryTimeout
 from repro.fuzz.comparator import compare_outcomes
 from repro.fuzz.generator import FuzzCase
 from repro.fuzz.oracle import (SqliteOracle, supports_update_from,
@@ -60,7 +61,7 @@ class VariantResult:
     """Outcome of one evaluation path."""
 
     name: str
-    status: str                      # "rows" | "error"
+    status: str                      # "rows" | "error" | "timeout"
     rows: Optional[list] = None
     error: Optional[str] = None
 
@@ -86,6 +87,9 @@ class CaseResult:
         for variant in self.variants:
             if variant.status == "error":
                 lines.append(f"  {variant.name}: error {variant.error}")
+            elif variant.status == "timeout":
+                lines.append(f"  {variant.name}: timeout "
+                             f"(excluded) {variant.error}")
             else:
                 lines.append(f"  {variant.name}: {len(variant.rows)} "
                              f"rows {variant.rows!r}")
@@ -93,13 +97,24 @@ class CaseResult:
 
 
 def run_case(case: FuzzCase,
-             inject_bug: Optional[str] = None) -> CaseResult:
-    """Evaluate every variant and compare outcomes pairwise."""
+             inject_bug: Optional[str] = None,
+             case_timeout: Optional[float] = None) -> CaseResult:
+    """Evaluate every variant and compare outcomes pairwise.
+
+    ``case_timeout`` puts every engine variant under the resource
+    governor's wall-clock budget.  A timed-out variant is excluded
+    from the divergence comparison (it produced no evidence either
+    way) rather than counted as an error outcome, so a slow plan on a
+    loaded machine cannot masquerade as a correctness divergence.
+    """
     result = CaseResult(case=case)
-    for name, thunk in _variants(case, inject_bug):
+    for name, thunk in _variants(case, inject_bug, case_timeout):
         result.variants.append(_evaluate(name, thunk))
-    base = result.variants[0]
-    for other in result.variants[1:]:
+    comparable = [v for v in result.variants if v.status != "timeout"]
+    if not comparable:
+        return result
+    base = comparable[0]
+    for other in comparable[1:]:
         difference = compare_outcomes(base.outcome, other.outcome)
         if difference is not None:
             result.divergent = True
@@ -113,6 +128,9 @@ def run_case(case: FuzzCase,
 def _evaluate(name: str, thunk: Callable[[], list]) -> VariantResult:
     try:
         rows = thunk()
+    except QueryTimeout as exc:
+        return VariantResult(name=name, status="timeout",
+                             error=str(exc))
     except Exception as exc:  # noqa: BLE001 - errors are outcomes here
         return VariantResult(name=name, status="error",
                              error=type(exc).__name__)
@@ -153,9 +171,9 @@ def _olap_sql(case: FuzzCase, inject_bug: Optional[str]) -> str:
     return generate_olap_percentage_query(query)
 
 
-def _engine_olap_rows(case: FuzzCase,
-                      inject_bug: Optional[str]) -> list:
-    db = _load_db(case)
+def _engine_olap_rows(case: FuzzCase, inject_bug: Optional[str],
+                      **db_kwargs: Any) -> list:
+    db = _load_db(case, **db_kwargs)
     result = db.execute(_olap_sql(case, inject_bug))
     return result.to_rows()
 
@@ -178,46 +196,57 @@ def _sqlite_direct_rows(case: FuzzCase) -> list:
         oracle.close()
 
 
-def _variants(case: FuzzCase, inject_bug: Optional[str]
+def _variants(case: FuzzCase, inject_bug: Optional[str],
+              case_timeout: Optional[float] = None
               ) -> list[tuple[str, Callable[[], list]]]:
     if inject_bug is not None and inject_bug not in INJECTABLE_BUGS:
         raise ValueError(f"unknown injectable bug {inject_bug!r}; "
                          f"known: {', '.join(INJECTABLE_BUGS)}")
+    # Engine variants run under the governor's wall-clock budget; the
+    # sqlite oracle has no governor, so only plan *generation* of the
+    # replay variants is affected.
+    kw: dict[str, Any] = {}
+    if case_timeout is not None:
+        kw["max_query_seconds"] = case_timeout
     if case.family == "vpct":
-        return _vpct_variants(case, inject_bug)
+        return _vpct_variants(case, inject_bug, kw)
     if case.family in ("hpct", "hagg"):
-        return _horizontal_variants(case)
+        return _horizontal_variants(case, kw)
     return [
         ("engine:direct",
-         lambda: _load_db(case).query(case.query_sql())),
+         lambda: _load_db(case, **kw).query(case.query_sql())),
         ("sqlite:direct", lambda: _sqlite_direct_rows(case)),
     ]
 
 
-def _vpct_variants(case: FuzzCase, inject_bug: Optional[str]):
+def _vpct_variants(case: FuzzCase, inject_bug: Optional[str],
+                   kw: dict[str, Any]):
     variants = [
         ("engine:join-insert",
-         lambda: _strategy_rows(case, VerticalStrategy())),
+         lambda: _strategy_rows(case, VerticalStrategy(), **kw)),
         ("engine:join-rescan-fj",
          lambda: _strategy_rows(case,
-                                VerticalStrategy(fj_from_fk=False))),
+                                VerticalStrategy(fj_from_fk=False),
+                                **kw)),
         ("engine:join-update",
          lambda: _strategy_rows(case,
-                                VerticalStrategy(use_update=True))),
+                                VerticalStrategy(use_update=True),
+                                **kw)),
         ("engine:join-noindex",
          lambda: _strategy_rows(
-             case, VerticalStrategy(create_indexes=False))),
+             case, VerticalStrategy(create_indexes=False), **kw)),
         ("engine:join-mismatched-index",
          lambda: _strategy_rows(
-             case, VerticalStrategy(matching_indexes=False))),
+             case, VerticalStrategy(matching_indexes=False), **kw)),
     ]
     if len(case.terms) == 1:
         variants.append(
             ("engine:single-statement",
              lambda: _strategy_rows(
-                 case, VerticalStrategy(single_statement=True))))
+                 case, VerticalStrategy(single_statement=True), **kw)))
     variants.append(("engine:olap-window",
-                     lambda: _engine_olap_rows(case, inject_bug)))
+                     lambda: _engine_olap_rows(case, inject_bug,
+                                               **kw)))
     if supports_windows():
         variants.append(("sqlite:olap-window",
                          lambda: _sqlite_olap_rows(case, inject_bug)))
@@ -231,15 +260,17 @@ def _vpct_variants(case: FuzzCase, inject_bug: Optional[str]):
     return variants
 
 
-def _horizontal_variants(case: FuzzCase):
+def _horizontal_variants(case: FuzzCase, kw: dict[str, Any]):
     variants = [
         ("engine:case-direct",
-         lambda: _strategy_rows(case, HorizontalStrategy(source="F"))),
+         lambda: _strategy_rows(case, HorizontalStrategy(source="F"),
+                                **kw)),
         ("engine:case-indirect",
-         lambda: _strategy_rows(case, HorizontalStrategy(source="FV"))),
+         lambda: _strategy_rows(case, HorizontalStrategy(source="FV"),
+                                **kw)),
         ("engine:case-direct-hash",
          lambda: _strategy_rows(case, HorizontalStrategy(source="F"),
-                                case_dispatch="hash")),
+                                case_dispatch="hash", **kw)),
         ("sqlite:replay-case-direct",
          lambda: _replay_rows(case, HorizontalStrategy(source="F"))),
     ]
@@ -247,10 +278,11 @@ def _horizontal_variants(case: FuzzCase):
         variants += [
             ("engine:spj-direct",
              lambda: _strategy_rows(case,
-                                    HorizontalAggStrategy(source="F"))),
+                                    HorizontalAggStrategy(source="F"),
+                                    **kw)),
             ("engine:spj-indirect",
              lambda: _strategy_rows(
-                 case, HorizontalAggStrategy(source="FV"))),
+                 case, HorizontalAggStrategy(source="FV"), **kw)),
             ("sqlite:replay-spj-direct",
              lambda: _replay_rows(case,
                                   HorizontalAggStrategy(source="F"))),

@@ -5,6 +5,7 @@ import pytest
 
 from repro import Database
 from repro.engine.types import SQLType
+from repro.errors import CatalogError
 
 
 class TestExecute:
@@ -80,4 +81,8 @@ class TestIntrospection:
         assert db.has_table("T")
         db.drop_table("t")
         assert not db.has_table("t")
-        db.drop_table("t")  # if_exists default
+        # Same default as Catalog.drop_table (and SQL DROP TABLE):
+        # dropping a missing table is an error unless opted out.
+        with pytest.raises(CatalogError):
+            db.drop_table("t")
+        db.drop_table("t", if_exists=True)

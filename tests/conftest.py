@@ -1,10 +1,46 @@
-"""Shared fixtures: small fact tables from the papers' examples."""
+"""Shared fixtures: small fact tables from the papers' examples,
+plus the temp-table leak guard used by the integration and fuzz
+packages (their conftests install it as an autouse fixture)."""
 
 from __future__ import annotations
 
 import pytest
 
 from repro import Database
+
+
+def install_database_tracker(monkeypatch) -> list:
+    """Record every :class:`Database` constructed while active.
+
+    The returned list fills up as tests build databases (directly or
+    via fixtures), so a teardown can sweep all of them for leftover
+    plan temp tables.
+    """
+    created: list[Database] = []
+    original = Database.__init__
+
+    def tracking(self, *args, **kwargs):
+        original(self, *args, **kwargs)
+        created.append(self)
+
+    monkeypatch.setattr(Database, "__init__", tracking)
+    return created
+
+
+def assert_no_temp_leaks(databases) -> None:
+    """Fail if any tracked database still holds a ``_``-prefixed
+    table -- the naming space :func:`repro.core.plan.fresh_prefix`
+    reserves for generated plan temps."""
+    leaks = []
+    for db in databases:
+        temps = sorted(n for n in db.table_names()
+                       if n.startswith("_"))
+        if temps:
+            leaks.append(temps)
+    assert not leaks, (
+        f"temp tables leaked past the plan boundary: {leaks}; either "
+        f"the plan's cleanup/rollback is broken or the test wants "
+        f"@pytest.mark.allow_temp_leaks")
 
 #: The SIGMOD paper's Table 1 example fact table.
 PAPER_SALES_ROWS = [

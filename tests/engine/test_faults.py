@@ -1,0 +1,130 @@
+"""Unit tests for the fault-injection registry."""
+
+import threading
+
+import pytest
+
+from repro.engine import faults
+from repro.engine.faults import FaultInjector, FaultSpec
+from repro.errors import (ResourceExhausted, SimulatedCrash,
+                          TransientError)
+
+
+class TestFaultSpec:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultSpec("no-such-site")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("statement", error="meltdown")
+
+    def test_every_kind_maps_to_a_typed_error(self):
+        assert faults.ERROR_KINDS["transient"] is TransientError
+        assert faults.ERROR_KINDS["resource"] is ResourceExhausted
+        assert faults.ERROR_KINDS["crash"] is SimulatedCrash
+
+
+class TestFiring:
+    def test_fires_at_hit_index(self):
+        injector = FaultInjector([FaultSpec("statement", at=2)])
+        injector.fire("statement")
+        injector.fire("statement")
+        with pytest.raises(TransientError, match="statement#2"):
+            injector.fire("statement")
+
+    def test_one_shot_then_quiet(self):
+        injector = FaultInjector([FaultSpec("statement", at=0,
+                                            times=1)])
+        with pytest.raises(TransientError):
+            injector.fire("statement")
+        injector.fire("statement")  # spent: no further fault
+        assert injector.faults_raised == 1
+
+    def test_permanent_fault_fires_forever(self):
+        injector = FaultInjector([FaultSpec("pivot", error="crash",
+                                            times=None)])
+        for _ in range(3):
+            with pytest.raises(SimulatedCrash):
+                injector.fire("pivot")
+
+    def test_sites_count_independently(self):
+        injector = FaultInjector([FaultSpec("join-build", at=1)])
+        injector.fire("group-by")
+        injector.fire("group-by")
+        injector.fire("join-build")      # hit 0: below at
+        with pytest.raises(TransientError):
+            injector.fire("join-build")  # hit 1
+
+    def test_hits_counted_even_without_specs(self):
+        injector = FaultInjector()
+        injector.fire("statement")
+        injector.fire("statement")
+        injector.fire("group-by")
+        assert injector.hits == {"statement": 2, "group-by": 1}
+
+
+class TestChaosMode:
+    def test_seed_replayable(self):
+        def run(seed):
+            injector = FaultInjector(seed=seed, rate=0.5)
+            fired = []
+            for i in range(50):
+                try:
+                    injector.fire("statement")
+                    fired.append(False)
+                except TransientError:
+                    fired.append(True)
+            return fired
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_chaos_respects_site_filter(self):
+        injector = FaultInjector(seed=0, rate=1.0,
+                                 chaos_sites=("pivot",))
+        injector.fire("statement")  # not a chaos site: never fires
+        with pytest.raises(TransientError):
+            injector.fire("pivot")
+
+
+class TestActivation:
+    def test_module_fire_is_noop_without_injector(self):
+        faults.fire("statement")  # must not raise
+
+    def test_active_installs_and_restores(self):
+        injector = FaultInjector()
+        assert faults.current() is None
+        with faults.active(injector):
+            assert faults.current() is injector
+            faults.fire("statement")
+        assert faults.current() is None
+        assert injector.hits == {"statement": 1}
+
+    def test_active_nests(self):
+        outer, inner = FaultInjector(), FaultInjector()
+        with faults.active(outer):
+            with faults.active(inner):
+                assert faults.current() is inner
+            assert faults.current() is outer
+
+    def test_injectors_are_thread_local(self):
+        injector = FaultInjector([FaultSpec("statement", at=0,
+                                            times=None)])
+        seen = {}
+
+        def other_thread():
+            # No injector active here: fire() must be a no-op.
+            try:
+                faults.fire("statement")
+                seen["raised"] = False
+            except TransientError:
+                seen["raised"] = True
+
+        with faults.active(injector):
+            worker = threading.Thread(target=other_thread)
+            worker.start()
+            worker.join()
+            with pytest.raises(TransientError):
+                faults.fire("statement")
+        assert seen["raised"] is False

@@ -1,0 +1,20 @@
+"""Fuzz-test hygiene: same temp-table leak guard as the integration
+package -- every engine database a fuzz case builds must come out of
+the run with zero ``_``-prefixed plan temps.  Opt out with
+``@pytest.mark.allow_temp_leaks``."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import assert_no_temp_leaks, install_database_tracker
+
+
+@pytest.fixture(autouse=True)
+def no_temp_leaks(request, monkeypatch):
+    if request.node.get_closest_marker("allow_temp_leaks"):
+        yield
+        return
+    created = install_database_tracker(monkeypatch)
+    yield
+    assert_no_temp_leaks(created)

@@ -1,0 +1,67 @@
+"""The crash-consistency sweep as a test, plus its self-tests (the
+sweep must not be blind to the failure classes it exists to catch)."""
+
+import itertools
+
+import pytest
+
+from repro.core import execute as execute_mod
+from repro.fuzz.crash import SweepStats, sweep_case, sweep_cases
+from repro.fuzz.generator import CaseGenerator
+from repro.fuzz.runner import run_case
+
+
+def _cases(count, seed=0):
+    return list(CaseGenerator(seed=seed).cases(count))
+
+
+class TestSweep:
+    def test_small_budget_sweep_is_clean(self):
+        stats = sweep_cases(_cases(6))
+        assert stats.ok, "\n".join(f.describe()
+                                   for f in stats.findings)
+        assert stats.injections > 0
+        # both recovery modes must actually occur in the sample
+        assert stats.recovered > 0
+        assert stats.clean_errors > 0
+
+    def test_sweep_counts_every_site_and_kind(self):
+        stats = SweepStats()
+        case = _cases(1)[0]
+        sweep_case(case, stats)
+        assert stats.cases == 1
+        # one injection per (site, index, kind) triple
+        assert stats.injections % len(
+            ("transient", "resource", "crash")) == 0
+
+    def test_sweep_detects_a_leaky_runtime(self, monkeypatch):
+        """Self-test: neuter the plan cleanup and the sweep must
+        report leaked temp tables (it is not blind)."""
+        monkeypatch.setattr(execute_mod, "cleanup_plan",
+                            lambda db, plan: None)
+        stats = SweepStats()
+        for case in _cases(8):
+            if case.family in ("vpct", "hpct", "hagg"):
+                sweep_case(case, stats)
+                break
+        else:  # pragma: no cover - generator always mixes families
+            pytest.skip("no plan-generating case in sample")
+        assert any(f.problem == "temp tables leaked"
+                   for f in stats.findings)
+
+
+class TestCaseTimeout:
+    def test_timed_out_variants_are_excluded_not_divergent(self):
+        case = _cases(1)[0]
+        result = run_case(case, case_timeout=1e-9)
+        statuses = {v.name: v.status for v in result.variants}
+        assert any(s == "timeout" for s in statuses.values()), statuses
+        assert not result.divergent, result.divergence_report()
+
+    def test_generous_timeout_changes_nothing(self):
+        for case in itertools.islice(_cases(4), 4):
+            plain = run_case(case)
+            timed = run_case(case, case_timeout=60.0)
+            assert plain.divergent == timed.divergent
+            assert [v.status for v in plain.variants] \
+                == [v.status for v in timed.variants]

@@ -1,0 +1,20 @@
+"""Integration-test hygiene: every test in this package runs under
+the temp-table leak guard -- a multi-statement plan that finishes (or
+fails) must leave zero ``_``-prefixed temps in any database the test
+touched.  Opt out with ``@pytest.mark.allow_temp_leaks``."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import assert_no_temp_leaks, install_database_tracker
+
+
+@pytest.fixture(autouse=True)
+def no_temp_leaks(request, monkeypatch):
+    if request.node.get_closest_marker("allow_temp_leaks"):
+        yield
+        return
+    created = install_database_tracker(monkeypatch)
+    yield
+    assert_no_temp_leaks(created)
