@@ -17,7 +17,8 @@ import numpy as np
 from repro.engine.catalog import Catalog
 from repro.engine.column import ColumnData
 from repro.engine.encoding_cache import DEFAULT_ENCODING_CACHE_BYTES
-from repro.engine.executor import Executor, ExecutorOptions
+from repro.engine.executor import (DEFAULT_PARALLEL_ROW_THRESHOLD,
+                                   Executor, ExecutorOptions)
 from repro.engine.governor import ResourceBudget, ResourceGovernor
 from repro.engine.schema import (DEFAULT_MAX_COLUMNS,
                                  DEFAULT_MAX_NAME_LENGTH, TableSchema)
@@ -48,6 +49,12 @@ class Database:
             = unlimited).  A generated percentage plan counts as one
             query: its whole multi-statement script shares one budget
             window.
+        parallel_workers / parallel_row_threshold:
+            intra-query parallelism: aggregations over at least
+            ``parallel_row_threshold`` input rows hash-partition on
+            the grouping key across up to ``parallel_workers`` shared
+            operator-pool workers.  Bit-identical to serial execution;
+            wall-clock only.
         keep_history: record per-statement stats in
             ``db.stats.history``.
     """
@@ -61,9 +68,14 @@ class Database:
                  max_query_seconds: Optional[float] = None,
                  max_query_rows: Optional[int] = None,
                  max_result_width: Optional[int] = None,
+                 parallel_workers: int = 1,
+                 parallel_row_threshold: int =
+                 DEFAULT_PARALLEL_ROW_THRESHOLD,
                  keep_history: bool = False):
         if case_dispatch not in ("linear", "hash"):
             raise ValueError("case_dispatch must be 'linear' or 'hash'")
+        if parallel_workers < 1:
+            raise ValueError("parallel_workers must be >= 1")
         self.catalog = Catalog(max_columns=max_columns,
                                max_name_length=max_name_length,
                                encoding_cache_bytes=encoding_cache_bytes)
@@ -71,7 +83,9 @@ class Database:
         self.options = ExecutorOptions(
             case_dispatch=case_dispatch,
             use_indexes=use_indexes,
-            use_encoding_cache=use_encoding_cache)
+            use_encoding_cache=use_encoding_cache,
+            parallel_degree=parallel_workers,
+            parallel_row_threshold=parallel_row_threshold)
         self.governor = ResourceGovernor(ResourceBudget(
             max_seconds=max_query_seconds,
             max_rows=max_query_rows,
@@ -167,7 +181,7 @@ class Database:
             if replace:
                 self.catalog.drop_table(name, if_exists=True)
             self.catalog.create_table(table)
-            self.stats.rows_written += table.n_rows
+            self.stats.add(rows_written=table.n_rows)
         return table
 
     # ------------------------------------------------------------------
@@ -197,6 +211,19 @@ class Database:
 
     def set_use_encoding_cache(self, enabled: bool) -> None:
         self.options.use_encoding_cache = bool(enabled)
+
+    def set_parallel_workers(self, workers: int,
+                             row_threshold: Optional[int] = None) -> None:
+        """Set the intra-query parallelism budget (1 = serial).
+
+        ``row_threshold`` (optional) adjusts the minimum input size
+        that triggers a parallel aggregation.
+        """
+        if workers < 1:
+            raise ValueError("parallel_workers must be >= 1")
+        self.options.parallel_degree = int(workers)
+        if row_threshold is not None:
+            self.options.parallel_row_threshold = int(row_threshold)
 
     def encoding_cache_info(self) -> dict[str, Any]:
         """Occupancy and traffic counters of the dictionary-encoding

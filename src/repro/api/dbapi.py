@@ -17,20 +17,38 @@ engine the way any Python database application would:
 ``paramstyle`` is ``qmark``; parameters are bound by literal
 substitution with proper quoting (the engine has no prepared-statement
 layer).
+
+Thread affinity
+---------------
+Connections are thread-safe by default (``threadsafety = 2``: the
+engine serializes statements under one lock), but cursor *state* --
+``description``, ``rowcount``, the fetch position -- is per-cursor and
+unsynchronized, so two threads sharing one cursor silently interleave
+fetches.  ``connect(..., check_same_thread=True)`` opts into the
+sqlite3-style affinity guard: the connection (and every cursor it
+creates) may then only be used from the thread that opened it, and any
+cross-thread call raises the typed
+:class:`~repro.errors.CrossThreadError` instead of corrupting state.
+The service layer (:mod:`repro.service`) enables the guard on each
+session's private connection; threads that need concurrency should use
+one connection per thread or go through the service's scheduler.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Iterable, Optional, Sequence
 
 from repro.api.database import Database
 from repro.engine.table import Table
 from repro.engine.types import SQLType
-from repro.errors import ExecutionError, ReproError, ResourceExhausted
+from repro.errors import (CrossThreadError, ExecutionError, ReproError,
+                          ResourceExhausted)
 
 apilevel = "2.0"
 #: Threads may share the module and connections: the Database
-#: serializes statements under one lock.
+#: serializes statements under one lock.  (Cursor fetch state is still
+#: per-cursor; see the thread-affinity note above.)
 threadsafety = 2
 paramstyle = "qmark"
 
@@ -61,14 +79,18 @@ NUMBER = SQLType.REAL
 ROWID = SQLType.INTEGER
 
 
-def connect(database: Optional[Database] = None, **options) -> "Connection":
+def connect(database: Optional[Database] = None,
+            check_same_thread: bool = False, **options) -> "Connection":
     """Open a connection.
 
     Pass an existing :class:`Database` to share state between
     connections (several cursors over one catalog), or keyword options
     forwarded to the :class:`Database` constructor for a fresh one.
+    ``check_same_thread=True`` binds the connection to the calling
+    thread (see the thread-affinity note in the module docstring).
     """
-    return Connection(database or Database(**options))
+    return Connection(database or Database(**options),
+                      check_same_thread=check_same_thread)
 
 
 class Connection:
@@ -77,16 +99,29 @@ class Connection:
     Error = Error
     ProgrammingError = ProgrammingError
 
-    def __init__(self, database: Database):
+    def __init__(self, database: Database,
+                 check_same_thread: bool = False):
         self._database: Optional[Database] = database
+        self._check_same_thread = bool(check_same_thread)
+        self._owner_thread = threading.get_ident()
 
     @property
     def database(self) -> Database:
+        self._check_thread()
         if self._database is None:
             raise InterfaceError("connection is closed")
         return self._database
 
+    def _check_thread(self) -> None:
+        if (self._check_same_thread
+                and threading.get_ident() != self._owner_thread):
+            raise CrossThreadError(
+                f"this connection was created in thread "
+                f"{self._owner_thread} and check_same_thread is on; it "
+                f"cannot be used from thread {threading.get_ident()}")
+
     def cursor(self) -> "Cursor":
+        self._check_thread()
         return Cursor(self)
 
     def commit(self) -> None:

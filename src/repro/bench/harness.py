@@ -229,26 +229,57 @@ def main(argv: Optional[list[str]] = None) -> int:
     import argparse
 
     parser = argparse.ArgumentParser(
-        description="Benchmark the dictionary-encoding cache and write "
-                    "a machine-readable JSON report.")
-    parser.add_argument("--out", default="BENCH_encoding_cache.json")
+        description="Engine benchmark suites; each writes a "
+                    "machine-readable JSON report.")
+    parser.add_argument("--suite",
+                        choices=("encoding-cache", "concurrency"),
+                        default="encoding-cache",
+                        help="encoding-cache: cold/warm dictionary-"
+                             "encoding sweep; concurrency: service "
+                             "throughput, intra-query parallelism and "
+                             "mixed read/write latency")
+    parser.add_argument("--out", default=None,
+                        help="output path (default: BENCH_<suite>.json)")
     parser.add_argument("--employee", type=int, default=100_000)
     parser.add_argument("--sales", type=int, default=300_000)
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--full", action="store_true",
-                        help="include the 10,000-column Hpct row")
+                        help="include the 10,000-column Hpct row "
+                             "(encoding-cache suite)")
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be at least 1")
 
+    if args.suite == "concurrency":
+        from repro.bench.concurrency import run_concurrency_benchmark
+
+        out = args.out or "BENCH_concurrency.json"
+        # The concurrency workload is service-bound, not scan-bound;
+        # cap the fact table so the default run stays interactive.
+        report = run_concurrency_benchmark(
+            sales_n=min(args.sales, 120_000), repeats=args.repeats)
+        with open(out, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        summary = report["summary"]
+        print(f"wrote {out}: cpu_count={report['cpu_count']}, "
+              f"{summary['best_read_throughput_qps']} qps best, "
+              f"read x{summary['read_speedup_at_4_workers']} / "
+              f"intra-query x"
+              f"{summary['intra_query_speedup_at_4_workers']} at 4 "
+              f"workers, parallel bit-identical="
+              f"{summary['all_parallel_results_bit_identical']}")
+        return 0
+
+    out = args.out or "BENCH_encoding_cache.json"
     report = run_encoding_cache_benchmark(
         employee_n=args.employee, sales_n=args.sales,
         warm_repeats=args.repeats, include_widest=args.full)
-    with open(args.out, "w") as handle:
+    with open(out, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
     summary = report["summary"]
-    print(f"wrote {args.out}: "
+    print(f"wrote {out}: "
           f"{summary['speedup_warm_over_cold']}x warm-over-cold, "
           f"logical I/O identical="
           f"{summary['all_logical_io_identical']}")

@@ -149,6 +149,12 @@ class ExecutionReport:
     fallback_error: Optional[str] = None
     #: Resource-governor snapshot of the plan's query window.
     governor_usage: dict[str, Any] = field(default_factory=dict)
+    #: Widest partition fan-out any aggregation in the plan used
+    #: (1 = fully serial execution).
+    parallel_degree: int = 1
+    #: Seconds the query waited in the service scheduler's queue before
+    #: execution began (0.0 when run without the scheduler).
+    queue_wait_seconds: float = 0.0
 
 
 def execute_plan(db: Database, plan: GeneratedPlan,
@@ -169,6 +175,7 @@ def execute_plan(db: Database, plan: GeneratedPlan,
     started = time.perf_counter()
     savepoint = db.catalog.savepoint()
     attempts = 0
+    db.executor.reset_parallel_observation()
     with db.governor.window():
         while True:
             attempts += 1
@@ -194,11 +201,11 @@ def execute_plan(db: Database, plan: GeneratedPlan,
     if not keep_temps:
         cleanup_plan(db, plan)
     elapsed = time.perf_counter() - started
-    return ExecutionReport(result=result, plan=plan,
-                           elapsed_seconds=elapsed,
-                           statements_run=statements,
-                           attempts=attempts,
-                           governor_usage=usage)
+    return ExecutionReport(
+        result=result, plan=plan, elapsed_seconds=elapsed,
+        statements_run=statements, attempts=attempts,
+        governor_usage=usage,
+        parallel_degree=db.executor.parallel_degree_observed())
 
 
 def _run_steps(db: Database, plan: GeneratedPlan) -> tuple[Any, int]:

@@ -67,7 +67,10 @@ def combo_column_name(columns: Sequence[str], values: Sequence[Any],
     else:
         body = "_".join(sanitize(v) for v in values)
     name = f"{prefix}{body}" if prefix else body
-    if name and name[0].isdigit():
+    # A leading digit is the common case, but sanitize() keeps any
+    # alphanumeric -- including characters like '¼' that are isalnum()
+    # yet not a valid identifier start -- so guard on the positive.
+    if name and not (name[0].isalpha() or name[0] == "_"):
         name = "c" + name
 
     limit = policy.max_length or max_length

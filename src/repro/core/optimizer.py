@@ -116,6 +116,31 @@ def alternate_strategy(
     return None
 
 
+def recommended_parallel_degree(db: Database,
+                                query: model.PercentageQuery) -> int:
+    """The intra-query fan-out the optimizer would admit for this
+    query's fact-table aggregations.
+
+    Applies the same rule the executor uses at run time
+    (:func:`repro.core.partitioning.choose_parallel_degree`) to the
+    fact table's row count, sizing the request by the configured
+    ``parallel_degree`` -- or, when the engine is serial, by the
+    shared operator pool so callers can preview what enabling
+    parallelism would do.  EXPLAIN's ``parallel:`` line reflects the
+    configured degree; this is the per-query admission decision.
+    """
+    from repro.core.partitioning import (choose_parallel_degree,
+                                         operator_pool_size)
+    if not db.has_table(query.table):
+        return 1
+    n_rows = db.table(query.table).n_rows
+    requested = db.options.parallel_degree
+    if requested <= 1:
+        requested = operator_pool_size()
+    return choose_parallel_degree(n_rows, requested,
+                                  db.options.parallel_row_threshold)
+
+
 def column_cardinality(db: Database, query: model.PercentageQuery,
                        column: str) -> int:
     """``count(DISTINCT column)`` over the fact table (the optimizer's

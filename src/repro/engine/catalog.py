@@ -5,12 +5,34 @@ for horizontal aggregations: the maximum number of columns per table
 and the maximum identifier length (DMKD Section 3.6).  Both are
 configurable so tests and the vertical-partitioning machinery can
 exercise the failure paths at small sizes.
+
+Concurrency model (the substrate under :mod:`repro.service`):
+
+* **Copy-on-write publication.**  Every mutating operation builds a
+  *new* name-space dict (and, for DML, new table/index objects) and
+  swaps it in atomically under :attr:`_publish_lock`.  Published dicts
+  and the objects inside them are never mutated again, so any thread
+  that captured a reference keeps a frozen, internally consistent view
+  for free.
+* **Snapshots.**  :meth:`snapshot` captures the current dicts plus a
+  monotonically increasing :attr:`version` as an immutable
+  :class:`CatalogSnapshot` -- an O(1) operation (no copying) thanks to
+  copy-on-write.  :meth:`from_snapshot` rehydrates a snapshot into a
+  private overlay catalog that snapshot-isolated readers can run whole
+  multi-statement plans against (their temp tables never touch the
+  shared catalog).
+* **Writers serialize elsewhere.**  The catalog does not arbitrate
+  write-write conflicts; the Database statement lock and the service
+  writer lock do.  The publish lock only makes each individual swap
+  (and each snapshot capture) atomic.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from types import MappingProxyType
+from typing import Iterable, Mapping, Sequence
 
 from repro.engine.encoding_cache import (DEFAULT_ENCODING_CACHE_BYTES,
                                          EncodingCache)
@@ -28,14 +50,34 @@ class CatalogSavepoint:
     Tables are immutable (every DML swaps in a whole new
     :class:`~repro.engine.table.Table`), so shallow dict copies pin the
     exact pre-savepoint contents; no column data is duplicated.
-    Indexes are the one mutable species (``rebuild`` digests in
-    place), so rollback re-digests any index whose table binding no
+    Indexes are immutable once published (DML swaps in freshly
+    digested replacements), so rollback normally restores the captured
+    objects as-is and only re-digests an index whose table binding no
     longer matches the restored table.
     """
 
     tables: dict[str, Table] = field(default_factory=dict)
     views: dict[str, object] = field(default_factory=dict)
     indexes: dict[str, HashIndex] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CatalogSnapshot:
+    """An immutable, internally consistent view of the catalog.
+
+    ``version`` is the catalog's mutation counter at capture time: two
+    snapshots with equal versions saw byte-identical catalogs.  The
+    mappings are read-only proxies over the published (never again
+    mutated) dicts, so holding a snapshot costs no copying and pins the
+    exact table/index objects -- the same immutability argument behind
+    :meth:`Catalog.fingerprint`.
+    """
+
+    version: int
+    tables: Mapping[str, Table]
+    views: Mapping[str, object]
+    indexes: Mapping[str, HashIndex]
+    fingerprint: tuple
 
 
 class Catalog:
@@ -50,13 +92,80 @@ class Catalog:
 
     def __init__(self, max_columns: int = DEFAULT_MAX_COLUMNS,
                  max_name_length: int = DEFAULT_MAX_NAME_LENGTH,
-                 encoding_cache_bytes: int = DEFAULT_ENCODING_CACHE_BYTES):
+                 encoding_cache_bytes: int = DEFAULT_ENCODING_CACHE_BYTES,
+                 encoding_cache: EncodingCache | None = None):
         self.max_columns = max_columns
         self.max_name_length = max_name_length
-        self.encoding_cache = EncodingCache(encoding_cache_bytes)
+        self.encoding_cache = encoding_cache if encoding_cache is not None \
+            else EncodingCache(encoding_cache_bytes)
+        #: Mutation counter: bumped once per mutating operation (not
+        #: per statement), so snapshot versions totally order catalog
+        #: states.
+        self.version = 0
+        self._publish_lock = threading.Lock()
         self._tables: dict[str, Table] = {}
         self._indexes: dict[str, HashIndex] = {}
         self._views: dict[str, object] = {}  # name -> ast.Select
+
+    # ------------------------------------------------------------------
+    # Copy-on-write publication
+    # ------------------------------------------------------------------
+    def _publish(self, tables: dict[str, Table] | None = None,
+                 views: dict[str, object] | None = None,
+                 indexes: dict[str, HashIndex] | None = None) -> None:
+        """Atomically swap in replacement name-space dicts.
+
+        Callers pass *new* dict objects (never the published ones
+        mutated in place); the published dicts stay frozen forever, so
+        concurrent snapshot holders are unaffected.
+        """
+        with self._publish_lock:
+            if tables is not None:
+                self._tables = tables
+            if views is not None:
+                self._views = views
+            if indexes is not None:
+                self._indexes = indexes
+            self.version += 1
+
+    def snapshot(self) -> CatalogSnapshot:
+        """Capture the current catalog state; O(1), never blocks
+        readers (the publish lock is held only for the reference
+        reads, so capture can't interleave with a half-applied swap).
+        """
+        with self._publish_lock:
+            tables, views, indexes = \
+                self._tables, self._views, self._indexes
+            version = self.version
+        return CatalogSnapshot(
+            version=version,
+            tables=MappingProxyType(tables),
+            views=MappingProxyType(views),
+            indexes=MappingProxyType(indexes),
+            fingerprint=_fingerprint(tables, views, indexes))
+
+    @classmethod
+    def from_snapshot(cls, snapshot: CatalogSnapshot,
+                      max_columns: int, max_name_length: int,
+                      encoding_cache: EncodingCache) -> "Catalog":
+        """A private overlay catalog seeded from ``snapshot``.
+
+        The overlay starts with the snapshot's exact objects and keeps
+        full catalog semantics, so a snapshot-isolated reader can run
+        multi-statement plans (temp CREATE/INSERT/UPDATE/DROP) without
+        any of it becoming visible outside -- the copy-on-write
+        discipline guarantees the shared objects are never mutated.
+        The dictionary-encoding cache is shared: it is thread-safe and
+        version-keyed, so overlay temps and base tables coexist.
+        """
+        overlay = cls(max_columns=max_columns,
+                      max_name_length=max_name_length,
+                      encoding_cache=encoding_cache)
+        overlay._tables = dict(snapshot.tables)
+        overlay._views = dict(snapshot.views)
+        overlay._indexes = dict(snapshot.indexes)
+        overlay.version = snapshot.version
+        return overlay
 
     # ------------------------------------------------------------------
     # Tables
@@ -83,7 +192,9 @@ class Catalog:
         if replace and key in self._tables:
             self.encoding_cache.invalidate_table(key)
         table.seal_cache_tokens()
-        self._tables[key] = table
+        tables = dict(self._tables)
+        tables[key] = table
+        self._publish(tables=tables)
 
     def has_table(self, name: str) -> bool:
         return name.lower() in self._tables
@@ -98,15 +209,25 @@ class Catalog:
         """Swap in new contents for an existing table and refresh its
         indexes.  The replacement carries a fresh version, so its
         cached encodings start cold; the old version's entries are
-        dropped eagerly."""
+        dropped eagerly.  Indexes on the table are replaced by freshly
+        digested *new* objects (never rebuilt in place), so snapshot
+        holders keep index digests consistent with their table
+        version."""
         key = table.name.lower()
         if key not in self._tables:
             raise CatalogError(f"no such table: {table.name!r}")
         self.encoding_cache.invalidate_table(key)
         table.seal_cache_tokens()
-        self._tables[key] = table
-        for index in self.indexes_on(table.name):
-            index.rebuild(table, cache=self.encoding_cache)
+        tables = dict(self._tables)
+        tables[key] = table
+        indexes = dict(self._indexes)
+        for idx_name, index in self._indexes.items():
+            if index.table_name.lower() == key:
+                rebuilt = HashIndex(index.name, index.table_name,
+                                    index.column_names)
+                rebuilt.rebuild(table, cache=self.encoding_cache)
+                indexes[idx_name] = rebuilt
+        self._publish(tables=tables, indexes=indexes)
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
         key = name.lower()
@@ -114,12 +235,13 @@ class Catalog:
             if if_exists:
                 return
             raise CatalogError(f"no such table: {name!r}")
-        del self._tables[key]
+        tables = dict(self._tables)
+        del tables[key]
         self.encoding_cache.invalidate_table(key)
-        stale = [idx_name for idx_name, idx in self._indexes.items()
-                 if idx.table_name.lower() == key]
-        for idx_name in stale:
-            del self._indexes[idx_name]
+        indexes = {idx_name: idx for idx_name, idx in
+                   self._indexes.items()
+                   if idx.table_name.lower() != key}
+        self._publish(tables=tables, indexes=indexes)
 
     def table_names(self) -> list[str]:
         return [t.name for t in self._tables.values()]
@@ -139,7 +261,9 @@ class Catalog:
             raise CatalogError(
                 f"identifier {name!r} is {len(name)} characters; "
                 f"the maximum is {self.max_name_length}")
-        self._views[key] = select
+        views = dict(self._views)
+        views[key] = select
+        self._publish(views=views)
 
     def has_view(self, name: str) -> bool:
         return name.lower() in self._views
@@ -156,7 +280,9 @@ class Catalog:
             if if_exists:
                 return
             raise CatalogError(f"no such view: {name!r}")
-        del self._views[key]
+        views = dict(self._views)
+        del views[key]
+        self._publish(views=views)
 
     def view_names(self) -> list[str]:
         return list(self._views)
@@ -177,7 +303,9 @@ class Catalog:
                     f"no column {col!r} in table {table_name!r}")
         index = HashIndex(name, table.name, column_names)
         index.rebuild(table, cache=self.encoding_cache)
-        self._indexes[key] = index
+        indexes = dict(self._indexes)
+        indexes[key] = index
+        self._publish(indexes=indexes)
         return index
 
     def drop_index(self, name: str, if_exists: bool = False) -> None:
@@ -186,7 +314,9 @@ class Catalog:
             if if_exists:
                 return
             raise CatalogError(f"no such index: {name!r}")
-        del self._indexes[key]
+        indexes = dict(self._indexes)
+        del indexes[key]
+        self._publish(indexes=indexes)
 
     def indexes_on(self, table_name: str) -> list[HashIndex]:
         lowered = table_name.lower()
@@ -210,9 +340,10 @@ class Catalog:
     # ------------------------------------------------------------------
     def savepoint(self) -> CatalogSavepoint:
         """Snapshot every name space; cheap (no data is copied)."""
-        return CatalogSavepoint(tables=dict(self._tables),
-                                views=dict(self._views),
-                                indexes=dict(self._indexes))
+        with self._publish_lock:
+            return CatalogSavepoint(tables=dict(self._tables),
+                                    views=dict(self._views),
+                                    indexes=dict(self._indexes))
 
     def fingerprint(self) -> tuple:
         """An identity snapshot for crash-consistency checks.
@@ -223,11 +354,8 @@ class Catalog:
         view.  Hold a :meth:`savepoint` alongside the fingerprint to
         pin the objects (so ``id`` values cannot be recycled).
         """
-        return (tuple(sorted((k, id(t))
-                             for k, t in self._tables.items())),
-                tuple(sorted(self._views)),
-                tuple(sorted((k, id(i))
-                             for k, i in self._indexes.items())))
+        with self._publish_lock:
+            return _fingerprint(self._tables, self._views, self._indexes)
 
     def rollback(self, savepoint: CatalogSavepoint) -> None:
         """Restore the catalog to ``savepoint``.
@@ -235,19 +363,33 @@ class Catalog:
         Tables and views snap back to the exact objects captured
         (immutability makes that sufficient); encoding-cache entries
         of tables created or replaced since the savepoint are
-        invalidated, and indexes that were rebuilt against
-        now-discarded table versions are re-digested from the
-        restored tables.
+        invalidated.  Under the copy-on-write discipline the captured
+        index objects were never mutated, so they are restored as-is;
+        the re-digest loop remains as a belt-and-braces check for an
+        index whose table binding doesn't match the restored table
+        (only reachable through out-of-band index mutation).
         """
         for key, table in self._tables.items():
             if savepoint.tables.get(key) is not table:
                 # Created or replaced since the savepoint: its cached
                 # encodings (any version) must not outlive it.
                 self.encoding_cache.invalidate_table(key)
-        self._tables = dict(savepoint.tables)
-        self._views = dict(savepoint.views)
-        self._indexes = dict(savepoint.indexes)
-        for index in self._indexes.values():
-            table = self._tables.get(index.table_name.lower())
+        indexes = dict(savepoint.indexes)
+        for key, index in indexes.items():
+            table = savepoint.tables.get(index.table_name.lower())
             if table is not None and index.source_table() is not table:
-                index.rebuild(table, cache=self.encoding_cache)
+                rebuilt = HashIndex(index.name, index.table_name,
+                                    index.column_names)
+                rebuilt.rebuild(table, cache=self.encoding_cache)
+                indexes[key] = rebuilt
+        self._publish(tables=dict(savepoint.tables),
+                      views=dict(savepoint.views),
+                      indexes=indexes)
+
+
+def _fingerprint(tables: Mapping[str, Table],
+                 views: Mapping[str, object],
+                 indexes: Mapping[str, HashIndex]) -> tuple:
+    return (tuple(sorted((k, id(t)) for k, t in tables.items())),
+            tuple(sorted(views)),
+            tuple(sorted((k, id(i)) for k, i in indexes.items())))

@@ -95,12 +95,12 @@ class EncodingCache:
             if entry is None:
                 self.misses += 1
                 if self._stats is not None:
-                    self._stats.encode_cache_misses += 1
+                    self._stats.add(encode_cache_misses=1)
                 return None
             self._entries.move_to_end(token)
             self.hits += 1
             if self._stats is not None:
-                self._stats.encode_cache_hits += 1
+                self._stats.add(encode_cache_hits=1)
             return entry[0]
 
     def put(self, token: CacheToken, encoded: "EncodedColumn") -> None:
@@ -122,7 +122,7 @@ class EncodingCache:
                 self._bytes -= evicted_bytes
                 self.evictions += 1
                 if self._stats is not None:
-                    self._stats.encode_cache_evictions += 1
+                    self._stats.add(encode_cache_evictions=1)
 
     # ------------------------------------------------------------------
     def invalidate_table(self, table_name: str) -> None:

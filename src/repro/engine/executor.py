@@ -17,6 +17,7 @@ charge the statistics counters that the paper's cost arguments rely on
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -28,7 +29,9 @@ from repro.engine.catalog import Catalog
 from repro.engine.column import ColumnData
 from repro.engine.expressions import Frame, evaluate, untyped_null
 from repro.engine.governor import ResourceGovernor
-from repro.engine.groupby import distinct_indices, encode_column, factorize
+from repro.engine.groupby import (PartitionedGrouping, distinct_indices,
+                                  encode_column, factorize,
+                                  factorize_partitioned)
 from repro.engine.join import join_indices, prepare_side
 from repro.engine.planner import (FromPlan, PlannedJoin,
                                   null_safe_equality, plan_from)
@@ -60,11 +63,25 @@ class ExecutorOptions:
         recomputed per plan step.  Disabling it (the
         ``--no-encoding-cache`` ablation) changes wall-clock time only;
         results and logical-I/O counters are identical either way.
+    ``parallel_degree`` / ``parallel_row_threshold``:
+        intra-query parallelism: aggregations over at least
+        ``parallel_row_threshold`` input rows hash-partition on the
+        grouping key and fan out over up to ``parallel_degree``
+        workers of the shared operator pool.  Results are bit-identical
+        to serial execution (each partition holds complete groups in
+        original row order), so this is a wall-clock knob only.
     """
 
     case_dispatch: str = "linear"
     use_indexes: bool = True
     use_encoding_cache: bool = True
+    parallel_degree: int = 1
+    parallel_row_threshold: int = 20_000
+
+
+#: Default row count below which parallel aggregation is not worth the
+#: fan-out overhead (mirrors ``ExecutorOptions.parallel_row_threshold``).
+DEFAULT_PARALLEL_ROW_THRESHOLD = 20_000
 
 
 @dataclass
@@ -148,6 +165,10 @@ class Executor:
         # a standalone Executor (unit tests) runs ungoverned.
         self.governor = governor or ResourceGovernor()
         self.catalog.encoding_cache.bind_stats(stats)
+        # Per-thread parallel-degree observation: one executor serves
+        # every scheduler worker, so the record of "what degree did my
+        # statements run at" must not leak across concurrent queries.
+        self._parallel_local = threading.local()
 
     @property
     def encoding_cache(self):
@@ -156,6 +177,29 @@ class Executor:
         if not self.options.use_encoding_cache:
             return None
         return self.catalog.encoding_cache
+
+    # ------------------------------------------------------------------
+    # Parallel-degree observation (per thread, i.e. per in-flight query)
+    # ------------------------------------------------------------------
+    def reset_parallel_observation(self) -> None:
+        """Start a fresh observation window on this thread (the plan
+        runner calls this before a plan's first statement)."""
+        self._parallel_local.observed = 1
+
+    def note_parallel_degree(self, degree: int) -> None:
+        current = getattr(self._parallel_local, "observed", 1)
+        self._parallel_local.observed = max(current, int(degree))
+
+    def parallel_degree_observed(self) -> int:
+        """The widest fan-out any operator on this thread used since
+        the last :meth:`reset_parallel_observation` (1 = all serial)."""
+        return getattr(self._parallel_local, "observed", 1)
+
+    def _parallel_degree_for(self, n_rows: int) -> int:
+        from repro.core.partitioning import choose_parallel_degree
+        return choose_parallel_degree(
+            n_rows, self.options.parallel_degree,
+            self.options.parallel_row_threshold)
 
     # ------------------------------------------------------------------
     # Entry point
@@ -279,14 +323,14 @@ class Executor:
         plan = plan_from(select.from_, select.where, resolve_binding)
 
         first_table, first_base = materialized[plan.first.binding.lower()]
-        self.stats.rows_scanned += first_table.n_rows
+        self.stats.add(rows_scanned=first_table.n_rows)
         self.governor.charge_rows(first_table.n_rows, "scan")
         dataset.add(plan.first.binding, first_table, first_base)
 
         for join in plan.joins:
             right_table, right_base = \
                 materialized[join.source.binding.lower()]
-            self.stats.rows_scanned += right_table.n_rows
+            self.stats.add(rows_scanned=right_table.n_rows)
             self.governor.charge_rows(right_table.n_rows, "scan")
             self._apply_join(dataset, join, right_table, right_base)
 
@@ -351,8 +395,8 @@ class Executor:
                         build_cols = [build_cols[i] for i in order]
                         probe_cols = [probe_cols[i] for i in order]
                         prepared = index.prepared
-                        self.stats.index_lookups += \
-                            len(probe_cols[0]) if probe_cols else 0
+                        self.stats.add(index_lookups=(
+                            len(probe_cols[0]) if probe_cols else 0))
 
             probe_idx, build_idx, _ = join_indices(
                 probe_cols, build_cols, outer, prepared_right=prepared,
@@ -362,7 +406,7 @@ class Executor:
                 left_indices, right_indices = build_idx, probe_idx
             else:
                 left_indices, right_indices = probe_idx, build_idx
-            self.stats.rows_joined += len(left_indices)
+            self.stats.add(rows_joined=len(left_indices))
             self.governor.charge_rows(len(left_indices), "join")
 
             dataset.gather(left_indices)
@@ -383,7 +427,7 @@ class Executor:
                                  n_right)
         right_indices = np.tile(np.arange(n_right, dtype=np.int64),
                                 n_left)
-        self.stats.rows_joined += n_left * n_right
+        self.stats.add(rows_joined=n_left * n_right)
         self.governor.charge_rows(n_left * n_right, "cartesian join")
         dataset.gather(left_indices)
         dataset.add(binding, right_table, None)
@@ -454,8 +498,17 @@ class Executor:
         group_exprs = self._resolve_group_by(select)
         key_columns = [evaluate(e, frame, self.stats)
                        for e in group_exprs]
-        grouping = factorize(key_columns, frame.n_rows,
-                             self.encoding_cache)
+        degree = self._parallel_degree_for(frame.n_rows)
+        pgrouping: Optional[PartitionedGrouping] = None
+        if degree > 1:
+            pgrouping = factorize_partitioned(
+                key_columns, frame.n_rows, self.encoding_cache, degree)
+        if pgrouping is not None:
+            grouping = pgrouping.grouping
+            self.note_parallel_degree(pgrouping.degree)
+        else:
+            grouping = factorize(key_columns, frame.n_rows,
+                                 self.encoding_cache)
         self.governor.charge_rows(grouping.n_groups, "group-by")
         firsts = _first_positions(grouping.group_ids, grouping.n_groups)
 
@@ -503,7 +556,9 @@ class Executor:
         rewritten_having = rewrite(select.having) \
             if select.having is not None else None
 
-        self._compute_aggregates(agg_specs, frame, grouping, group_frame)
+        self._compute_aggregates(agg_specs, frame, grouping, group_frame,
+                                 pgrouping=pgrouping,
+                                 parallel_degree=degree)
 
         named: list[tuple[str, ColumnData]] = []
         for i, (item, expr) in enumerate(rewritten_items):
@@ -521,16 +576,22 @@ class Executor:
         return result
 
     def _compute_aggregates(self, agg_specs: list[ast.FuncCall],
-                            frame: Frame, grouping, group_frame) -> None:
+                            frame: Frame, grouping, group_frame,
+                            pgrouping: Optional[PartitionedGrouping]
+                            = None,
+                            parallel_degree: int = 1) -> None:
         """Evaluate each distinct aggregate over the base frame, binding
         ``__aggI`` columns into the group frame.  When hash dispatch is
         enabled, disjoint pivot-style CASE aggregations are computed in
-        one factorize pass instead of N masked passes."""
+        one factorize pass instead of N masked passes.  With a
+        partitioned grouping, per-spec aggregation fans out over the
+        operator pool (bit-identical merge by scatter)."""
         handled: set[int] = set()
         if self.options.case_dispatch == "hash":
             handled = pivot_mod.compute_pivot_aggregates(
                 agg_specs, frame, grouping, group_frame, self.stats,
-                self.encoding_cache)
+                self.encoding_cache, parallel_degree=parallel_degree,
+                on_parallel=self.note_parallel_degree)
         for i, spec in enumerate(agg_specs):
             if i in handled:
                 continue
@@ -538,17 +599,25 @@ class Executor:
                 if spec.name != "count":
                     raise PlanningError(
                         f"{spec.name}(*) is not valid; only count(*)")
-                data = agg_mod.count_star(grouping.group_ids,
-                                          grouping.n_groups)
+                if pgrouping is not None:
+                    data = agg_mod.count_star_partitioned(pgrouping)
+                else:
+                    data = agg_mod.count_star(grouping.group_ids,
+                                              grouping.n_groups)
             else:
                 if len(spec.args) != 1:
                     raise PlanningError(
                         f"{spec.name}() takes exactly one argument")
                 arg = evaluate(spec.args[0], frame, self.stats)
-                data = agg_mod.compute_aggregate(
-                    spec.name, _concrete(arg), spec.distinct,
-                    grouping.group_ids, grouping.n_groups,
-                    self.encoding_cache)
+                if pgrouping is not None:
+                    data = agg_mod.compute_aggregate_partitioned(
+                        spec.name, _concrete(arg), spec.distinct,
+                        pgrouping)
+                else:
+                    data = agg_mod.compute_aggregate(
+                        spec.name, _concrete(arg), spec.distinct,
+                        grouping.group_ids, grouping.n_groups,
+                        self.encoding_cache)
             group_frame.add_column(f"__agg{i}", data)
 
     def _resolve_group_by(self, select: ast.Select) -> list[ast.Expr]:
@@ -624,7 +693,7 @@ class Executor:
         result = self.run_select(statement.select,
                                  result_name=statement.name)
         self.catalog.create_table(result)
-        self.stats.rows_written += result.n_rows
+        self.stats.add(rows_written=result.n_rows)
         return result.n_rows
 
     def _insert_values(self, statement: ast.InsertValues) -> int:
@@ -651,7 +720,7 @@ class Executor:
                               for c in schema.columns))
         appended = table.append(Table.from_rows(schema, rows))
         self.catalog.replace_table(appended)
-        self.stats.rows_written += len(rows)
+        self.stats.add(rows_written=len(rows))
         self.governor.charge_rows(len(rows), "insert")
         return len(rows)
 
@@ -678,7 +747,7 @@ class Executor:
         ordered = {c.name: block.column(c.name) for c in schema.columns}
         appended = table.append(Table(schema, ordered))
         self.catalog.replace_table(appended)
-        self.stats.rows_written += result.n_rows
+        self.stats.add(rows_written=result.n_rows)
         self.governor.charge_rows(result.n_rows, "insert-select")
         return result.n_rows
 
@@ -701,7 +770,7 @@ class Executor:
                 mask_col = evaluate(statement.where, frame, self.stats)
                 where_mask = np.asarray(mask_col.values, dtype=bool) & \
                     ~mask_col.nulls
-            self.stats.rows_scanned += n
+            self.stats.add(rows_scanned=n)
 
         to_update = matched & where_mask
         updated = table
@@ -726,7 +795,7 @@ class Executor:
                     col_def.name, updated.column(col_def.name).copy())
         self.catalog.replace_table(updated)
         count = int(to_update.sum())
-        self.stats.rows_updated += count
+        self.stats.add(rows_updated=count)
         self.governor.charge_rows(n, "update")
         return count
 
@@ -740,7 +809,7 @@ class Executor:
         from_ref = statement.from_tables[0]
         from_table = self.catalog.table(from_ref.name) \
             .renamed(from_ref.binding)
-        self.stats.rows_scanned += table.n_rows + from_table.n_rows
+        self.stats.add(rows_scanned=table.n_rows + from_table.n_rows)
 
         target_frame = Frame(table.n_rows)
         target_frame.add_table(binding, table)
@@ -777,7 +846,7 @@ class Executor:
                 join_left = [join_left[i] for i in order]
                 join_right = [join_right[i] for i in order]
                 prepared = index.prepared
-                self.stats.index_lookups += table.n_rows
+                self.stats.add(index_lookups=table.n_rows)
 
         probe_idx, build_idx, _ = join_indices(join_left, join_right,
                                                outer=True,
@@ -791,7 +860,7 @@ class Executor:
         order = np.argsort(probe_idx, kind="stable")
         build_for_target = build_idx[order]
         matched = build_for_target >= 0
-        self.stats.rows_joined += int(matched.sum())
+        self.stats.add(rows_joined=int(matched.sum()))
 
         frame = Frame(table.n_rows)
         frame.add_table(binding, table)
@@ -813,7 +882,7 @@ class Executor:
     def _delete(self, statement: ast.Delete) -> int:
         table = self.catalog.table(statement.table.name)
         n = table.n_rows
-        self.stats.rows_scanned += n
+        self.stats.add(rows_scanned=n)
         if statement.where is None:
             keep = np.zeros(n, dtype=bool)
         else:
@@ -824,7 +893,7 @@ class Executor:
             keep = ~hit
         deleted = n - int(keep.sum())
         self.catalog.replace_table(table.filter(keep))
-        self.stats.rows_updated += deleted
+        self.stats.add(rows_updated=deleted)
         self.governor.charge_rows(n, "delete")
         return deleted
 

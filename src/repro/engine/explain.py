@@ -38,10 +38,24 @@ def explain_statement(executor, statement: ast.Statement) -> Table:
         lines.append(f"delete from {statement.table.name}")
     else:
         lines.append(type(statement).__name__.lower())
+    parallel = _parallel_line(executor)
+    if parallel is not None:
+        lines.append(parallel)
     lines.append(_governor_line(executor))
     lines.append(_cache_line(executor))
     data = ColumnData.from_values(SQLType.VARCHAR, lines)
     return Table.from_columns("explain", [("plan", data)])
+
+
+def _parallel_line(executor) -> Optional[str]:
+    """The intra-query parallelism this statement may use; omitted
+    entirely when the engine is serial, so serial plans are unchanged
+    (the governor line stays second-to-last either way)."""
+    opts = executor.options
+    if opts.parallel_degree <= 1:
+        return None
+    return (f"parallel: degree={opts.parallel_degree} "
+            f"(row threshold {opts.parallel_row_threshold})")
 
 
 def _governor_line(executor) -> str:

@@ -366,7 +366,7 @@ def _eval_case(expr: ast.CaseWhen, frame: Frame,
     """Searched CASE: first matching WHEN wins; charge N*rows to stats."""
     n = frame.n_rows
     if stats is not None:
-        stats.case_evaluations += len(expr.whens) * n
+        stats.add(case_evaluations=len(expr.whens) * n)
 
     branches: list[tuple[np.ndarray, ColumnData]] = []
     unmatched = np.ones(n, dtype=bool)

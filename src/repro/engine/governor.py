@@ -70,12 +70,13 @@ class ResourceBudget:
 
 
 class _Window:
-    __slots__ = ("depth", "started", "rows")
+    __slots__ = ("depth", "started", "rows", "queue_wait")
 
     def __init__(self) -> None:
         self.depth = 0
         self.started = 0.0
         self.rows = 0
+        self.queue_wait = 0.0
 
 
 class ResourceGovernor:
@@ -116,6 +117,7 @@ class ResourceGovernor:
         if state.depth == 1:
             state.started = time.perf_counter()
             state.rows = 0
+            state.queue_wait = 0.0
         try:
             yield self
         finally:
@@ -163,6 +165,14 @@ class ResourceGovernor:
                 f"budget of {limit}"
                 + (f" (at {context})" if context else ""))
 
+    def note_queue_wait(self, seconds: float) -> None:
+        """Attribute scheduler queue time to this thread's window, so
+        :meth:`usage` (and through it ``ExecutionReport``) can split
+        latency into waiting versus executing.  The wait does **not**
+        count against the wall-clock budget: the clock starts when the
+        window opens, i.e. when execution begins."""
+        self._window().queue_wait += float(seconds)
+
     # ------------------------------------------------------------------
     def usage(self) -> dict:
         """A snapshot of the current (or just-closed) window."""
@@ -173,6 +183,7 @@ class ResourceGovernor:
             "active": state.depth > 0,
             "elapsed_seconds": elapsed,
             "rows_charged": state.rows,
+            "queue_wait_seconds": state.queue_wait,
             "budget": {
                 "max_seconds": self.budget.max_seconds,
                 "max_rows": self.budget.max_rows,

@@ -11,6 +11,7 @@ also available for point lookups.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Sequence
 
 from repro.engine.join import PreparedJoinSide, prepare_side
@@ -29,6 +30,10 @@ class HashIndex:
         self.prepared: PreparedJoinSide | None = None
         self._buckets: dict[tuple[Any, ...], list[int]] | None = None
         self._table: Table | None = None
+        # Published indexes are shared by concurrent snapshot readers;
+        # the lock makes the lazy bucket build single-flight (rebuild
+        # itself only ever runs before publication).
+        self._bucket_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def rebuild(self, table: Table, cache=None) -> None:
@@ -55,16 +60,19 @@ class HashIndex:
 
     # ------------------------------------------------------------------
     def _ensure_buckets(self) -> dict[tuple[Any, ...], list[int]]:
-        if self._buckets is None:
-            if self._table is None:
-                raise RuntimeError(f"index {self.name!r} was never built")
-            columns = [self._table.column(c) for c in self.column_names]
-            buckets: dict[tuple[Any, ...], list[int]] = {}
-            for i in range(self._table.n_rows):
-                key = tuple(col[i] for col in columns)
-                buckets.setdefault(key, []).append(i)
-            self._buckets = buckets
-        return self._buckets
+        with self._bucket_lock:
+            if self._buckets is None:
+                if self._table is None:
+                    raise RuntimeError(
+                        f"index {self.name!r} was never built")
+                columns = [self._table.column(c)
+                           for c in self.column_names]
+                buckets: dict[tuple[Any, ...], list[int]] = {}
+                for i in range(self._table.n_rows):
+                    key = tuple(col[i] for col in columns)
+                    buckets.setdefault(key, []).append(i)
+                self._buckets = buckets
+            return self._buckets
 
     def lookup(self, key: tuple[Any, ...]) -> list[int]:
         """Row positions whose indexed columns equal ``key``."""

@@ -33,6 +33,7 @@ from repro.engine import faults
 from repro.engine.column import ColumnData
 from repro.engine.encoding_cache import EncodingCache
 from repro.engine.expressions import Frame, evaluate
+from repro.engine import groupby as groupby_mod
 from repro.engine.groupby import Grouping, factorize
 from repro.engine.stats import StatsCollector
 from repro.engine.types import SQLType
@@ -52,10 +53,17 @@ class _PivotTerm:
 def compute_pivot_aggregates(agg_specs: list[ast.FuncCall], frame: Frame,
                              grouping: Grouping, group_frame: Frame,
                              stats: Optional[StatsCollector],
-                             cache: Optional[EncodingCache] = None
-                             ) -> set[int]:
+                             cache: Optional[EncodingCache] = None,
+                             parallel_degree: int = 1,
+                             on_parallel=None) -> set[int]:
     """Compute every pivot-family aggregate, binding ``__aggI`` columns
-    into ``group_frame``.  Returns the set of handled spec indexes."""
+    into ``group_frame``.  Returns the set of handled spec indexes.
+
+    ``parallel_degree`` > 1 partitions the family's cell factorization
+    and aggregation over the operator pool; ``on_parallel`` (if given)
+    is called with the degree actually used, so the executor's
+    parallel-degree observation covers pivot families too.
+    """
     families = _detect_families(agg_specs, frame)
     handled: set[int] = set()
     for (column_keys, _result_norm), (terms, columns, result_expr) \
@@ -64,7 +72,9 @@ def compute_pivot_aggregates(agg_specs: list[ast.FuncCall], frame: Frame,
             continue  # linear evaluation is fine for a single term
         faults.fire("pivot")
         _compute_family(terms, list(column_keys), columns, result_expr,
-                        frame, grouping, group_frame, stats, cache)
+                        frame, grouping, group_frame, stats, cache,
+                        parallel_degree=parallel_degree,
+                        on_parallel=on_parallel)
         handled.update(t.index for t in terms)
     return handled
 
@@ -160,11 +170,13 @@ def _compute_family(terms: list[_PivotTerm], column_keys: list,
                     result_expr: ast.Expr, frame: Frame,
                     grouping: Grouping, group_frame: Frame,
                     stats: Optional[StatsCollector],
-                    cache: Optional[EncodingCache] = None) -> None:
+                    cache: Optional[EncodingCache] = None,
+                    parallel_degree: int = 1,
+                    on_parallel=None) -> None:
     n_rows = frame.n_rows
     if stats is not None:
         # One hash probe per input row for the whole family.
-        stats.case_evaluations += n_rows
+        stats.add(case_evaluations=n_rows)
 
     pivot_columns = [evaluate(columns[k], frame, None)
                      for k in column_keys]
@@ -174,8 +186,17 @@ def _compute_family(terms: list[_PivotTerm], column_keys: list,
     # The synthetic group-id column carries no cache token, but the
     # pivot columns themselves are usually base-table references whose
     # encodings the cache serves.
-    combined = factorize([group_id_column] + pivot_columns, n_rows,
-                         cache)
+    cell_columns = [group_id_column] + pivot_columns
+    pcombined = None
+    if parallel_degree > 1:
+        pcombined = groupby_mod.factorize_partitioned(
+            cell_columns, n_rows, cache, parallel_degree)
+    if pcombined is not None:
+        combined = pcombined.grouping
+        if on_parallel is not None:
+            on_parallel(pcombined.degree)
+    else:
+        combined = factorize(cell_columns, n_rows, cache)
 
     arg = evaluate(result_expr, frame, None)
     if arg.sql_type is None:
@@ -183,11 +204,17 @@ def _compute_family(terms: list[_PivotTerm], column_keys: list,
     # One aggregation pass per distinct function: terms with different
     # functions share the factorization (the O(1) dispatch) but must
     # not share cell values.
-    cells_by_func = {
-        func: agg_mod.compute_aggregate(func, arg, False,
-                                        combined.group_ids,
-                                        combined.n_groups)
-        for func in {t.func for t in terms}}
+    if pcombined is not None:
+        cells_by_func = {
+            func: agg_mod.compute_aggregate_partitioned(
+                func, arg, False, pcombined)
+            for func in {t.func for t in terms}}
+    else:
+        cells_by_func = {
+            func: agg_mod.compute_aggregate(func, arg, False,
+                                            combined.group_ids,
+                                            combined.n_groups)
+            for func in {t.func for t in terms}}
 
     firsts = _first_positions(combined.group_ids, combined.n_groups)
     cell_group = grouping.group_ids[firsts]

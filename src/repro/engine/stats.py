@@ -21,11 +21,29 @@ Counters (all cumulative until :meth:`reset`):
   These are deliberately **not** part of :meth:`StatementStats.
   logical_io`: the cache saves wall-clock work, not logical I/O, so
   the paper's cost shapes are bit-identical with the cache on or off.
+
+Thread safety: one collector is shared by every session of a
+:class:`~repro.api.database.Database` -- and, under the concurrent
+query service, by every scheduler worker.  A bare ``counter += n`` is
+a read-modify-write that silently drops increments when two threads
+interleave, so all engine code charges counters through :meth:`add`,
+which holds the collector's lock across the whole update.  Reads
+(``snapshot``/``diff_since``) take the same lock so a snapshot is a
+consistent cut across all counters.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
+
+#: The integer counters StatsCollector maintains (everything
+#: :meth:`StatsCollector.add` accepts).
+COUNTER_NAMES = (
+    "rows_scanned", "rows_written", "rows_updated", "rows_joined",
+    "case_evaluations", "index_lookups", "encode_cache_hits",
+    "encode_cache_misses", "encode_cache_evictions", "statements",
+)
 
 
 @dataclass
@@ -53,7 +71,14 @@ class StatementStats:
 
 @dataclass
 class StatsCollector:
-    """Accumulates engine counters; owned by the Database."""
+    """Accumulates engine counters; owned by the Database.
+
+    Mutate only through :meth:`add` / :meth:`record_statement` /
+    :meth:`reset` -- direct ``collector.counter += n`` is not safe
+    under the worker pool (lost updates).  Plain attribute *reads*
+    remain supported for compatibility; use :meth:`snapshot` when a
+    consistent multi-counter cut matters.
+    """
 
     rows_scanned: int = 0
     rows_written: int = 0
@@ -68,32 +93,46 @@ class StatsCollector:
     history: list[StatementStats] = field(default_factory=list)
     keep_history: bool = False
 
+    def __post_init__(self) -> None:
+        # Not a dataclass field: the lock is identity state, never
+        # compared or copied.
+        self._lock = threading.Lock()
+
     # ------------------------------------------------------------------
+    def add(self, **counts: int) -> None:
+        """Atomically add ``counts`` to the named counters.
+
+        All increments land under one lock acquisition, so concurrent
+        statements never drop each other's charges and a
+        :meth:`snapshot` taken by another thread sees either all of a
+        call's increments or none of them.
+        """
+        with self._lock:
+            for name, n in counts.items():
+                if name not in COUNTER_NAMES:
+                    raise AttributeError(
+                        f"unknown stats counter {name!r}")
+                setattr(self, name, getattr(self, name) + int(n))
+
     def reset(self) -> None:
-        self.rows_scanned = 0
-        self.rows_written = 0
-        self.rows_updated = 0
-        self.rows_joined = 0
-        self.case_evaluations = 0
-        self.index_lookups = 0
-        self.encode_cache_hits = 0
-        self.encode_cache_misses = 0
-        self.encode_cache_evictions = 0
-        self.statements = 0
-        self.history.clear()
+        with self._lock:
+            for name in COUNTER_NAMES:
+                setattr(self, name, 0)
+            self.history.clear()
 
     def snapshot(self) -> StatementStats:
-        """Current totals as a StatementStats value."""
-        return StatementStats(
-            rows_scanned=self.rows_scanned,
-            rows_written=self.rows_written,
-            rows_updated=self.rows_updated,
-            rows_joined=self.rows_joined,
-            case_evaluations=self.case_evaluations,
-            index_lookups=self.index_lookups,
-            encode_cache_hits=self.encode_cache_hits,
-            encode_cache_misses=self.encode_cache_misses,
-            encode_cache_evictions=self.encode_cache_evictions)
+        """Current totals as a StatementStats value (consistent cut)."""
+        with self._lock:
+            return StatementStats(
+                rows_scanned=self.rows_scanned,
+                rows_written=self.rows_written,
+                rows_updated=self.rows_updated,
+                rows_joined=self.rows_joined,
+                case_evaluations=self.case_evaluations,
+                index_lookups=self.index_lookups,
+                encode_cache_hits=self.encode_cache_hits,
+                encode_cache_misses=self.encode_cache_misses,
+                encode_cache_evictions=self.encode_cache_evictions)
 
     def diff_since(self, before: StatementStats) -> StatementStats:
         """Counters accumulated since ``before`` was snapshotted."""
@@ -115,6 +154,7 @@ class StatsCollector:
 
     # ------------------------------------------------------------------
     def record_statement(self, stats: StatementStats) -> None:
-        self.statements += 1
-        if self.keep_history:
-            self.history.append(stats)
+        with self._lock:
+            self.statements += 1
+            if self.keep_history:
+                self.history.append(stats)

@@ -70,6 +70,14 @@ class Table:
         first = self.schema.columns[0].name
         return len(self._columns[first])
 
+    def identity(self) -> tuple[str, int]:
+        """A hashable ``(name, version)`` identity for this table
+        state.  Versions are globally unique and every DML publishes a
+        new Table, so equal identities imply byte-identical content --
+        the key the service's snapshot bookkeeping and the stress
+        suite's shadow model are built on."""
+        return (self.name.lower(), self.version)
+
     def column(self, name: str) -> ColumnData:
         """The column data for ``name`` (case-insensitive)."""
         try:

@@ -42,8 +42,7 @@ def evaluate_window(func: str, arg: Optional[ColumnData],
     if stats is not None:
         # The window operator spools a partitioned copy of its input:
         # one read pass plus one write pass of the detail table.
-        stats.rows_scanned += n_rows
-        stats.rows_written += n_rows
+        stats.add(rows_scanned=n_rows, rows_written=n_rows)
 
     order = _spool_sort(partition_columns, arg, n_rows, cache)
     # Factorize the *original* partition columns (cache-hittable for

@@ -123,6 +123,29 @@ class CatalogError(ReproError):
     """A catalog invariant or DBMS limit was violated."""
 
 
+class ServiceError(ReproError):
+    """Base class for concurrent-query-service failures (sessions,
+    admission control, scheduling)."""
+
+
+class AdmissionRejected(ServiceError):
+    """The scheduler refused to enqueue the query (queue full, or the
+    session's in-flight cap reached).  Retryable by definition: the
+    backlog drains as running queries finish."""
+
+    retryable = True
+
+
+class SessionClosed(ServiceError):
+    """The session was closed; no further queries can be submitted
+    through it."""
+
+
+class CrossThreadError(ServiceError):
+    """A DB-API connection or cursor was used from a thread it is not
+    bound to (see ``check_same_thread`` in :mod:`repro.api.dbapi`)."""
+
+
 class TypeMismatchError(PlanningError):
     """An expression combines values of incompatible SQL types."""
 

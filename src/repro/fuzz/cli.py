@@ -68,6 +68,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "(enforced by the resource governor; "
                              "timed-out variants are excluded from "
                              "comparison)")
+    parser.add_argument("--parallel", action="store_true",
+                        help="add partition-parallel engine variants "
+                             "(2 workers, row threshold 0); they must "
+                             "match the serial variants bit-for-bit")
     parser.add_argument("--fault-sweep", action="store_true",
                         help="run the crash-consistency sweep instead "
                              "of differential comparison: inject a "
@@ -102,7 +106,8 @@ def _fuzz(args: argparse.Namespace) -> int:
         ran += 1
         families[case.family] += 1
         result = run_case(case, inject_bug=args.inject_bug,
-                          case_timeout=args.case_timeout)
+                          case_timeout=args.case_timeout,
+                          parallel=args.parallel)
         if result.divergent:
             divergences += 1
             _report(case, result, args)
@@ -123,8 +128,10 @@ def _fuzz(args: argparse.Namespace) -> int:
 def _report(case: FuzzCase, result, args: argparse.Namespace) -> None:
     print(f"DIVERGENCE at case {case.index}: {result.explanation}")
     minimized = reduce_case(
-        case, lambda c: run_case(c, args.inject_bug).divergent)
-    final = run_case(minimized, inject_bug=args.inject_bug)
+        case, lambda c: run_case(c, args.inject_bug,
+                                 parallel=args.parallel).divergent)
+    final = run_case(minimized, inject_bug=args.inject_bug,
+                     parallel=args.parallel)
     path = save_repro(
         minimized, Path(args.out),
         description=f"minimized divergence (seed={case.seed}, "
@@ -162,7 +169,7 @@ def _replay(args: argparse.Namespace) -> int:
     total = 0
     for path, case, expect in load_corpus(args.replay):
         total += 1
-        result = run_case(case)
+        result = run_case(case, parallel=args.parallel)
         verdict = "divergent" if result.divergent else "consistent"
         ok = verdict == expect
         status = "ok" if ok else f"FAIL (expected {expect}, got {verdict})"

@@ -98,7 +98,8 @@ class CaseResult:
 
 def run_case(case: FuzzCase,
              inject_bug: Optional[str] = None,
-             case_timeout: Optional[float] = None) -> CaseResult:
+             case_timeout: Optional[float] = None,
+             parallel: bool = False) -> CaseResult:
     """Evaluate every variant and compare outcomes pairwise.
 
     ``case_timeout`` puts every engine variant under the resource
@@ -106,9 +107,15 @@ def run_case(case: FuzzCase,
     from the divergence comparison (it produced no evidence either
     way) rather than counted as an error outcome, so a slow plan on a
     loaded machine cannot masquerade as a correctness divergence.
+
+    ``parallel`` adds partition-parallel engine variants (2 workers,
+    row threshold forced to 0 so every aggregation takes the parallel
+    path); they must agree bit-for-bit with the serial variants and
+    the oracle.
     """
     result = CaseResult(case=case)
-    for name, thunk in _variants(case, inject_bug, case_timeout):
+    for name, thunk in _variants(case, inject_bug, case_timeout,
+                                 parallel):
         result.variants.append(_evaluate(name, thunk))
     comparable = [v for v in result.variants if v.status != "timeout"]
     if not comparable:
@@ -196,8 +203,16 @@ def _sqlite_direct_rows(case: FuzzCase) -> list:
         oracle.close()
 
 
+#: Engine options for the parallel fuzz variants: two workers and a
+#: zero row threshold force every eligible aggregation down the
+#: hash-partitioned path even on the fuzzer's tiny tables.
+_PARALLEL_KW: dict[str, Any] = {"parallel_workers": 2,
+                                "parallel_row_threshold": 0}
+
+
 def _variants(case: FuzzCase, inject_bug: Optional[str],
-              case_timeout: Optional[float] = None
+              case_timeout: Optional[float] = None,
+              parallel: bool = False
               ) -> list[tuple[str, Callable[[], list]]]:
     if inject_bug is not None and inject_bug not in INJECTABLE_BUGS:
         raise ValueError(f"unknown injectable bug {inject_bug!r}; "
@@ -209,14 +224,43 @@ def _variants(case: FuzzCase, inject_bug: Optional[str],
     if case_timeout is not None:
         kw["max_query_seconds"] = case_timeout
     if case.family == "vpct":
-        return _vpct_variants(case, inject_bug, kw)
+        variants = _vpct_variants(case, inject_bug, kw)
+        if parallel:
+            variants.append(
+                ("engine:join-insert-parallel",
+                 lambda: _strategy_rows(case, VerticalStrategy(),
+                                        **_PARALLEL_KW, **kw)))
+        return variants
     if case.family in ("hpct", "hagg"):
-        return _horizontal_variants(case, kw)
-    return [
+        variants = _horizontal_variants(case, kw)
+        if parallel:
+            variants += [
+                ("engine:case-direct-parallel",
+                 lambda: _strategy_rows(case,
+                                        HorizontalStrategy(source="F"),
+                                        **_PARALLEL_KW, **kw)),
+                ("engine:case-indirect-parallel",
+                 lambda: _strategy_rows(case,
+                                        HorizontalStrategy(source="FV"),
+                                        **_PARALLEL_KW, **kw)),
+                ("engine:case-direct-hash-parallel",
+                 lambda: _strategy_rows(case,
+                                        HorizontalStrategy(source="F"),
+                                        case_dispatch="hash",
+                                        **_PARALLEL_KW, **kw)),
+            ]
+        return variants
+    variants = [
         ("engine:direct",
          lambda: _load_db(case, **kw).query(case.query_sql())),
         ("sqlite:direct", lambda: _sqlite_direct_rows(case)),
     ]
+    if parallel:
+        variants.insert(
+            1, ("engine:direct-parallel",
+                lambda: _load_db(case, **_PARALLEL_KW,
+                                 **kw).query(case.query_sql())))
+    return variants
 
 
 def _vpct_variants(case: FuzzCase, inject_bug: Optional[str],

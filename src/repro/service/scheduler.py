@@ -1,0 +1,263 @@
+"""Admission control and scheduling for the concurrent query service.
+
+The scheduler is a bounded :class:`~concurrent.futures.
+ThreadPoolExecutor` (thread prefix ``repro-query``; deliberately
+distinct from the shared *operator* pool in
+:mod:`repro.core.partitioning`, so one query fanning its aggregation
+out across partitions never competes for the slots that admit whole
+queries) with three admission gates layered on the resource governor:
+
+* a global queue-depth bound -- submissions beyond
+  ``workers + max_queue_depth`` raise
+  :class:`~repro.errors.AdmissionRejected` instead of piling up;
+* a per-session in-flight cap -- one client cannot monopolize the pool;
+* the per-query budgets the governor already enforces (time, rows,
+  width) apply inside each query window, with the measured queue wait
+  reported separately via
+  :meth:`~repro.engine.governor.ResourceGovernor.note_queue_wait` (the
+  clock starts when execution does).
+
+Scripts are classified on the submitting thread (syntax errors surface
+immediately, not through the future):
+
+* **read** -- every statement is a SELECT or EXPLAIN.  Runs against a
+  private :class:`~repro.service.snapshots.SnapshotDatabase`; extended
+  Vpct/Hpct selects go through the resilient percentage-query runner
+  (savepoints, retry, strategy fallback) entirely inside the overlay.
+* **write** -- anything else.  Runs on the base database under the
+  service's single writer lock, wrapped in a catalog savepoint so a
+  mid-script failure rolls the whole script back: readers (who only
+  snapshot between scripts) never see a torn plan, and neither does a
+  writer that dies halfway.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core.execute import run_resilient
+from repro.core.model import build_percentage_query
+from repro.engine.table import Table
+from repro.errors import AdmissionRejected, ServiceError
+from repro.service.session import Session
+from repro.sql import ast
+from repro.sql.parser import parse_script
+
+
+@dataclass
+class ServiceReport:
+    """What one scheduled script did and what it cost."""
+
+    #: ``"read"`` (snapshot-isolated) or ``"write"`` (writer lock).
+    kind: str
+    sql: str
+    session_id: int
+    #: One entry per statement: a Table for SELECT/EXPLAIN, a row count
+    #: for DML/DDL.
+    results: list[Any] = field(default_factory=list)
+    #: Catalog version the script saw: the snapshot's version for
+    #: reads, the post-commit version for writes.
+    snapshot_version: int = 0
+    #: Seconds between submission and the start of execution (pool
+    #: queue plus, for writes, contention on the writer lock).
+    queue_wait_seconds: float = 0.0
+    elapsed_seconds: float = 0.0
+    #: Widest partition fan-out any aggregation used (1 = serial).
+    parallel_degree: int = 1
+    statements_run: int = 0
+    #: Resource-governor snapshot of the script's query window.
+    governor_usage: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def result(self) -> Any:
+        """The last statement's result (the script's "answer")."""
+        return self.results[-1] if self.results else None
+
+    def rows(self) -> list[tuple]:
+        """The last statement's rows (requires it to be a SELECT)."""
+        if not isinstance(self.result, Table):
+            raise TypeError("the script's last statement returned no rows")
+        return self.result.to_rows()
+
+
+def _is_extended_select(statement: ast.Statement) -> bool:
+    return isinstance(statement, ast.Select) and any(
+        ast.contains_extended(item.expr) for item in statement.items)
+
+
+def _classify(statements: list[ast.Statement]) -> str:
+    for statement in statements:
+        if not isinstance(statement, (ast.Select, ast.Explain)):
+            return "write"
+    return "read"
+
+
+class Scheduler:
+    """Bounded worker pool with admission control.
+
+    Args:
+        service: the owning :class:`~repro.service.QueryService`.
+        workers: pool size (concurrent queries; reads run truly
+            concurrently, writes serialize on the writer lock).
+        max_queue_depth: admitted-but-not-running queries allowed
+            beyond the pool size before submissions are rejected.
+        session_inflight_cap: per-session concurrent-query ceiling.
+    """
+
+    def __init__(self, service, workers: int = 4,
+                 max_queue_depth: int = 16,
+                 session_inflight_cap: int = 4):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be >= 0")
+        if session_inflight_cap < 1:
+            raise ValueError("session_inflight_cap must be >= 1")
+        self._service = service
+        self.workers = workers
+        self.max_queue_depth = max_queue_depth
+        self.session_inflight_cap = session_inflight_cap
+        self._pool = ThreadPoolExecutor(max_workers=workers,
+                                        thread_name_prefix="repro-query")
+        self._lock = threading.Lock()
+        self._admitted = 0
+        self._shutdown = False
+
+    # ------------------------------------------------------------------
+    @property
+    def admitted(self) -> int:
+        """Queries admitted and not yet finished (queued + running)."""
+        return self._admitted
+
+    def submit(self, session: Session, sql: str) -> "Future[ServiceReport]":
+        """Admit ``sql`` for ``session`` and return its future.
+
+        Parsing (and therefore syntax errors) happens here, on the
+        caller's thread; execution errors come through the future.
+        """
+        statements = parse_script(sql)
+        if not statements:
+            raise ServiceError("cannot schedule an empty script")
+        kind = _classify(statements)
+        with self._lock:
+            if self._shutdown:
+                raise ServiceError("the query service is shut down")
+            if self._admitted >= self.workers + self.max_queue_depth:
+                raise AdmissionRejected(
+                    f"scheduler queue is full ({self._admitted} queries "
+                    f"admitted; capacity {self.workers} workers + "
+                    f"{self.max_queue_depth} queued)")
+            session._reserve(self.session_inflight_cap)
+            self._admitted += 1
+        enqueued = time.perf_counter()
+        try:
+            future = self._pool.submit(self._run, session, sql,
+                                       statements, kind, enqueued)
+        except BaseException:
+            self._finish(session)
+            raise
+        future.add_done_callback(lambda _f: self._finish(session))
+        return future
+
+    def _finish(self, session: Session) -> None:
+        with self._lock:
+            self._admitted -= 1
+        session._release()
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            self._shutdown = True
+        self._pool.shutdown(wait=wait)
+
+    # ------------------------------------------------------------------
+    # Worker-side execution
+    # ------------------------------------------------------------------
+    def _run(self, session: Session, sql: str,
+             statements: list[ast.Statement], kind: str,
+             enqueued: float) -> ServiceReport:
+        if kind == "read":
+            return self._run_read(session, sql, statements, enqueued)
+        return self._run_write(session, sql, statements, enqueued)
+
+    def _run_read(self, session: Session, sql: str,
+                  statements: list[ast.Statement],
+                  enqueued: float) -> ServiceReport:
+        service = self._service
+        snapshot = service.snapshots.acquire()
+        reader = service.snapshots.reader(
+            snapshot, session.defaults.resolve(service.db.options))
+        wait = time.perf_counter() - enqueued
+        report = ServiceReport(kind="read", sql=sql,
+                               session_id=session.id,
+                               snapshot_version=snapshot.version,
+                               queue_wait_seconds=wait)
+        started = time.perf_counter()
+        # One window for the whole script: the script is the governed
+        # unit, exactly like a generated percentage plan.
+        with reader.governor.window():
+            reader.governor.note_queue_wait(wait)
+            self._run_statements(reader, statements, sql, report)
+            report.governor_usage = reader.governor.usage()
+        report.elapsed_seconds = time.perf_counter() - started
+        return report
+
+    def _run_write(self, session: Session, sql: str,
+                   statements: list[ast.Statement],
+                   enqueued: float) -> ServiceReport:
+        service = self._service
+        db = service.db
+        with service.write_lock:
+            wait = time.perf_counter() - enqueued
+            report = ServiceReport(kind="write", sql=sql,
+                                   session_id=session.id,
+                                   queue_wait_seconds=wait)
+            started = time.perf_counter()
+            savepoint = db.catalog.savepoint()
+            with db.governor.window():
+                db.governor.note_queue_wait(wait)
+                try:
+                    self._run_statements(db, statements, sql, report)
+                except BaseException as exc:
+                    # All-or-nothing scripts: a mid-script failure
+                    # restores the pre-script catalog, so the torn
+                    # middle never becomes the committed state.  A
+                    # rollback failure chains under the original error
+                    # rather than masking it.
+                    try:
+                        db.catalog.rollback(savepoint)
+                    except Exception as rollback_exc:
+                        raise exc from rollback_exc
+                    raise
+                report.governor_usage = db.governor.usage()
+            report.snapshot_version = db.catalog.version
+        report.elapsed_seconds = time.perf_counter() - started
+        return report
+
+    def _run_statements(self, db, statements: list[ast.Statement],
+                        sql: str, report: ServiceReport) -> None:
+        """Execute ``statements`` against ``db``, accumulating results
+        and the widest parallel fan-out into ``report``.
+
+        Extended Vpct/Hpct selects route through the resilient
+        percentage-query runner (savepoints, transient retry, strategy
+        fallback); everything else is a plain engine statement.
+        """
+        for statement in statements:
+            if _is_extended_select(statement):
+                query = build_percentage_query(statement, sql)
+                sub = run_resilient(db, query)
+                report.results.append(sub.result)
+                report.statements_run += sub.statements_run
+                report.parallel_degree = max(report.parallel_degree,
+                                             sub.parallel_degree)
+            else:
+                db.executor.reset_parallel_observation()
+                report.results.append(db.execute_statement(statement, sql))
+                report.statements_run += 1
+                report.parallel_degree = max(
+                    report.parallel_degree,
+                    db.executor.parallel_degree_observed())

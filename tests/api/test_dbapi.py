@@ -125,3 +125,66 @@ class TestConnection:
     def test_rollback_unsupported(self, conn):
         with pytest.raises(dbapi.OperationalError):
             conn.rollback()
+
+
+class TestThreadAffinity:
+    def test_default_allows_cross_thread_use(self):
+        import threading
+        connection = dbapi.connect()
+        outcomes = []
+
+        def use():
+            cur = connection.cursor()
+            cur.execute("SELECT 1")
+            outcomes.append(cur.fetchone())
+
+        worker = threading.Thread(target=use)
+        worker.start()
+        worker.join()
+        assert outcomes == [(1,)]
+
+    def test_check_same_thread_rejects_other_threads(self):
+        import threading
+        from repro.errors import CrossThreadError
+        connection = dbapi.connect(check_same_thread=True)
+        caught = []
+
+        def use():
+            try:
+                connection.cursor()
+            except CrossThreadError as exc:
+                caught.append(exc)
+
+        worker = threading.Thread(target=use)
+        worker.start()
+        worker.join()
+        assert len(caught) == 1
+        assert "thread" in str(caught[0])
+
+    def test_check_same_thread_allows_owner(self):
+        connection = dbapi.connect(check_same_thread=True)
+        cur = connection.cursor()
+        cur.execute("SELECT 1")
+        assert cur.fetchone() == (1,)
+
+    def test_cross_thread_error_hierarchy(self):
+        from repro.errors import (CrossThreadError, ReproError,
+                                  ServiceError)
+        assert issubclass(CrossThreadError, ServiceError)
+        assert issubclass(CrossThreadError, ReproError)
+
+    def test_close_is_exempt(self):
+        import threading
+        connection = dbapi.connect(check_same_thread=True)
+        errors = []
+
+        def shut():
+            try:
+                connection.close()
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        worker = threading.Thread(target=shut)
+        worker.start()
+        worker.join()
+        assert errors == []

@@ -108,4 +108,9 @@ class TestIndexes:
         index = catalog.create_index("ix", "t", ["a"])
         assert index.built_rows == 1
         catalog.replace_table(Table.from_rows(schema, [(1,), (2,)]))
-        assert index.built_rows == 2
+        rebuilt = catalog.find_index("t", ["a"])
+        assert rebuilt.built_rows == 2
+        # copy-on-write: the published index is a fresh object; the
+        # old one stays frozen for any snapshot that captured it
+        assert rebuilt is not index
+        assert index.built_rows == 1

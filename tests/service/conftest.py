@@ -1,0 +1,42 @@
+"""Service-test hygiene: the temp-table leak guard from the
+integration suite, plus a ready-made service over a small fact table.
+
+``install_database_tracker`` patches ``Database.__init__``, which the
+snapshot overlays deliberately skip -- so the guard here sweeps the
+*base* databases; tests that care about overlay temps track readers
+explicitly (see the stress suite)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.database import Database
+from repro.service import QueryService
+from tests.conftest import assert_no_temp_leaks, install_database_tracker
+
+
+@pytest.fixture(autouse=True)
+def no_temp_leaks(request, monkeypatch):
+    if request.node.get_closest_marker("allow_temp_leaks"):
+        yield
+        return
+    created = install_database_tracker(monkeypatch)
+    yield
+    assert_no_temp_leaks(created)
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database()
+    database.execute_script("""
+        CREATE TABLE f (d1 INT, d2 VARCHAR, a REAL);
+        INSERT INTO f VALUES (1, 'x', 10.0), (1, 'y', 30.0),
+                             (2, 'x', 60.0), (2, 'y', 0.25)
+    """)
+    return database
+
+
+@pytest.fixture
+def service(db):
+    with QueryService(db, workers=4) as svc:
+        yield svc
