@@ -9,7 +9,6 @@ JDBC stand-in) both talk to it.
 from __future__ import annotations
 
 import threading
-import time
 from typing import Any, Iterable, Optional, Sequence
 
 import numpy as np
@@ -25,6 +24,10 @@ from repro.engine.schema import (DEFAULT_MAX_COLUMNS,
 from repro.engine.stats import StatementStats, StatsCollector
 from repro.engine.table import Table
 from repro.engine.types import SQLType, type_from_name
+from repro.obs import tracer as tracer_mod
+from repro.obs.clock import Clock, MonotonicClock
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
 from repro.sql import ast
 from repro.sql.parser import parse_script, parse_statement
 
@@ -57,6 +60,16 @@ class Database:
             wall-clock only.
         keep_history: record per-statement stats in
             ``db.stats.history``.
+        tracing: start with the span tracer enabled (it can also be
+            toggled later via ``db.tracer.enable()``).  Disabled
+            tracing costs one branch per instrumentation point.
+        clock: time source for statement timing and span boundaries;
+            tests inject a :class:`~repro.obs.clock.ManualClock` to
+            make every duration deterministic.
+        metrics: the :class:`~repro.obs.metrics.MetricsRegistry`
+            backing ``db.stats`` and the service histograms.  Each
+            database owns a fresh registry by default, so a reopened
+            database starts from zero (no stale-counter carryover).
     """
 
     def __init__(self, max_columns: int = DEFAULT_MAX_COLUMNS,
@@ -71,15 +84,23 @@ class Database:
                  parallel_workers: int = 1,
                  parallel_row_threshold: int =
                  DEFAULT_PARALLEL_ROW_THRESHOLD,
-                 keep_history: bool = False):
+                 keep_history: bool = False,
+                 tracing: bool = False,
+                 clock: Optional[Clock] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         if case_dispatch not in ("linear", "hash"):
             raise ValueError("case_dispatch must be 'linear' or 'hash'")
         if parallel_workers < 1:
             raise ValueError("parallel_workers must be >= 1")
+        self.clock = clock if clock is not None else MonotonicClock()
+        self.metrics = metrics if metrics is not None \
+            else MetricsRegistry()
+        self.tracer = Tracer(clock=self.clock, enabled=tracing)
         self.catalog = Catalog(max_columns=max_columns,
                                max_name_length=max_name_length,
                                encoding_cache_bytes=encoding_cache_bytes)
-        self.stats = StatsCollector(keep_history=keep_history)
+        self.stats = StatsCollector(keep_history=keep_history,
+                                    registry=self.metrics)
         self.options = ExecutorOptions(
             case_dispatch=case_dispatch,
             use_indexes=use_indexes,
@@ -91,7 +112,8 @@ class Database:
             max_rows=max_query_rows,
             max_result_width=max_result_width))
         self.executor = Executor(self.catalog, self.stats, self.options,
-                                 governor=self.governor)
+                                 governor=self.governor,
+                                 tracer=self.tracer)
         # Statement-level serialization: concurrent sessions (the
         # paper's closing scenario, "users concurrently submit
         # percentage queries") interleave whole statements safely.
@@ -129,13 +151,26 @@ class Database:
 
     def _run(self, statement: ast.Statement, sql: str) -> Table | int:
         with self._lock, self.governor.window():
+            tracer = self.tracer
             before = self.stats.snapshot()
-            started = time.perf_counter()
-            result = self.executor.execute(statement)
-            elapsed = time.perf_counter() - started
-            record = self.stats.diff_since(before)
-            record.sql = sql
-            record.elapsed_seconds = elapsed
+            started = self.clock.now()
+            with tracer_mod.activate(tracer), \
+                    tracer.span("statement", kind="statement",
+                                sql=sql or type(statement).__name__
+                                ) as span:
+                result = self.executor.execute(statement)
+                record = self.stats.diff_since(before)
+                record.sql = sql
+                record.elapsed_seconds = self.clock.now() - started
+                if span is not None:
+                    span.attrs["result_rows"] = (
+                        result.n_rows if isinstance(result, Table)
+                        else int(result))
+                    # Counter deltas on the span: what this statement
+                    # charged.  Under concurrency the diff can include
+                    # other sessions' work (shared counters); the
+                    # charge audit therefore only runs serially.
+                    span.attrs.update(record.counters())
             self.stats.record_statement(record)
             return result
 

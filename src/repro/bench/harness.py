@@ -232,12 +232,14 @@ def main(argv: Optional[list[str]] = None) -> int:
         description="Engine benchmark suites; each writes a "
                     "machine-readable JSON report.")
     parser.add_argument("--suite",
-                        choices=("encoding-cache", "concurrency"),
+                        choices=("encoding-cache", "concurrency",
+                                 "obs"),
                         default="encoding-cache",
                         help="encoding-cache: cold/warm dictionary-"
                              "encoding sweep; concurrency: service "
                              "throughput, intra-query parallelism and "
-                             "mixed read/write latency")
+                             "mixed read/write latency; obs: tracing "
+                             "overhead on and off")
     parser.add_argument("--out", default=None,
                         help="output path (default: BENCH_<suite>.json)")
     parser.add_argument("--employee", type=int, default=100_000)
@@ -269,6 +271,26 @@ def main(argv: Optional[list[str]] = None) -> int:
               f"{summary['intra_query_speedup_at_4_workers']} at 4 "
               f"workers, parallel bit-identical="
               f"{summary['all_parallel_results_bit_identical']}")
+        return 0
+
+    if args.suite == "obs":
+        from repro.bench.obs import run_obs_benchmark
+
+        out = args.out or "BENCH_obs.json"
+        # The obs workload is hook-bound, not scan-bound; cap the fact
+        # table so the default run stays interactive.
+        report = run_obs_benchmark(sales_n=min(args.sales, 60_000),
+                                   repeats=args.repeats)
+        with open(out, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        summary = report["summary"]
+        print(f"wrote {out}: tracing on "
+              f"+{summary['tracing_on_overhead_fraction'] * 100:.1f}%"
+              f", tracing off estimated "
+              f"+{summary['estimated_tracing_off_overhead_fraction'] * 100:.3f}%"
+              f", under 5% bar="
+              f"{summary['tracing_off_overhead_under_5pct']}")
         return 0
 
     out = args.out or "BENCH_encoding_cache.json"

@@ -1,0 +1,139 @@
+"""Observability overhead benchmark (``repro.bench --suite obs``).
+
+Two questions, two measurements:
+
+* **Tracing on**: how much slower is the same workload on a database
+  with ``tracing=True``?  Macro runs of the paper's Vpct/Hpct plans
+  plus ad-hoc SQL, interleaved off/on so drift hits both sides
+  equally.
+* **Tracing off** (the default): what does the *disabled*
+  instrumentation cost?  Every hook is one attribute read plus one
+  branch; we measure that per-call cost directly (microbenchmark),
+  count how many hook calls one workload run actually makes (the span
+  and event count of a traced run is exactly that number), and bound
+  the disabled overhead as ``per_call_seconds * calls / run_seconds``.
+  The acceptance bar is that this estimate stays under 5%.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.api.database import Database
+from repro.core.execute import run_percentage_query
+from repro.core.horizontal import HorizontalStrategy
+from repro.core.vertical import VerticalStrategy
+from repro.obs.tracer import Tracer
+
+#: Ad-hoc statements mixed into the workload (exercise scan, join,
+#: group-by, update -- every instrumented operator family).
+ADHOC_SQL = (
+    "SELECT store, sum(salesamt) FROM sales GROUP BY store",
+    "SELECT a.store, count(*) FROM sales a, sales b "
+    "WHERE a.transactionid = b.transactionid GROUP BY a.store",
+    "UPDATE sales SET salesamt = salesamt WHERE store = 1",
+)
+
+VPCT_SQL = ("SELECT state, Vpct(salesamt) FROM sales "
+            "GROUP BY state, city")
+HPCT_SQL = ("SELECT store, Hpct(salesamt BY dweek) FROM sales "
+            "GROUP BY store")
+
+
+def _load(tracing: bool, sales_n: int) -> Database:
+    from repro.datagen import load_sales
+
+    db = Database(tracing=tracing)
+    load_sales(db, sales_n)
+    return db
+
+
+def _run_workload(db: Database) -> None:
+    run_percentage_query(db, VPCT_SQL, VerticalStrategy())
+    run_percentage_query(db, HPCT_SQL, HorizontalStrategy(source="F"))
+    for sql in ADHOC_SQL:
+        db.execute(sql)
+
+
+def _time_workload(db: Database) -> float:
+    started = time.perf_counter()
+    _run_workload(db)
+    return time.perf_counter() - started
+
+
+def _count_trace_ops(db: Database) -> int:
+    """Spans + events one workload run creates on a traced database --
+    exactly the number of instrumentation calls the disabled path
+    branches through."""
+    db.tracer.reset()
+    _run_workload(db)
+    count = sum(len(list(root.walk())) for root in db.tracer.roots())
+    db.tracer.reset()
+    return count
+
+
+def _micro_disabled_call_cost(calls: int = 200_000) -> dict:
+    """Per-call seconds of the disabled fast paths."""
+    tracer = Tracer(enabled=False)
+
+    started = time.perf_counter()
+    for _ in range(calls):
+        with tracer.span("x"):
+            pass
+    span_cost = (time.perf_counter() - started) / calls
+
+    started = time.perf_counter()
+    for _ in range(calls):
+        tracer.event("x")
+    event_cost = (time.perf_counter() - started) / calls
+
+    return {"span_seconds_per_call": span_cost,
+            "event_seconds_per_call": event_cost}
+
+
+def run_obs_benchmark(sales_n: int = 60_000,
+                      repeats: int = 5) -> dict:
+    """Interleaved off/on macro runs plus the disabled-path bound."""
+    off_db = _load(tracing=False, sales_n=sales_n)
+    on_db = _load(tracing=True, sales_n=sales_n)
+
+    off_runs: list[float] = []
+    on_runs: list[float] = []
+    # Warm both sides once (encoding caches, allocator) before timing.
+    _time_workload(off_db)
+    on_db.tracer.reset()
+    _time_workload(on_db)
+    for _ in range(repeats):
+        off_runs.append(_time_workload(off_db))
+        on_db.tracer.reset()
+        on_runs.append(_time_workload(on_db))
+    on_db.tracer.reset()
+
+    off_seconds = min(off_runs)
+    on_seconds = min(on_runs)
+    trace_ops = _count_trace_ops(on_db)
+    micro = _micro_disabled_call_cost()
+    per_call = max(micro["span_seconds_per_call"],
+                   micro["event_seconds_per_call"])
+    off_overhead = (trace_ops * per_call) / off_seconds \
+        if off_seconds else 0.0
+
+    return {
+        "workload": "Vpct + Hpct plans + ad-hoc scan/join/update",
+        "sales_n": sales_n,
+        "repeats": repeats,
+        "off_runs_seconds": [round(s, 6) for s in off_runs],
+        "on_runs_seconds": [round(s, 6) for s in on_runs],
+        "micro": {k: round(v, 12) for k, v in micro.items()},
+        "trace_ops_per_run": trace_ops,
+        "summary": {
+            "tracing_off_seconds": round(off_seconds, 6),
+            "tracing_on_seconds": round(on_seconds, 6),
+            "tracing_on_overhead_fraction": round(
+                on_seconds / off_seconds - 1.0, 4)
+            if off_seconds else None,
+            "estimated_tracing_off_overhead_fraction": round(
+                off_overhead, 6),
+            "tracing_off_overhead_under_5pct": off_overhead < 0.05,
+        },
+    }

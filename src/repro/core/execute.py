@@ -45,6 +45,8 @@ from repro.engine.catalog import CatalogSavepoint
 from repro.engine.table import Table
 from repro.errors import (PercentageQueryError, ReproError,
                           TransientError)
+from repro.obs import tracer as tracer_mod
+from repro.obs.tracer import Span, render_tree
 
 Strategy = Union[VerticalStrategy, HorizontalStrategy,
                  HorizontalAggStrategy]
@@ -155,6 +157,32 @@ class ExecutionReport:
     #: Seconds the query waited in the service scheduler's queue before
     #: execution began (0.0 when run without the scheduler).
     queue_wait_seconds: float = 0.0
+    #: Root span of the plan's execution trace (statement ->
+    #: plan-step -> operator actuals), or None when the database's
+    #: tracer was disabled.
+    trace: Optional[Span] = None
+
+    def explain_analyze(self, normalize=None) -> str:
+        """EXPLAIN ANALYZE text: the plan header plus the actuals
+        span tree (per-statement and per-operator rows and time).
+
+        Requires a trace: run under ``Database(tracing=True)`` or via
+        :func:`run_explain_analyze`.  ``normalize`` is passed through
+        to :func:`repro.obs.tracer.render_tree`.
+        """
+        if self.trace is None:
+            raise PercentageQueryError(
+                "no trace recorded; enable tracing "
+                "(Database(tracing=True) or run_explain_analyze) "
+                "before executing the plan")
+        header = [
+            f"plan: {self.plan.description}",
+            f"statements: {self.statements_run}  "
+            f"attempts: {self.attempts}  "
+            f"parallel degree: {self.parallel_degree}",
+        ]
+        return "\n".join(header) + "\n" \
+            + render_tree(self.trace, normalize=normalize)
 
 
 def execute_plan(db: Database, plan: GeneratedPlan,
@@ -172,26 +200,34 @@ def execute_plan(db: Database, plan: GeneratedPlan,
     error (it is chained via ``__cause__`` instead).
     """
     policy = retry if retry is not None else DEFAULT_RETRY
-    started = time.perf_counter()
+    started = db.clock.now()
     savepoint = db.catalog.savepoint()
     attempts = 0
     db.executor.reset_parallel_observation()
-    with db.governor.window():
-        while True:
-            attempts += 1
-            try:
-                result, statements = _run_steps(db, plan)
-                break
-            except TransientError as exc:
-                _rollback_or_chain(db, savepoint, exc)
-                if attempts >= policy.max_attempts:
+    tracer = db.tracer
+    plan_span: Optional[Span] = None
+    with tracer_mod.activate(tracer), db.governor.window():
+        with tracer.span("plan", kind="plan",
+                         strategy=plan.description) as plan_span:
+            tracer.event("savepoint", kind="catalog")
+            while True:
+                attempts += 1
+                try:
+                    result, statements = _run_steps(db, plan)
+                    break
+                except TransientError as exc:
+                    _rollback_or_chain(db, savepoint, exc)
+                    if attempts >= policy.max_attempts:
+                        _cleanup_or_chain(db, plan, exc)
+                        raise
+                    time.sleep(policy.delay(attempts))
+                except BaseException as exc:
+                    _rollback_or_chain(db, savepoint, exc)
                     _cleanup_or_chain(db, plan, exc)
                     raise
-                time.sleep(policy.delay(attempts))
-            except BaseException as exc:
-                _rollback_or_chain(db, savepoint, exc)
-                _cleanup_or_chain(db, plan, exc)
-                raise
+            if plan_span is not None:
+                plan_span.attrs["attempts"] = attempts
+                plan_span.attrs["statements"] = statements
         usage = db.governor.usage()
     if not isinstance(result, Table):
         error = PercentageQueryError(
@@ -200,12 +236,13 @@ def execute_plan(db: Database, plan: GeneratedPlan,
         raise error
     if not keep_temps:
         cleanup_plan(db, plan)
-    elapsed = time.perf_counter() - started
+    elapsed = db.clock.now() - started
     return ExecutionReport(
         result=result, plan=plan, elapsed_seconds=elapsed,
         statements_run=statements, attempts=attempts,
         governor_usage=usage,
-        parallel_degree=db.executor.parallel_degree_observed())
+        parallel_degree=db.executor.parallel_degree_observed(),
+        trace=plan_span)
 
 
 def _run_steps(db: Database, plan: GeneratedPlan) -> tuple[Any, int]:
@@ -214,14 +251,19 @@ def _run_steps(db: Database, plan: GeneratedPlan) -> tuple[Any, int]:
     statement; the last index is the result SELECT), which is what the
     crash-consistency sweep iterates over."""
     statements = 0
+    tracer = db.tracer
     for step in plan.steps:
         if step.purpose in _GENERATION_TIME:
             continue
         faults.fire("statement")
-        db.execute(step.sql)
+        with tracer.span("plan-step", kind="plan-step",
+                         purpose=step.purpose, sql=step.sql):
+            db.execute(step.sql)
         statements += 1
     faults.fire("statement")
-    result = db.execute(plan.result_select)
+    with tracer.span("plan-step", kind="plan-step",
+                     purpose=plan_mod.RESULT, sql=plan.result_select):
+        result = db.execute(plan.result_select)
     statements += 1
     return result, statements
 
@@ -233,6 +275,9 @@ def _rollback_or_chain(db: Database, savepoint: CatalogSavepoint,
     root cause)."""
     try:
         db.catalog.rollback(savepoint)
+        if db.tracer.enabled:
+            db.tracer.event("rollback", kind="catalog",
+                            error=type(exc).__name__)
     except Exception as rollback_exc:
         raise exc from rollback_exc
 
@@ -327,3 +372,29 @@ def run_percentage_query(db: Database,
                            keep_temps=keep_temps, retry=retry,
                            allow_fallback=allow_fallback)
     return report.result
+
+
+def run_explain_analyze(db: Database,
+                        query: Union[str, PercentageQuery],
+                        strategy: Optional[Strategy] = None,
+                        keep_temps: bool = False,
+                        retry: Optional[RetryPolicy] = None
+                        ) -> ExecutionReport:
+    """Plan and execute ``query`` with tracing force-enabled, so the
+    returned report always carries a trace and
+    :meth:`ExecutionReport.explain_analyze` works even on databases
+    opened with tracing off.
+
+    The query runs for real (EXPLAIN ANALYZE semantics): temp tables
+    are created and dropped, statements execute, the governor meters
+    rows.  The tracer's prior enabled state is restored afterwards.
+    """
+    was_enabled = db.tracer.enabled
+    db.tracer.enable()
+    try:
+        plan = generate_plan(db, query, strategy)
+        return execute_plan(db, plan, keep_temps=keep_temps,
+                            retry=retry)
+    finally:
+        if not was_enabled:
+            db.tracer.disable()

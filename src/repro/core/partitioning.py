@@ -33,6 +33,7 @@ from typing import Callable, Sequence, TypeVar
 import numpy as np
 
 from repro.errors import PercentageQueryError
+from repro.obs import tracer as tracer_mod
 
 ColumnT = TypeVar("ColumnT")
 ItemT = TypeVar("ItemT")
@@ -151,5 +152,22 @@ def map_partitions(fn: Callable[[ItemT], ResultT],
             _OPERATOR_THREAD_PREFIX):
         return [fn(item) for item in items]
     pool = operator_pool()
-    futures = [pool.submit(fn, item) for item in items]
+    tracer = tracer_mod.active_tracer()
+    if tracer is not None and tracer.enabled:
+        # Cross-thread span handover: the pool workers' thread-local
+        # stacks are empty, so each partition task re-activates this
+        # tracer and parents its span explicitly under the operator
+        # span that is current *here*, on the submitting thread.
+        parent = tracer.current()
+
+        def traced(index: int, item: ItemT) -> ResultT:
+            with tracer_mod.activate(tracer), \
+                    tracer.span_under(parent, "partition",
+                                      kind="operator", partition=index):
+                return fn(item)
+
+        futures = [pool.submit(traced, i, item)
+                   for i, item in enumerate(items)]
+    else:
+        futures = [pool.submit(fn, item) for item in items]
     return [future.result() for future in futures]

@@ -39,6 +39,7 @@ from collections import OrderedDict
 from typing import TYPE_CHECKING, Optional
 
 from repro.engine import faults
+from repro.obs import tracer as tracer_mod
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.groupby import EncodedColumn
@@ -96,12 +97,18 @@ class EncodingCache:
                 self.misses += 1
                 if self._stats is not None:
                     self._stats.add(encode_cache_misses=1)
-                return None
-            self._entries.move_to_end(token)
-            self.hits += 1
-            if self._stats is not None:
-                self._stats.add(encode_cache_hits=1)
-            return entry[0]
+            else:
+                self._entries.move_to_end(token)
+                self.hits += 1
+                if self._stats is not None:
+                    self._stats.add(encode_cache_hits=1)
+        tracer = tracer_mod.active_tracer()
+        if tracer is not None and tracer.enabled:
+            counter = ("encode_cache_misses" if entry is None
+                       else "encode_cache_hits")
+            tracer.event("encoding-cache", kind="charge",
+                         table=str(token[0]), **{counter: 1})
+        return entry[0] if entry is not None else None
 
     def put(self, token: CacheToken, encoded: "EncodedColumn") -> None:
         """Insert an encoding, evicting least-recently-used entries

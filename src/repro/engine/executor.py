@@ -42,6 +42,7 @@ from repro.engine.types import SQLType, coerce_scalar, type_from_name
 from repro.engine.window import evaluate_window
 from repro.errors import (ExecutionError, PlanningError,
                           TypeMismatchError)
+from repro.obs.tracer import Tracer
 from repro.sql import ast
 
 
@@ -157,13 +158,18 @@ class Executor:
 
     def __init__(self, catalog: Catalog, stats: StatsCollector,
                  options: Optional[ExecutorOptions] = None,
-                 governor: Optional[ResourceGovernor] = None):
+                 governor: Optional[ResourceGovernor] = None,
+                 tracer: Optional[Tracer] = None):
         self.catalog = catalog
         self.stats = stats
         self.options = options or ExecutorOptions()
         # Budget checks are no-ops outside an open governor window, so
         # a standalone Executor (unit tests) runs ungoverned.
         self.governor = governor or ResourceGovernor()
+        # A standalone Executor traces nothing; the Database hands in
+        # its (possibly enabled) tracer.
+        self.tracer = tracer if tracer is not None \
+            else Tracer(enabled=False)
         self.catalog.encoding_cache.bind_stats(stats)
         # Per-thread parallel-degree observation: one executor serves
         # every scheduler worker, so the record of "what degree did my
@@ -202,6 +208,18 @@ class Executor:
             self.options.parallel_row_threshold)
 
     # ------------------------------------------------------------------
+    # Instrumented stats charging
+    # ------------------------------------------------------------------
+    def _charge(self, op: str, **counts: int) -> None:
+        """Charge stats counters and mirror them as a ``charge`` trace
+        event, so the span tree accounts for exactly what the ledger
+        recorded (:func:`repro.obs.tracer.audit_statement_span`)."""
+        self.stats.add(**counts)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.event(op, kind="charge", **counts)
+
+    # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
     def execute(self, statement: ast.Statement) -> Table | int:
@@ -238,7 +256,11 @@ class Executor:
             self.catalog.drop_view(statement.name, statement.if_exists)
             return 0
         if isinstance(statement, ast.Explain):
-            from repro.engine.explain import explain_statement
+            from repro.engine.explain import (explain_analyze_statement,
+                                              explain_statement)
+            if statement.analyze:
+                return explain_analyze_statement(self,
+                                                 statement.statement)
             return explain_statement(self, statement.statement)
         raise PlanningError(f"cannot execute statement {statement!r}")
 
@@ -323,14 +345,14 @@ class Executor:
         plan = plan_from(select.from_, select.where, resolve_binding)
 
         first_table, first_base = materialized[plan.first.binding.lower()]
-        self.stats.add(rows_scanned=first_table.n_rows)
+        self._charge("scan", rows_scanned=first_table.n_rows)
         self.governor.charge_rows(first_table.n_rows, "scan")
         dataset.add(plan.first.binding, first_table, first_base)
 
         for join in plan.joins:
             right_table, right_base = \
                 materialized[join.source.binding.lower()]
-            self.stats.add(rows_scanned=right_table.n_rows)
+            self._charge("scan", rows_scanned=right_table.n_rows)
             self.governor.charge_rows(right_table.n_rows, "scan")
             self._apply_join(dataset, join, right_table, right_base)
 
@@ -358,9 +380,18 @@ class Executor:
     def _apply_join(self, dataset: Dataset, join: PlannedJoin,
                     right_table: Table,
                     right_base: Optional[str]) -> None:
+        with self.tracer.span("join", kind="operator",
+                              table=join.source.binding,
+                              join_kind=join.kind) as span:
+            self._apply_join_inner(dataset, join, right_table,
+                                   right_base, span)
+
+    def _apply_join_inner(self, dataset: Dataset, join: PlannedJoin,
+                          right_table: Table,
+                          right_base: Optional[str], span) -> None:
         binding = join.source.binding
         if not join.left_keys:
-            self._cartesian(dataset, binding, right_table)
+            self._cartesian(dataset, binding, right_table, span)
         else:
             frame = dataset.frame()
             left_cols = [evaluate(k, frame, self.stats)
@@ -395,7 +426,7 @@ class Executor:
                         build_cols = [build_cols[i] for i in order]
                         probe_cols = [probe_cols[i] for i in order]
                         prepared = index.prepared
-                        self.stats.add(index_lookups=(
+                        self._charge("index-probe", index_lookups=(
                             len(probe_cols[0]) if probe_cols else 0))
 
             probe_idx, build_idx, _ = join_indices(
@@ -406,8 +437,11 @@ class Executor:
                 left_indices, right_indices = build_idx, probe_idx
             else:
                 left_indices, right_indices = probe_idx, build_idx
-            self.stats.add(rows_joined=len(left_indices))
+            self._charge("join-output", rows_joined=len(left_indices))
             self.governor.charge_rows(len(left_indices), "join")
+            if span is not None:
+                span.attrs["rows"] = len(left_indices)
+                span.attrs["indexed"] = prepared is not None
 
             dataset.gather(left_indices)
             dataset.add(binding, right_table, None)
@@ -421,14 +455,17 @@ class Executor:
             dataset.gather(np.nonzero(mask)[0])
 
     def _cartesian(self, dataset: Dataset, binding: str,
-                   right_table: Table) -> None:
+                   right_table: Table, span=None) -> None:
         n_left, n_right = dataset.n_rows, right_table.n_rows
         left_indices = np.repeat(np.arange(n_left, dtype=np.int64),
                                  n_right)
         right_indices = np.tile(np.arange(n_right, dtype=np.int64),
                                 n_left)
-        self.stats.add(rows_joined=n_left * n_right)
+        self._charge("join-output", rows_joined=n_left * n_right)
         self.governor.charge_rows(n_left * n_right, "cartesian join")
+        if span is not None:
+            span.attrs["rows"] = n_left * n_right
+            span.attrs["cartesian"] = True
         dataset.gather(left_indices)
         dataset.add(binding, right_table, None)
         dataset.gather(right_indices, which=[binding.lower()])
@@ -498,18 +535,25 @@ class Executor:
         group_exprs = self._resolve_group_by(select)
         key_columns = [evaluate(e, frame, self.stats)
                        for e in group_exprs]
-        degree = self._parallel_degree_for(frame.n_rows)
-        pgrouping: Optional[PartitionedGrouping] = None
-        if degree > 1:
-            pgrouping = factorize_partitioned(
-                key_columns, frame.n_rows, self.encoding_cache, degree)
-        if pgrouping is not None:
-            grouping = pgrouping.grouping
-            self.note_parallel_degree(pgrouping.degree)
-        else:
-            grouping = factorize(key_columns, frame.n_rows,
-                                 self.encoding_cache)
-        self.governor.charge_rows(grouping.n_groups, "group-by")
+        with self.tracer.span("group-by-build", kind="operator",
+                              input_rows=frame.n_rows) as build_span:
+            degree = self._parallel_degree_for(frame.n_rows)
+            pgrouping: Optional[PartitionedGrouping] = None
+            if degree > 1:
+                pgrouping = factorize_partitioned(
+                    key_columns, frame.n_rows, self.encoding_cache,
+                    degree)
+            if pgrouping is not None:
+                grouping = pgrouping.grouping
+                self.note_parallel_degree(pgrouping.degree)
+            else:
+                grouping = factorize(key_columns, frame.n_rows,
+                                     self.encoding_cache)
+            self.governor.charge_rows(grouping.n_groups, "group-by")
+            if build_span is not None:
+                build_span.attrs["groups"] = grouping.n_groups
+                build_span.attrs["degree"] = (
+                    pgrouping.degree if pgrouping is not None else 1)
         firsts = _first_positions(grouping.group_ids, grouping.n_groups)
 
         group_frame = Frame(grouping.n_groups)
@@ -556,9 +600,12 @@ class Executor:
         rewritten_having = rewrite(select.having) \
             if select.having is not None else None
 
-        self._compute_aggregates(agg_specs, frame, grouping, group_frame,
-                                 pgrouping=pgrouping,
-                                 parallel_degree=degree)
+        with self.tracer.span("group-by-aggregate", kind="operator",
+                              groups=grouping.n_groups,
+                              aggregates=len(agg_specs)):
+            self._compute_aggregates(agg_specs, frame, grouping,
+                                     group_frame, pgrouping=pgrouping,
+                                     parallel_degree=degree)
 
         named: list[tuple[str, ColumnData]] = []
         for i, (item, expr) in enumerate(rewritten_items):
@@ -588,10 +635,15 @@ class Executor:
         operator pool (bit-identical merge by scatter)."""
         handled: set[int] = set()
         if self.options.case_dispatch == "hash":
-            handled = pivot_mod.compute_pivot_aggregates(
-                agg_specs, frame, grouping, group_frame, self.stats,
-                self.encoding_cache, parallel_degree=parallel_degree,
-                on_parallel=self.note_parallel_degree)
+            with self.tracer.span("pivot", kind="operator") as span:
+                handled = pivot_mod.compute_pivot_aggregates(
+                    agg_specs, frame, grouping, group_frame, self.stats,
+                    self.encoding_cache,
+                    parallel_degree=parallel_degree,
+                    on_parallel=self.note_parallel_degree)
+                if span is not None:
+                    span.attrs["aggregates"] = len(handled)
+                    span.attrs["groups"] = grouping.n_groups
         for i, spec in enumerate(agg_specs):
             if i in handled:
                 continue
@@ -693,7 +745,7 @@ class Executor:
         result = self.run_select(statement.select,
                                  result_name=statement.name)
         self.catalog.create_table(result)
-        self.stats.add(rows_written=result.n_rows)
+        self._charge("write", rows_written=result.n_rows)
         return result.n_rows
 
     def _insert_values(self, statement: ast.InsertValues) -> int:
@@ -720,7 +772,7 @@ class Executor:
                               for c in schema.columns))
         appended = table.append(Table.from_rows(schema, rows))
         self.catalog.replace_table(appended)
-        self.stats.add(rows_written=len(rows))
+        self._charge("write", rows_written=len(rows))
         self.governor.charge_rows(len(rows), "insert")
         return len(rows)
 
@@ -747,7 +799,7 @@ class Executor:
         ordered = {c.name: block.column(c.name) for c in schema.columns}
         appended = table.append(Table(schema, ordered))
         self.catalog.replace_table(appended)
-        self.stats.add(rows_written=result.n_rows)
+        self._charge("write", rows_written=result.n_rows)
         self.governor.charge_rows(result.n_rows, "insert-select")
         return result.n_rows
 
@@ -770,7 +822,7 @@ class Executor:
                 mask_col = evaluate(statement.where, frame, self.stats)
                 where_mask = np.asarray(mask_col.values, dtype=bool) & \
                     ~mask_col.nulls
-            self.stats.add(rows_scanned=n)
+            self._charge("scan", rows_scanned=n)
 
         to_update = matched & where_mask
         updated = table
@@ -795,7 +847,7 @@ class Executor:
                     col_def.name, updated.column(col_def.name).copy())
         self.catalog.replace_table(updated)
         count = int(to_update.sum())
-        self.stats.add(rows_updated=count)
+        self._charge("update", rows_updated=count)
         self.governor.charge_rows(n, "update")
         return count
 
@@ -809,7 +861,8 @@ class Executor:
         from_ref = statement.from_tables[0]
         from_table = self.catalog.table(from_ref.name) \
             .renamed(from_ref.binding)
-        self.stats.add(rows_scanned=table.n_rows + from_table.n_rows)
+        self._charge("scan",
+                     rows_scanned=table.n_rows + from_table.n_rows)
 
         target_frame = Frame(table.n_rows)
         target_frame.add_table(binding, table)
@@ -846,7 +899,7 @@ class Executor:
                 join_left = [join_left[i] for i in order]
                 join_right = [join_right[i] for i in order]
                 prepared = index.prepared
-                self.stats.add(index_lookups=table.n_rows)
+                self._charge("index-probe", index_lookups=table.n_rows)
 
         probe_idx, build_idx, _ = join_indices(join_left, join_right,
                                                outer=True,
@@ -860,7 +913,7 @@ class Executor:
         order = np.argsort(probe_idx, kind="stable")
         build_for_target = build_idx[order]
         matched = build_for_target >= 0
-        self.stats.add(rows_joined=int(matched.sum()))
+        self._charge("join-output", rows_joined=int(matched.sum()))
 
         frame = Frame(table.n_rows)
         frame.add_table(binding, table)
@@ -882,7 +935,7 @@ class Executor:
     def _delete(self, statement: ast.Delete) -> int:
         table = self.catalog.table(statement.table.name)
         n = table.n_rows
-        self.stats.add(rows_scanned=n)
+        self._charge("scan", rows_scanned=n)
         if statement.where is None:
             keep = np.zeros(n, dtype=bool)
         else:
@@ -893,7 +946,7 @@ class Executor:
             keep = ~hit
         deleted = n - int(keep.sum())
         self.catalog.replace_table(table.filter(keep))
-        self.stats.add(rows_updated=deleted)
+        self._charge("update", rows_updated=deleted)
         self.governor.charge_rows(n, "delete")
         return deleted
 

@@ -15,12 +15,54 @@ from repro.engine.column import ColumnData
 from repro.engine.planner import plan_from
 from repro.engine.table import Table
 from repro.engine.types import SQLType
+from repro.obs import tracer as tracer_mod
+from repro.obs.tracer import render_tree
 from repro.sql import ast
-from repro.sql.formatter import format_expr
+from repro.sql.formatter import format_expr, format_statement
 
 
 def explain_statement(executor, statement: ast.Statement) -> Table:
     """One plan line per row (column ``plan``)."""
+    return _plan_table(_plan_lines(executor, statement))
+
+
+def explain_analyze_statement(executor, statement: ast.Statement,
+                              normalize=None) -> Table:
+    """EXPLAIN ANALYZE: the static plan, then the actuals span tree.
+
+    The statement **executes for real** (DML mutates, temps persist)
+    under the executor's own tracer, force-enabled for the duration so
+    EXPLAIN ANALYZE works on databases opened with tracing off.  The
+    trace renders from a private statement span, so concurrent
+    statements on other threads never leak into the output.
+    """
+    lines = _plan_lines(executor, statement)
+    tracer = executor.tracer
+    was_enabled = tracer.enabled
+    tracer.enable()
+    try:
+        with tracer_mod.activate(tracer), \
+                tracer.span("statement", kind="statement",
+                            sql=format_statement(statement)) as span:
+            result = executor.execute(statement)
+            if span is not None:
+                span.attrs["result_rows"] = (
+                    result.n_rows if isinstance(result, Table)
+                    else int(result))
+    finally:
+        if not was_enabled:
+            tracer.disable()
+    lines.append("-- actual --")
+    lines.extend(render_tree(span, normalize=normalize).splitlines())
+    return _plan_table(lines)
+
+
+def _plan_table(lines: list[str]) -> Table:
+    data = ColumnData.from_values(SQLType.VARCHAR, lines)
+    return Table.from_columns("explain", [("plan", data)])
+
+
+def _plan_lines(executor, statement: ast.Statement) -> list[str]:
     lines: list[str] = []
     if isinstance(statement, ast.Select):
         _explain_select(executor, statement, lines, indent=0)
@@ -43,8 +85,7 @@ def explain_statement(executor, statement: ast.Statement) -> Table:
         lines.append(parallel)
     lines.append(_governor_line(executor))
     lines.append(_cache_line(executor))
-    data = ColumnData.from_values(SQLType.VARCHAR, lines)
-    return Table.from_columns("explain", [("plan", data)])
+    return lines
 
 
 def _parallel_line(executor) -> Optional[str]:

@@ -39,6 +39,7 @@ from typing import Iterator, Optional, Sequence
 
 from repro.errors import (ResourceExhausted, SimulatedCrash,
                           TransientError)
+from repro.obs.metrics import global_registry
 
 #: Injection sites wired into the engine.  ``statement`` fires at every
 #: statement boundary of a generated plan (see core.execute); the rest
@@ -122,14 +123,25 @@ class FaultInjector:
                 continue
             self._fired[spec] += 1
             self.faults_raised += 1
+            _count_fault(site, spec.error)
             raise ERROR_KINDS[spec.error](
                 f"injected {spec.error} fault at {site}#{index}")
         if self.rate > 0.0 and site in self.chaos_sites \
                 and self._rng.random() < self.rate:
             self.faults_raised += 1
+            _count_fault(site, self.chaos_error)
             raise ERROR_KINDS[self.chaos_error](
                 f"injected {self.chaos_error} chaos fault at "
                 f"{site}#{index}")
+
+
+def _count_fault(site: str, error: str) -> None:
+    # Injectors are per-test/per-sweep throwaways, so the durable
+    # record of injected faults lives in the process-wide registry.
+    global_registry().counter(
+        "faults_injected_total",
+        help="faults raised by the injection registry",
+        site=site, error=error).inc()
 
 
 # ----------------------------------------------------------------------

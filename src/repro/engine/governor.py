@@ -31,6 +31,7 @@ from typing import Iterator, Optional
 
 from repro.errors import (QueryTimeout, RowBudgetExceeded,
                           WidthBudgetExceeded)
+from repro.obs import tracer as tracer_mod
 
 
 @dataclass(frozen=True)
@@ -148,6 +149,15 @@ class ResourceGovernor:
         if state.depth == 0:
             return
         state.rows += int(n)
+        tracer = tracer_mod.active_tracer()
+        if tracer is not None and tracer.enabled:
+            # Row charges are the governor's checkpoints; the event
+            # records where the budget meter moved (elapsed time is
+            # real wall clock, so it is deliberately not an attribute
+            # -- golden traces must stay deterministic).
+            tracer.event("governor-check", kind="governor",
+                         rows=int(n), context=context,
+                         total_rows=state.rows)
         limit = self.budget.max_rows
         if limit is not None and state.rows > limit:
             raise RowBudgetExceeded(

@@ -22,20 +22,31 @@ Counters (all cumulative until :meth:`reset`):
   logical_io`: the cache saves wall-clock work, not logical I/O, so
   the paper's cost shapes are bit-identical with the cache on or off.
 
-Thread safety: one collector is shared by every session of a
-:class:`~repro.api.database.Database` -- and, under the concurrent
-query service, by every scheduler worker.  A bare ``counter += n`` is
-a read-modify-write that silently drops increments when two threads
-interleave, so all engine code charges counters through :meth:`add`,
-which holds the collector's lock across the whole update.  Reads
-(``snapshot``/``diff_since``) take the same lock so a snapshot is a
-consistent cut across all counters.
+Storage now lives in a :class:`~repro.obs.metrics.MetricsRegistry`:
+each counter is the registry metric named by :data:`METRIC_NAMES`
+(``rows_scanned`` -> ``engine_rows_scanned_total`` and so on), so one
+Prometheus scrape of ``db.metrics`` exposes the same numbers this
+class reports.  The public face is unchanged -- plain attribute reads
+(``stats.rows_scanned``), :meth:`add`, :meth:`snapshot`,
+:meth:`diff_since`, :meth:`record_statement`, :meth:`reset` -- and the
+consistency contract survives the move: every multi-counter update or
+read happens under the registry's single lock, so a snapshot is still
+a consistent cut and concurrent scheduler workers still never drop
+each other's charges.
+
+Each :class:`~repro.api.database.Database` owns its own registry by
+default, which is also the fix for the stats-reset bug: counters are
+keyed by registry instance, not module state, so a reopened database
+can no longer observe a previous instance's totals.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, fields
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
 
 #: The integer counters StatsCollector maintains (everything
 #: :meth:`StatsCollector.add` accepts).
@@ -44,6 +55,27 @@ COUNTER_NAMES = (
     "case_evaluations", "index_lookups", "encode_cache_hits",
     "encode_cache_misses", "encode_cache_evictions", "statements",
 )
+
+#: Registry metric backing each counter.
+METRIC_NAMES = {name: f"engine_{name}_total" for name in COUNTER_NAMES}
+
+_HELP = {
+    "rows_scanned": "rows read by table scans",
+    "rows_written": "rows materialized into tables (INSERT/CREATE)",
+    "rows_updated": "rows rewritten in place by UPDATE",
+    "rows_joined": "rows produced by join operators",
+    "case_evaluations": "WHEN-branch evaluations in CASE expressions",
+    "index_lookups": "probes served by a hash index",
+    "encode_cache_hits": "dictionary-encoding cache hits",
+    "encode_cache_misses": "dictionary-encoding cache misses",
+    "encode_cache_evictions": "dictionary-encoding cache evictions",
+    "statements": "SQL statements executed",
+}
+
+#: StatementStats fields that are counters (everything but sql and
+#: elapsed_seconds) -- the diffable set.
+_SNAPSHOT_NAMES = tuple(name for name in COUNTER_NAMES
+                        if name != "statements")
 
 
 @dataclass
@@ -68,93 +100,92 @@ class StatementStats:
         return (self.rows_scanned + self.rows_written
                 + 2 * self.rows_updated)
 
+    def counters(self) -> dict:
+        """The counter fields as a plain dict (trace attributes)."""
+        return {name: getattr(self, name) for name in _SNAPSHOT_NAMES}
 
-@dataclass
+
 class StatsCollector:
     """Accumulates engine counters; owned by the Database.
 
     Mutate only through :meth:`add` / :meth:`record_statement` /
     :meth:`reset` -- direct ``collector.counter += n`` is not safe
-    under the worker pool (lost updates).  Plain attribute *reads*
-    remain supported for compatibility; use :meth:`snapshot` when a
-    consistent multi-counter cut matters.
+    under the worker pool (lost updates) and, now that counters live
+    in the metrics registry, plain attribute *writes* are rejected
+    outright.  Plain attribute reads remain supported for
+    compatibility; use :meth:`snapshot` when a consistent
+    multi-counter cut matters.
     """
 
-    rows_scanned: int = 0
-    rows_written: int = 0
-    rows_updated: int = 0
-    rows_joined: int = 0
-    case_evaluations: int = 0
-    index_lookups: int = 0
-    encode_cache_hits: int = 0
-    encode_cache_misses: int = 0
-    encode_cache_evictions: int = 0
-    statements: int = 0
-    history: list[StatementStats] = field(default_factory=list)
-    keep_history: bool = False
+    def __init__(self, keep_history: bool = False,
+                 registry: Optional[MetricsRegistry] = None):
+        self.keep_history = keep_history
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        self.history: list[StatementStats] = []
+        self._history_lock = threading.Lock()
+        for name in COUNTER_NAMES:
+            self.registry.counter(METRIC_NAMES[name],
+                                  help=_HELP[name])
 
-    def __post_init__(self) -> None:
-        # Not a dataclass field: the lock is identity state, never
-        # compared or copied.
-        self._lock = threading.Lock()
+    # ------------------------------------------------------------------
+    def __getattr__(self, name: str) -> int:
+        # Only reached when normal lookup fails, i.e. for the counter
+        # names that used to be dataclass fields.
+        if name in COUNTER_NAMES:
+            return self.registry.value(METRIC_NAMES[name])
+        raise AttributeError(name)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        if name in COUNTER_NAMES:
+            raise AttributeError(
+                f"stats counter {name!r} is registry-backed; "
+                f"mutate through add()/reset()")
+        super().__setattr__(name, value)
 
     # ------------------------------------------------------------------
     def add(self, **counts: int) -> None:
         """Atomically add ``counts`` to the named counters.
 
-        All increments land under one lock acquisition, so concurrent
-        statements never drop each other's charges and a
+        All increments land under one registry-lock acquisition, so
+        concurrent statements never drop each other's charges and a
         :meth:`snapshot` taken by another thread sees either all of a
         call's increments or none of them.
         """
-        with self._lock:
-            for name, n in counts.items():
-                if name not in COUNTER_NAMES:
-                    raise AttributeError(
-                        f"unknown stats counter {name!r}")
-                setattr(self, name, getattr(self, name) + int(n))
+        for name in counts:
+            if name not in COUNTER_NAMES:
+                raise AttributeError(f"unknown stats counter {name!r}")
+        self.registry.increment(
+            {METRIC_NAMES[name]: int(n) for name, n in counts.items()})
 
     def reset(self) -> None:
-        with self._lock:
-            for name in COUNTER_NAMES:
-                setattr(self, name, 0)
+        self.registry.zero(METRIC_NAMES.values())
+        with self._history_lock:
             self.history.clear()
 
     def snapshot(self) -> StatementStats:
         """Current totals as a StatementStats value (consistent cut)."""
-        with self._lock:
-            return StatementStats(
-                rows_scanned=self.rows_scanned,
-                rows_written=self.rows_written,
-                rows_updated=self.rows_updated,
-                rows_joined=self.rows_joined,
-                case_evaluations=self.case_evaluations,
-                index_lookups=self.index_lookups,
-                encode_cache_hits=self.encode_cache_hits,
-                encode_cache_misses=self.encode_cache_misses,
-                encode_cache_evictions=self.encode_cache_evictions)
+        values = self.registry.read(
+            [METRIC_NAMES[name] for name in _SNAPSHOT_NAMES])
+        return StatementStats(**{
+            name: values[METRIC_NAMES[name]]
+            for name in _SNAPSHOT_NAMES})
 
     def diff_since(self, before: StatementStats) -> StatementStats:
         """Counters accumulated since ``before`` was snapshotted."""
         now = self.snapshot()
-        return StatementStats(
-            rows_scanned=now.rows_scanned - before.rows_scanned,
-            rows_written=now.rows_written - before.rows_written,
-            rows_updated=now.rows_updated - before.rows_updated,
-            rows_joined=now.rows_joined - before.rows_joined,
-            case_evaluations=(now.case_evaluations
-                              - before.case_evaluations),
-            index_lookups=now.index_lookups - before.index_lookups,
-            encode_cache_hits=(now.encode_cache_hits
-                               - before.encode_cache_hits),
-            encode_cache_misses=(now.encode_cache_misses
-                                 - before.encode_cache_misses),
-            encode_cache_evictions=(now.encode_cache_evictions
-                                    - before.encode_cache_evictions))
+        return StatementStats(**{
+            name: getattr(now, name) - getattr(before, name)
+            for name in _SNAPSHOT_NAMES})
 
     # ------------------------------------------------------------------
     def record_statement(self, stats: StatementStats) -> None:
-        with self._lock:
-            self.statements += 1
-            if self.keep_history:
+        self.registry.counter(METRIC_NAMES["statements"]).inc()
+        if self.keep_history:
+            with self._history_lock:
                 self.history.append(stats)
+
+
+# Keep the dataclass-fields import honest: StatementStats is still a
+# dataclass and some callers introspect it.
+assert {f.name for f in fields(StatementStats)} >= set(_SNAPSHOT_NAMES)

@@ -28,6 +28,7 @@ from repro.engine.column import ColumnData
 from repro.engine.encoding_cache import EncodingCache
 from repro.engine.groupby import encode_column, factorize
 from repro.engine.stats import StatsCollector
+from repro.obs import tracer as tracer_mod
 
 
 def evaluate_window(func: str, arg: Optional[ColumnData],
@@ -43,6 +44,10 @@ def evaluate_window(func: str, arg: Optional[ColumnData],
         # The window operator spools a partitioned copy of its input:
         # one read pass plus one write pass of the detail table.
         stats.add(rows_scanned=n_rows, rows_written=n_rows)
+        tracer = tracer_mod.active_tracer()
+        if tracer is not None and tracer.enabled:
+            tracer.event("window-spool", kind="charge", func=func,
+                         rows_scanned=n_rows, rows_written=n_rows)
 
     order = _spool_sort(partition_columns, arg, n_rows, cache)
     # Factorize the *original* partition columns (cache-hittable for

@@ -8,6 +8,7 @@ Examples::
     python -m repro.fuzz --seed 0 --budget 50 --inject-bug vpct-denominator
     python -m repro.fuzz --fault-sweep --seed 0 --budget 40
     python -m repro.fuzz --seed 0 --budget 200 --case-timeout 10
+    python -m repro.fuzz --seed 0 --budget 100 --trace
 
 Exit status 0 means every case was consistent across all strategies
 and the sqlite oracle; 1 means at least one divergence (each one is
@@ -20,6 +21,10 @@ whole run; timed-out variants are excluded from comparison.
 comparing strategies it injects faults at every statement boundary of
 every case's plan and verifies recovery (see
 :mod:`repro.fuzz.crash`).
+``--trace`` runs every engine variant on a traced database and
+validates the trace after each run (well-formed span trees, charge
+audits, statement-count drift against the stats ledger); a malformed
+trace surfaces as a divergence.
 """
 
 from __future__ import annotations
@@ -72,6 +77,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="add partition-parallel engine variants "
                              "(2 workers, row threshold 0); they must "
                              "match the serial variants bit-for-bit")
+    parser.add_argument("--trace", action="store_true",
+                        help="run engine variants on traced databases "
+                             "and validate every trace (well-formed "
+                             "span trees, charge audits, statement-"
+                             "count drift); a malformed trace counts "
+                             "as a divergence")
     parser.add_argument("--fault-sweep", action="store_true",
                         help="run the crash-consistency sweep instead "
                              "of differential comparison: inject a "
@@ -107,7 +118,7 @@ def _fuzz(args: argparse.Namespace) -> int:
         families[case.family] += 1
         result = run_case(case, inject_bug=args.inject_bug,
                           case_timeout=args.case_timeout,
-                          parallel=args.parallel)
+                          parallel=args.parallel, trace=args.trace)
         if result.divergent:
             divergences += 1
             _report(case, result, args)
@@ -129,9 +140,10 @@ def _report(case: FuzzCase, result, args: argparse.Namespace) -> None:
     print(f"DIVERGENCE at case {case.index}: {result.explanation}")
     minimized = reduce_case(
         case, lambda c: run_case(c, args.inject_bug,
-                                 parallel=args.parallel).divergent)
+                                 parallel=args.parallel,
+                                 trace=args.trace).divergent)
     final = run_case(minimized, inject_bug=args.inject_bug,
-                     parallel=args.parallel)
+                     parallel=args.parallel, trace=args.trace)
     path = save_repro(
         minimized, Path(args.out),
         description=f"minimized divergence (seed={case.seed}, "
@@ -169,7 +181,8 @@ def _replay(args: argparse.Namespace) -> int:
     total = 0
     for path, case, expect in load_corpus(args.replay):
         total += 1
-        result = run_case(case, parallel=args.parallel)
+        result = run_case(case, parallel=args.parallel,
+                          trace=args.trace)
         verdict = "divergent" if result.divergent else "consistent"
         ok = verdict == expect
         status = "ok" if ok else f"FAIL (expected {expect}, got {verdict})"

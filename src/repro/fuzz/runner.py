@@ -46,6 +46,7 @@ from repro.fuzz.comparator import compare_outcomes
 from repro.fuzz.generator import FuzzCase
 from repro.fuzz.oracle import (SqliteOracle, supports_update_from,
                                supports_windows)
+from repro.obs.tracer import audit_statement_span, validate_span_tree
 from repro.olap.windowgen import generate_olap_percentage_query
 
 #: plan steps the oracle replay skips: DISCOVER/MATERIALIZE already ran
@@ -99,7 +100,8 @@ class CaseResult:
 def run_case(case: FuzzCase,
              inject_bug: Optional[str] = None,
              case_timeout: Optional[float] = None,
-             parallel: bool = False) -> CaseResult:
+             parallel: bool = False,
+             trace: bool = False) -> CaseResult:
     """Evaluate every variant and compare outcomes pairwise.
 
     ``case_timeout`` puts every engine variant under the resource
@@ -112,10 +114,17 @@ def run_case(case: FuzzCase,
     row threshold forced to 0 so every aggregation takes the parallel
     path); they must agree bit-for-bit with the serial variants and
     the oracle.
+
+    ``trace`` runs every engine variant on a traced database and
+    checks the trace after each successful run: every span tree must
+    be well formed, every statement span must pass the charge audit,
+    and the statement-span count must equal the ledger's statement
+    count.  A malformed trace raises :class:`TraceValidationError`,
+    which surfaces as an error outcome and therefore a divergence.
     """
     result = CaseResult(case=case)
     for name, thunk in _variants(case, inject_bug, case_timeout,
-                                 parallel):
+                                 parallel, trace):
         result.variants.append(_evaluate(name, thunk))
     comparable = [v for v in result.variants if v.status != "timeout"]
     if not comparable:
@@ -129,6 +138,39 @@ def run_case(case: FuzzCase,
                                   f"{difference}")
             break
     return result
+
+
+class TraceValidationError(Exception):
+    """A traced fuzz variant produced a malformed or drifting trace."""
+
+
+def _check_trace(db: Database) -> None:
+    """Validate the trace a successful traced variant left behind.
+
+    No-op on untraced databases.  Raises TraceValidationError when a
+    span tree is malformed, a statement span fails the charge audit,
+    or the trace recorded a different number of statements than the
+    stats ledger (a span dropped or double-counted somewhere).
+    """
+    if not db.tracer.enabled:
+        return
+    roots = db.tracer.roots()
+    if not roots:
+        raise TraceValidationError("traced run produced no spans")
+    statement_spans = 0
+    try:
+        for root in roots:
+            validate_span_tree(root)
+            for statement in root.find(kind="statement"):
+                audit_statement_span(statement)
+                statement_spans += 1
+    except Exception as exc:
+        raise TraceValidationError(str(exc)) from exc
+    if statement_spans != db.stats.statements:
+        raise TraceValidationError(
+            f"statement-count drift: ledger recorded "
+            f"{db.stats.statements} statements but the trace holds "
+            f"{statement_spans} statement spans")
 
 
 # ----------------------------------------------------------------------
@@ -154,7 +196,16 @@ def _load_db(case: FuzzCase, **db_kwargs: Any) -> Database:
 def _strategy_rows(case: FuzzCase, strategy, **db_kwargs: Any) -> list:
     db = _load_db(case, **db_kwargs)
     plan = generate_plan(db, case.query_sql(), strategy)
-    return execute_plan(db, plan).result.to_rows()
+    rows = execute_plan(db, plan).result.to_rows()
+    _check_trace(db)
+    return rows
+
+
+def _direct_rows(case: FuzzCase, **db_kwargs: Any) -> list:
+    db = _load_db(case, **db_kwargs)
+    rows = db.query(case.query_sql())
+    _check_trace(db)
+    return rows
 
 
 def _replay_rows(case: FuzzCase, strategy) -> list:
@@ -182,7 +233,9 @@ def _engine_olap_rows(case: FuzzCase, inject_bug: Optional[str],
                       **db_kwargs: Any) -> list:
     db = _load_db(case, **db_kwargs)
     result = db.execute(_olap_sql(case, inject_bug))
-    return result.to_rows()
+    rows = result.to_rows()
+    _check_trace(db)
+    return rows
 
 
 def _sqlite_olap_rows(case: FuzzCase,
@@ -212,7 +265,8 @@ _PARALLEL_KW: dict[str, Any] = {"parallel_workers": 2,
 
 def _variants(case: FuzzCase, inject_bug: Optional[str],
               case_timeout: Optional[float] = None,
-              parallel: bool = False
+              parallel: bool = False,
+              trace: bool = False
               ) -> list[tuple[str, Callable[[], list]]]:
     if inject_bug is not None and inject_bug not in INJECTABLE_BUGS:
         raise ValueError(f"unknown injectable bug {inject_bug!r}; "
@@ -223,6 +277,8 @@ def _variants(case: FuzzCase, inject_bug: Optional[str],
     kw: dict[str, Any] = {}
     if case_timeout is not None:
         kw["max_query_seconds"] = case_timeout
+    if trace:
+        kw["tracing"] = True
     if case.family == "vpct":
         variants = _vpct_variants(case, inject_bug, kw)
         if parallel:
@@ -251,15 +307,13 @@ def _variants(case: FuzzCase, inject_bug: Optional[str],
             ]
         return variants
     variants = [
-        ("engine:direct",
-         lambda: _load_db(case, **kw).query(case.query_sql())),
+        ("engine:direct", lambda: _direct_rows(case, **kw)),
         ("sqlite:direct", lambda: _sqlite_direct_rows(case)),
     ]
     if parallel:
         variants.insert(
             1, ("engine:direct-parallel",
-                lambda: _load_db(case, **_PARALLEL_KW,
-                                 **kw).query(case.query_sql())))
+                lambda: _direct_rows(case, **_PARALLEL_KW, **kw)))
     return variants
 
 

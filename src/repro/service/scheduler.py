@@ -43,6 +43,8 @@ from repro.core.execute import run_resilient
 from repro.core.model import build_percentage_query
 from repro.engine.table import Table
 from repro.errors import AdmissionRejected, ServiceError
+from repro.obs import tracer as tracer_mod
+from repro.obs.tracer import Span, render_tree
 from repro.service.session import Session
 from repro.sql import ast
 from repro.sql.parser import parse_script
@@ -71,6 +73,9 @@ class ServiceReport:
     statements_run: int = 0
     #: Resource-governor snapshot of the script's query window.
     governor_usage: dict[str, Any] = field(default_factory=dict)
+    #: Root span of the script's trace (script -> statement ->
+    #: plan/operator), or None when the service's tracer is disabled.
+    trace: Optional[Span] = None
 
     @property
     def result(self) -> Any:
@@ -82,6 +87,23 @@ class ServiceReport:
         if not isinstance(self.result, Table):
             raise TypeError("the script's last statement returned no rows")
         return self.result.to_rows()
+
+    def explain_analyze(self, normalize=None) -> str:
+        """EXPLAIN ANALYZE text for the whole script: a header plus
+        the actuals span tree.  Requires the service to run with
+        tracing enabled (``QueryService`` over a
+        ``Database(tracing=True)``)."""
+        if self.trace is None:
+            raise ServiceError(
+                "no trace recorded; open the service's database with "
+                "tracing=True before submitting the script")
+        header = [
+            f"script: {self.kind}  session: {self.session_id}  "
+            f"statements: {self.statements_run}  "
+            f"parallel degree: {self.parallel_degree}",
+        ]
+        return "\n".join(header) + "\n" \
+            + render_tree(self.trace, normalize=normalize)
 
 
 def _is_extended_select(statement: ast.Statement) -> bool:
@@ -126,6 +148,11 @@ class Scheduler:
         self._lock = threading.Lock()
         self._admitted = 0
         self._shutdown = False
+        self._metrics = service.db.metrics
+        self._inflight = self._metrics.gauge(
+            "service_inflight_queries",
+            help="scripts admitted and not yet finished "
+                 "(queued + running)")
 
     # ------------------------------------------------------------------
     @property
@@ -153,6 +180,11 @@ class Scheduler:
                     f"{self.max_queue_depth} queued)")
             session._reserve(self.session_inflight_cap)
             self._admitted += 1
+        self._inflight.inc()
+        self._metrics.counter(
+            "service_scripts_total",
+            help="scripts admitted by the scheduler",
+            kind=kind).inc()
         enqueued = time.perf_counter()
         try:
             future = self._pool.submit(self._run, session, sql,
@@ -166,7 +198,14 @@ class Scheduler:
     def _finish(self, session: Session) -> None:
         with self._lock:
             self._admitted -= 1
+        self._inflight.dec()
         session._release()
+
+    def _observe_wait(self, session: Session, wait: float) -> None:
+        self._metrics.histogram(
+            "service_queue_wait_seconds",
+            help="seconds between submission and execution start",
+            session=str(session.id)).observe(wait)
 
     def shutdown(self, wait: bool = True) -> None:
         with self._lock:
@@ -191,16 +230,25 @@ class Scheduler:
         reader = service.snapshots.reader(
             snapshot, session.defaults.resolve(service.db.options))
         wait = time.perf_counter() - enqueued
+        self._observe_wait(session, wait)
         report = ServiceReport(kind="read", sql=sql,
                                session_id=session.id,
                                snapshot_version=snapshot.version,
                                queue_wait_seconds=wait)
         started = time.perf_counter()
+        tracer = service.db.tracer
         # One window for the whole script: the script is the governed
         # unit, exactly like a generated percentage plan.
         with reader.governor.window():
             reader.governor.note_queue_wait(wait)
-            self._run_statements(reader, statements, sql, report)
+            with tracer_mod.activate(tracer), \
+                    tracer.span("script", kind="script",
+                                script_kind="read",
+                                session=session.id,
+                                snapshot_version=snapshot.version
+                                ) as span:
+                self._run_statements(reader, statements, sql, report)
+            report.trace = span
             report.governor_usage = reader.governor.usage()
         report.elapsed_seconds = time.perf_counter() - started
         return report
@@ -212,15 +260,22 @@ class Scheduler:
         db = service.db
         with service.write_lock:
             wait = time.perf_counter() - enqueued
+            self._observe_wait(session, wait)
             report = ServiceReport(kind="write", sql=sql,
                                    session_id=session.id,
                                    queue_wait_seconds=wait)
             started = time.perf_counter()
+            tracer = db.tracer
             savepoint = db.catalog.savepoint()
             with db.governor.window():
                 db.governor.note_queue_wait(wait)
                 try:
-                    self._run_statements(db, statements, sql, report)
+                    with tracer_mod.activate(tracer), \
+                            tracer.span("script", kind="script",
+                                        script_kind="write",
+                                        session=session.id) as span:
+                        self._run_statements(db, statements, sql, report)
+                    report.trace = span
                 except BaseException as exc:
                     # All-or-nothing scripts: a mid-script failure
                     # restores the pre-script catalog, so the torn

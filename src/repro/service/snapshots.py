@@ -98,8 +98,16 @@ class SnapshotDatabase(Database):
         self.options = (dataclasses.replace(options) if options is not None
                         else dataclasses.replace(base.options))
         self.governor = base.governor
+        # Observability is shared too: overlay statements trace into
+        # the base tracer (under whatever script span the scheduler
+        # opened) and meter into the base registry, so per-query state
+        # stays private while the telemetry view stays whole-service.
+        self.clock = base.clock
+        self.tracer = base.tracer
+        self.metrics = base.metrics
         self.executor = Executor(self.catalog, self.stats, self.options,
-                                 governor=self.governor)
+                                 governor=self.governor,
+                                 tracer=self.tracer)
         self._lock = threading.RLock()
         self.snapshot = snapshot
         self.base = base

@@ -344,9 +344,12 @@ class DropView(Statement):
 
 @dataclass(frozen=True)
 class Explain(Statement):
-    """``EXPLAIN statement`` -- returns the evaluation plan as text."""
+    """``EXPLAIN [ANALYZE] statement`` -- returns the evaluation plan
+    as text; with ANALYZE the statement also *executes* and the plan is
+    followed by the actuals span tree (rows and time per operator)."""
 
     statement: Statement
+    analyze: bool = False
 
 
 # ----------------------------------------------------------------------

@@ -52,7 +52,8 @@ def format_statement(statement: ast.Statement) -> str:
         clause = "IF EXISTS " if statement.if_exists else ""
         return f"DROP VIEW {clause}{quote_ident(statement.name)}"
     if isinstance(statement, ast.Explain):
-        return f"EXPLAIN {format_statement(statement.statement)}"
+        keyword = "EXPLAIN ANALYZE" if statement.analyze else "EXPLAIN"
+        return f"{keyword} {format_statement(statement.statement)}"
     raise TypeError(f"cannot format statement {statement!r}")
 
 

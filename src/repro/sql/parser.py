@@ -137,7 +137,8 @@ class _Parser:
     # ------------------------------------------------------------------
     def statement(self) -> ast.Statement:
         if self.accept_keyword("EXPLAIN"):
-            return ast.Explain(self.statement())
+            analyze = bool(self.accept_keyword("ANALYZE"))
+            return ast.Explain(self.statement(), analyze=analyze)
         if self.peek_keyword("SELECT"):
             return self.select()
         if self.peek_keyword("CREATE"):

@@ -123,3 +123,17 @@ class TestReport:
                                            name="best"))
         text = format_table("t", results)
         assert "-" in text.splitlines()[-1]
+
+
+class TestObsSuite:
+    def test_run_obs_benchmark_smoke(self):
+        from repro.bench.obs import run_obs_benchmark
+        report = run_obs_benchmark(sales_n=2_000, repeats=1)
+        summary = report["summary"]
+        assert report["trace_ops_per_run"] > 0
+        assert summary["tracing_off_seconds"] > 0
+        assert summary["tracing_on_seconds"] > 0
+        assert isinstance(
+            summary["tracing_off_overhead_under_5pct"], bool)
+        # the estimate is a fraction derived from positive quantities
+        assert summary["estimated_tracing_off_overhead_fraction"] >= 0

@@ -9,6 +9,13 @@ import pytest
 from repro import Database
 
 
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite the golden trace files under tests/obs/golden "
+             "instead of comparing against them")
+
+
 def install_database_tracker(monkeypatch) -> list:
     """Record every :class:`Database` constructed while active.
 

@@ -58,10 +58,9 @@ class TestHashIndex:
 class TestStatsCollector:
     def test_snapshot_diff(self):
         stats = StatsCollector()
-        stats.rows_scanned = 10
+        stats.add(rows_scanned=10)
         before = stats.snapshot()
-        stats.rows_scanned += 5
-        stats.rows_updated += 2
+        stats.add(rows_scanned=5, rows_updated=2)
         diff = stats.diff_since(before)
         assert diff.rows_scanned == 5
         assert diff.rows_updated == 2
@@ -73,9 +72,16 @@ class TestStatsCollector:
 
     def test_reset(self):
         stats = StatsCollector()
-        stats.rows_scanned = 5
+        stats.add(rows_scanned=5)
         stats.reset()
         assert stats.rows_scanned == 0
+
+    def test_direct_counter_writes_rejected(self):
+        # Registry-backed counters: a bare ``stats.counter += n`` was
+        # always a lost-update hazard; now it is an explicit error.
+        stats = StatsCollector()
+        with pytest.raises(AttributeError):
+            stats.rows_scanned = 10
 
     def test_history_recording(self):
         db = Database(keep_history=True)

@@ -1,0 +1,83 @@
+"""The ``--trace`` fuzz mode: engine variants run traced, every trace
+is validated, and a broken trace is not silently ignored."""
+
+import pytest
+
+from repro.api.database import Database
+from repro.fuzz.generator import CaseGenerator
+from repro.fuzz.runner import (TraceValidationError, _check_trace,
+                               run_case)
+from repro.obs import tracer as tracer_mod
+
+
+def _cases(count, seed=0):
+    return list(CaseGenerator(seed=seed).cases(count))
+
+
+class TestTracedRun:
+    def test_small_traced_budget_is_consistent(self):
+        for case in _cases(8):
+            result = run_case(case, trace=True)
+            assert not result.divergent, result.divergence_report()
+
+    def test_traced_and_plain_agree(self):
+        """Tracing is observability only: the traced run reaches the
+        same verdict and the same per-variant outcomes."""
+        for case in _cases(4, seed=3):
+            plain = run_case(case)
+            traced = run_case(case, trace=True)
+            assert plain.divergent == traced.divergent
+            assert [v.outcome for v in plain.variants] == \
+                [v.outcome for v in traced.variants]
+
+
+class TestCheckTrace:
+    def _traced_db(self) -> Database:
+        db = Database(tracing=True)
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("INSERT INTO t VALUES (1), (2)")
+        db.execute("SELECT a FROM t")
+        return db
+
+    def test_clean_trace_passes(self):
+        _check_trace(self._traced_db())
+
+    def test_untraced_db_is_a_noop(self):
+        db = Database()
+        db.execute("SELECT 1")
+        _check_trace(db)
+
+    def test_missing_spans_flagged(self):
+        db = self._traced_db()
+        db.tracer.reset()
+        with pytest.raises(TraceValidationError, match="no spans"):
+            _check_trace(db)
+
+    def test_statement_count_drift_flagged(self):
+        db = self._traced_db()
+        # run one statement behind the tracer's back: ledger moves,
+        # no statement span appears
+        with tracer_mod.activate(None):
+            db.tracer.disable()
+            try:
+                db.execute("SELECT count(*) FROM t")
+            finally:
+                db.tracer.enable()
+        with pytest.raises(TraceValidationError, match="drift"):
+            _check_trace(db)
+
+    def test_unclosed_span_flagged(self):
+        db = self._traced_db()
+        root = db.tracer.roots()[0]
+        root.end = None
+        with pytest.raises(TraceValidationError):
+            _check_trace(db)
+
+    def test_charge_audit_failure_flagged(self):
+        db = self._traced_db()
+        statement = db.tracer.roots()[-1]
+        assert statement.kind == "statement"
+        statement.attrs["rows_scanned"] = \
+            int(statement.attrs.get("rows_scanned", 0)) + 1
+        with pytest.raises(TraceValidationError):
+            _check_trace(db)

@@ -1,0 +1,129 @@
+"""Fixtures for the observability tests.
+
+The golden tests depend on two normalizations to stay byte-stable:
+
+* a :class:`~repro.obs.clock.ManualClock` makes every span duration a
+  fixed multiple of the tick step (execution is serial, so the open /
+  close order -- and therefore every timestamp -- is deterministic);
+* generated temp-table prefixes come from a process-global counter
+  (:func:`repro.core.plan.fresh_prefix`), so their numeric suffixes
+  depend on how many plans earlier tests generated.
+  :func:`normalize_temp_names` renumbers them in first-seen order.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro import Database
+from repro.obs.clock import ManualClock
+from tests.conftest import PAPER_SALES_ROWS
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+_TEMP_NAME = re.compile(r"_([a-z]+)(\d+)")
+
+
+def normalize_temp_names(text: str) -> str:
+    """Renumber generated temp-table tokens (``_vp37`` ...) in
+    first-seen order, so goldens do not depend on how many plans ran
+    earlier in the process."""
+    seen: dict[str, str] = {}
+    per_tag: dict[str, int] = {}
+
+    def replace(match: "re.Match[str]") -> str:
+        token = match.group(0)
+        if token not in seen:
+            tag = match.group(1)
+            per_tag[tag] = per_tag.get(tag, 0) + 1
+            seen[token] = f"_{tag}{per_tag[tag]}"
+        return seen[token]
+
+    return _TEMP_NAME.sub(replace, text)
+
+
+@pytest.fixture
+def golden(request):
+    """Compare ``text`` against ``tests/obs/golden/<name>.txt``;
+    ``--update-golden`` rewrites the file instead."""
+    update = request.config.getoption("--update-golden")
+
+    def check(name: str, text: str) -> None:
+        path = GOLDEN_DIR / f"{name}.txt"
+        if update:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text + "\n")
+            return
+        assert path.exists(), (
+            f"missing golden file {path}; run pytest with "
+            f"--update-golden to create it")
+        expected = path.read_text().rstrip("\n")
+        assert text == expected, (
+            f"trace differs from golden {path.name}; if the change is "
+            f"intentional, re-run with --update-golden and review the "
+            f"diff\n--- expected ---\n{expected}\n--- actual ---\n"
+            f"{text}")
+
+    return check
+
+
+@pytest.fixture
+def traced_db() -> Database:
+    """A tracing database on a manual clock (deterministic spans)."""
+    return Database(tracing=True, clock=ManualClock(), keep_history=True)
+
+
+@pytest.fixture
+def traced_sales_db(traced_db: Database) -> Database:
+    """The paper's Table 1 sales example, tracing enabled."""
+    traced_db.load_table(
+        "sales",
+        [("rid", "int"), ("state", "varchar"), ("city", "varchar"),
+         ("salesamt", "real")],
+        PAPER_SALES_ROWS, primary_key=["rid"])
+    return traced_db
+
+
+@pytest.fixture
+def traced_store_db(traced_db: Database) -> Database:
+    """The paper's Table 3 horizontal example, tracing enabled."""
+    data = {
+        2: {"Mo": 175, "Tu": 150, "We": 200, "Th": 225, "Fr": 400,
+            "Sa": 600, "Su": 750},
+        4: {"Tu": 360, "We": 360, "Th": 360, "Fr": 720, "Sa": 800,
+            "Su": 1400},
+        7: {"Mo": 128, "Tu": 128, "We": 64, "Th": 64, "Fr": 128,
+            "Sa": 560, "Su": 528},
+    }
+    rows = []
+    rid = 0
+    for store, per_day in data.items():
+        for day, amount in per_day.items():
+            rid += 1
+            rows.append((rid, store, day, float(amount)))
+    traced_db.load_table(
+        "sales",
+        [("rid", "int"), ("store", "int"), ("dweek", "varchar"),
+         ("salesamt", "real")],
+        rows, primary_key=["rid"])
+    return traced_db
+
+
+@pytest.fixture
+def traced_employee_db(traced_db: Database) -> Database:
+    """The companion paper's employee example, tracing enabled."""
+    rows = [
+        (1, "M", "Single", 30000.0),
+        (2, "F", "Single", 50000.0),
+        (3, "F", "Married", 40000.0),
+        (4, "M", "Single", 45000.0),
+    ]
+    traced_db.load_table(
+        "employee",
+        [("employeeid", "int"), ("gender", "varchar"),
+         ("maritalstatus", "varchar"), ("salary", "real")],
+        rows, primary_key=["employeeid"])
+    return traced_db

@@ -1,0 +1,116 @@
+"""EXPLAIN ANALYZE across its three surfaces: the SQL statement, the
+ExecutionReport of a percentage plan, and the service report."""
+
+import pytest
+
+from repro import Database
+from repro.core.execute import run_explain_analyze, run_resilient
+from repro.errors import PercentageQueryError, ServiceError
+from repro.obs.clock import ManualClock
+from repro.service import QueryService
+from repro.sql import ast
+from repro.sql.formatter import format_statement
+from repro.sql.parser import parse_statement
+
+
+class TestSQLSurface:
+    def test_parser_sets_analyze_flag(self):
+        plain = parse_statement("EXPLAIN SELECT 1")
+        analyzed = parse_statement("EXPLAIN ANALYZE SELECT 1")
+        assert isinstance(plain, ast.Explain) and not plain.analyze
+        assert isinstance(analyzed, ast.Explain) and analyzed.analyze
+
+    def test_formatter_round_trips_analyze(self):
+        statement = parse_statement("EXPLAIN ANALYZE SELECT 1")
+        text = format_statement(statement)
+        assert text.startswith("EXPLAIN ANALYZE ")
+        assert parse_statement(text) == statement
+
+    def test_output_has_plan_then_actuals(self, sales_db):
+        result = sales_db.execute(
+            "EXPLAIN ANALYZE SELECT state, sum(salesamt) FROM sales "
+            "GROUP BY state")
+        lines = [line for (line,) in result.to_rows()]
+        assert "-- actual --" in lines
+        split = lines.index("-- actual --")
+        assert any(l.startswith("scan sales") for l in lines[:split])
+        assert lines[split + 1].startswith("statement ")
+        assert any("group-by-build" in l for l in lines[split:])
+
+    def test_statement_really_executes(self, sales_db):
+        sales_db.execute(
+            "EXPLAIN ANALYZE DELETE FROM sales WHERE state = 'CA'")
+        remaining = sales_db.query(
+            "SELECT count(*) FROM sales WHERE state = 'CA'")
+        assert remaining == [(0,)]
+
+    def test_works_with_tracing_off_and_restores_state(self, sales_db):
+        assert not sales_db.tracer.enabled
+        sales_db.execute("EXPLAIN ANALYZE SELECT * FROM sales")
+        assert not sales_db.tracer.enabled
+
+    def test_plain_explain_does_not_execute(self, sales_db):
+        sales_db.execute("EXPLAIN DELETE FROM sales")
+        assert sales_db.query("SELECT count(*) FROM sales") == [(10,)]
+
+
+class TestExecutionReportSurface:
+    SQL = "SELECT state, Vpct(salesamt) FROM sales GROUP BY state"
+
+    def test_run_explain_analyze_always_has_trace(self, sales_db):
+        report = run_explain_analyze(sales_db, self.SQL)
+        text = report.explain_analyze()
+        assert text.splitlines()[0].startswith("plan: vertical")
+        assert "plan-step" in text
+        assert not sales_db.tracer.enabled  # restored
+
+    def test_untraced_report_raises(self, sales_db):
+        report = run_resilient(sales_db, self.SQL)
+        assert report.trace is None
+        with pytest.raises(PercentageQueryError, match="no trace"):
+            report.explain_analyze()
+
+    def test_traced_database_reports_traces_everywhere(self):
+        db = Database(tracing=True, clock=ManualClock())
+        db.load_table("f", [("g", "int"), ("m", "real")],
+                      [(1, 2.0), (1, 6.0), (2, 4.0)])
+        report = run_resilient(
+            db, "SELECT g, Vpct(m) FROM f GROUP BY g")
+        assert report.trace is not None
+        assert report.trace.attrs["statements"] == \
+            report.statements_run
+
+
+class TestServiceSurface:
+    def test_service_report_explain_analyze(self):
+        db = Database(tracing=True)
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("INSERT INTO t VALUES (1), (2)")
+        service = QueryService(db)
+        try:
+            report = service.execute("SELECT count(*) FROM t")
+        finally:
+            service.shutdown()
+        text = report.explain_analyze()
+        assert text.splitlines()[0].startswith("script: read")
+        assert "statement" in text
+
+    def test_untraced_service_report_raises(self):
+        service = QueryService(Database())
+        try:
+            report = service.execute("SELECT 1")
+        finally:
+            service.shutdown()
+        with pytest.raises(ServiceError, match="no trace"):
+            report.explain_analyze()
+
+    def test_write_script_traced_and_rolled_back_state(self):
+        db = Database(tracing=True)
+        db.execute("CREATE TABLE t (a INT)")
+        service = QueryService(db)
+        try:
+            report = service.execute("INSERT INTO t VALUES (7)")
+        finally:
+            service.shutdown()
+        assert report.trace.attrs["script_kind"] == "write"
+        assert report.trace.find(kind="statement")

@@ -1,0 +1,100 @@
+"""Unit tests for the metrics registry and the Prometheus exporter."""
+
+import pytest
+
+from repro.obs.metrics import (DEFAULT_BUCKETS, MetricsRegistry,
+                               global_registry, parse_prometheus)
+
+
+class TestCountersAndGauges:
+    def test_counter_get_or_create_and_inc(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.counter("hits").inc(2)
+        assert registry.value("hits") == 3
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("hits").inc(-1)
+
+    def test_labels_are_identity(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs", session="a").inc(5)
+        registry.counter("reqs", session="b").inc(7)
+        assert registry.value("reqs", session="a") == 5
+        assert registry.value("reqs", session="b") == 7
+
+    def test_type_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x")
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("inflight")
+        gauge.inc()
+        gauge.inc()
+        gauge.dec()
+        assert gauge.value == 1
+        gauge.set(9.5)
+        assert gauge.value == 9.5
+
+    def test_atomic_increment_and_consistent_read(self):
+        registry = MetricsRegistry()
+        registry.increment({"a": 2, "b": 3})
+        assert registry.read(["a", "b"]) == {"a": 2, "b": 3}
+
+    def test_zero_resets_named_counters(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(4)
+        registry.counter("b").inc(2)
+        registry.zero(["a"])
+        assert registry.value("a") == 0
+        assert registry.value("b") == 2
+
+
+class TestHistograms:
+    def test_observations_land_in_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.7, 5.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["buckets"][0.1] == 1
+        assert snap["buckets"][1.0] == 3  # cumulative
+        assert snap["inf"] == 4
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(6.25)
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+    def test_empty_buckets_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=())
+
+
+class TestPrometheusExposition:
+    def test_render_and_parse_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("engine_rows_total", help="rows").inc(12)
+        registry.gauge("inflight", session="s1").set(2)
+        registry.histogram("wait_seconds",
+                           buckets=(0.1, 1.0)).observe(0.5)
+        text = registry.render_prometheus()
+        assert "# TYPE engine_rows_total counter" in text
+        assert "# HELP engine_rows_total rows" in text
+        parsed = parse_prometheus(text)
+        assert parsed == registry.samples()
+
+    def test_label_escaping_survives(self):
+        registry = MetricsRegistry()
+        registry.counter("c", label='we"ird\nvalue').inc()
+        parsed = parse_prometheus(registry.render_prometheus())
+        assert list(parsed.values()) == [1]
+
+    def test_global_registry_is_a_singleton(self):
+        assert global_registry() is global_registry()

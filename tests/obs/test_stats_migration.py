@@ -1,0 +1,76 @@
+"""The StatsCollector -> MetricsRegistry migration: backward
+compatibility, the Prometheus view of engine counters, and the
+stale-counters-on-reopen regression the per-database registry fixes."""
+
+from repro import Database
+from repro.engine.stats import (COUNTER_NAMES, METRIC_NAMES,
+                                StatsCollector)
+
+
+class TestBackwardCompatibility:
+    def test_counter_attribute_reads_still_work(self):
+        stats = StatsCollector()
+        stats.add(rows_scanned=4, rows_joined=2)
+        assert stats.rows_scanned == 4
+        assert stats.rows_joined == 2
+        assert stats.rows_written == 0
+
+    def test_every_documented_counter_exists(self):
+        stats = StatsCollector()
+        for name in COUNTER_NAMES:
+            assert getattr(stats, name) == 0
+
+    def test_snapshot_diff_round_trip(self):
+        stats = StatsCollector()
+        stats.add(rows_scanned=10)
+        before = stats.snapshot()
+        stats.add(rows_scanned=5, rows_written=3)
+        diff = stats.diff_since(before)
+        assert diff.rows_scanned == 5
+        assert diff.rows_written == 3
+
+
+class TestRegistryView:
+    def test_engine_counters_visible_in_registry(self, sales_db):
+        sales_db.execute("SELECT * FROM sales")
+        scanned = sales_db.metrics.value(
+            METRIC_NAMES["rows_scanned"])
+        assert scanned == sales_db.stats.rows_scanned > 0
+
+    def test_prometheus_scrape_carries_engine_counters(self, sales_db):
+        sales_db.execute("SELECT * FROM sales")
+        text = sales_db.metrics.render_prometheus()
+        assert "engine_rows_scanned_total" in text
+        assert "engine_statements_total" in text
+
+
+class TestReopenRegression:
+    """A reopened database must start its counters at zero -- with
+    module-level counter state, the second instance inherited the
+    first one's totals."""
+
+    def _scan_some_rows(self) -> Database:
+        db = Database()
+        db.load_table("t", [("a", "int")], [(1,), (2,), (3,)])
+        db.execute("SELECT * FROM t")
+        return db
+
+    def test_fresh_database_starts_at_zero(self):
+        first = self._scan_some_rows()
+        assert first.stats.rows_scanned > 0
+        second = Database()
+        assert second.stats.rows_scanned == 0
+        assert second.stats.statements == 0
+
+    def test_databases_count_independently(self):
+        first = self._scan_some_rows()
+        before = first.stats.rows_scanned
+        self._scan_some_rows()  # a second database doing its own work
+        assert first.stats.rows_scanned == before
+
+    def test_reset_zeroes_registry_too(self, sales_db):
+        sales_db.execute("SELECT * FROM sales")
+        sales_db.stats.reset()
+        assert sales_db.stats.rows_scanned == 0
+        assert sales_db.metrics.value(
+            METRIC_NAMES["rows_scanned"]) == 0

@@ -1,0 +1,113 @@
+"""Property-based invariants of the tracing layer.
+
+On arbitrary generated workloads:
+
+* every span tree a traced database produces is well formed (all
+  spans closed, child intervals contained in their parents');
+* every statement span passes the charge audit -- the ``charge``
+  events beneath it sum exactly to the statement's recorded counter
+  deltas, tying the trace to the stats ledger;
+* plan traces account for the whole plan: plan-step spans carry every
+  executed statement, and the statement spans' scanned/written totals
+  sum to the query's ledger diff.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database
+from repro.core import run_percentage_query
+from repro.core.execute import run_explain_analyze
+from repro.obs.clock import ManualClock
+from repro.obs.tracer import (audit_statement_span,
+                              validate_span_tree)
+
+ROWS = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 3),
+              st.integers(1, 50)),
+    min_size=1, max_size=25)
+
+
+def load(rows) -> Database:
+    db = Database(tracing=True, clock=ManualClock())
+    db.execute("CREATE TABLE f (g INT, d INT, m REAL)")
+    values = ", ".join(f"({g}, {d}, {m})" for g, d, m in rows)
+    db.execute(f"INSERT INTO f VALUES {values}")
+    return db
+
+
+def assert_all_trees_valid(db: Database) -> None:
+    roots = db.tracer.roots()
+    assert roots, "a traced workload must produce spans"
+    for root in roots:
+        validate_span_tree(root)
+        for statement in root.find(kind="statement"):
+            audit_statement_span(statement)
+
+
+@given(ROWS)
+@settings(max_examples=40, deadline=None)
+def test_ad_hoc_statements_trace_well_formed(rows):
+    db = load(rows)
+    db.execute("SELECT g, sum(m) FROM f GROUP BY g")
+    db.execute("SELECT a.g, b.d FROM f a, f b WHERE a.g = b.g")
+    db.execute("UPDATE f SET m = m + 1 WHERE d = 0")
+    db.execute("DELETE FROM f WHERE g = 3")
+    assert_all_trees_valid(db)
+
+
+@given(ROWS)
+@settings(max_examples=25, deadline=None)
+def test_percentage_plans_trace_well_formed(rows):
+    db = load(rows)
+    run_percentage_query(db, "SELECT g, Vpct(m BY d) FROM f "
+                             "GROUP BY g, d")
+    run_percentage_query(db, "SELECT g, Hpct(m BY d) FROM f "
+                             "GROUP BY g")
+    assert_all_trees_valid(db)
+
+
+@given(ROWS)
+@settings(max_examples=25, deadline=None)
+def test_plan_trace_accounts_for_every_statement(rows):
+    db = load(rows)
+    before = db.stats.snapshot()
+    report = run_explain_analyze(
+        db, "SELECT g, Vpct(m BY d) FROM f GROUP BY g, d")
+    diff = db.stats.diff_since(before)
+    validate_span_tree(report.trace)
+    steps = report.trace.find(name="plan-step")
+    statements = report.trace.find(kind="statement")
+    # one statement span per executed plan step, none elsewhere
+    assert len(steps) == report.statements_run
+    assert len(statements) == report.statements_run
+    # the statement spans' ledgers sum to the plan's ledger diff
+    for counter in ("rows_scanned", "rows_written", "rows_joined",
+                    "rows_updated"):
+        total = sum(int(span.attrs.get(counter, 0))
+                    for span in statements)
+        assert total == getattr(diff, counter)
+    # and each statement's result size was recorded
+    for span in statements:
+        assert "result_rows" in span.attrs
+
+
+@given(ROWS)
+@settings(max_examples=20, deadline=None)
+def test_tracing_does_not_change_answers(rows):
+    """Tracing is observability only: identical results and identical
+    logical-I/O ledgers with it on or off."""
+    traced = load(rows)
+    plain = Database()
+    plain.execute("CREATE TABLE f (g INT, d INT, m REAL)")
+    values = ", ".join(f"({g}, {d}, {m})" for g, d, m in rows)
+    plain.execute(f"INSERT INTO f VALUES {values}")
+
+    sql = "SELECT g, d, Vpct(m BY d) FROM f GROUP BY g, d"
+    traced_before = traced.stats.snapshot()
+    plain_before = plain.stats.snapshot()
+    traced_rows = run_percentage_query(traced, sql).to_rows()
+    plain_rows = run_percentage_query(plain, sql).to_rows()
+    assert traced_rows == plain_rows
+    assert traced.stats.diff_since(traced_before) == \
+        plain.stats.diff_since(plain_before)
