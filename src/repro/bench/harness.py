@@ -233,13 +233,15 @@ def main(argv: Optional[list[str]] = None) -> int:
                     "machine-readable JSON report.")
     parser.add_argument("--suite",
                         choices=("encoding-cache", "concurrency",
-                                 "obs"),
+                                 "obs", "multicore"),
                         default="encoding-cache",
                         help="encoding-cache: cold/warm dictionary-"
                              "encoding sweep; concurrency: service "
                              "throughput, intra-query parallelism and "
                              "mixed read/write latency; obs: tracing "
-                             "overhead on and off")
+                             "overhead on and off; multicore: process "
+                             "vs thread vs serial backends on one "
+                             "compute-heavy aggregation")
     parser.add_argument("--out", default=None,
                         help="output path (default: BENCH_<suite>.json)")
     parser.add_argument("--employee", type=int, default=100_000)
@@ -271,6 +273,27 @@ def main(argv: Optional[list[str]] = None) -> int:
               f"{summary['intra_query_speedup_at_4_workers']} at 4 "
               f"workers, parallel bit-identical="
               f"{summary['all_parallel_results_bit_identical']}")
+        return 0
+
+    if args.suite == "multicore":
+        from repro.bench.multicore import run_multicore_benchmark
+
+        out = args.out or "BENCH_multicore.json"
+        report = run_multicore_benchmark(sales_n=args.sales,
+                                         repeats=args.repeats)
+        with open(out, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        summary = report["summary"]
+        print(f"wrote {out}: cpu_count={report['cpu_count']}, "
+              f"process x{summary['process_speedup_at_4_workers']} at "
+              f"4 workers (target met: "
+              f"{summary['speedup_target_met']}), overhead "
+              f"{summary['process_overhead_fraction'] * 100:+.1f}% "
+              f"(within 10%: "
+              f"{summary['process_overhead_within_10pct']}), "
+              f"bit-identical="
+              f"{summary['all_results_bit_identical']}")
         return 0
 
     if args.suite == "obs":

@@ -25,6 +25,7 @@ tasks here, so a pool never waits on tasks queued behind itself.
 
 from __future__ import annotations
 
+import atexit
 import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
@@ -76,6 +77,7 @@ _OPERATOR_THREAD_PREFIX = "repro-operator"
 _POOL_MAX_WORKERS = 8
 
 _pool: ThreadPoolExecutor | None = None
+_pool_pid: int | None = None
 _pool_lock = threading.Lock()
 
 
@@ -91,24 +93,42 @@ def operator_pool() -> ThreadPoolExecutor:
 
     One pool is shared by every Database/session in the process: the
     parallelism budget is a host property, not a per-connection one.
+    Keyed by pid: a forked child (the multiprocess backend's workers
+    fork) must not submit to an executor whose threads only exist in
+    the parent, so it lazily builds its own.
     """
-    global _pool
+    global _pool, _pool_pid
     with _pool_lock:
-        if _pool is None:
+        if _pool is None or _pool_pid != os.getpid():
             _pool = ThreadPoolExecutor(
                 max_workers=operator_pool_size(),
                 thread_name_prefix=_OPERATOR_THREAD_PREFIX)
+            _pool_pid = os.getpid()
         return _pool
 
 
 def shutdown_operator_pool() -> None:
-    """Tear down the shared pool (tests; a fresh one is created on next
-    use)."""
-    global _pool
+    """Tear down the shared pool (tests, atexit; a fresh one is created
+    on next use)."""
+    global _pool, _pool_pid
     with _pool_lock:
         pool, _pool = _pool, None
+        _pool_pid = None
     if pool is not None:
         pool.shutdown(wait=True)
+
+
+def _drop_inherited_pool() -> None:
+    # Threads do not survive fork: the child sees the parent's executor
+    # object but none of its workers.  Forget the handle (without
+    # shutdown -- the queues belong to the parent) and re-create lazily.
+    global _pool, _pool_pid
+    _pool = None
+    _pool_pid = None
+
+
+os.register_at_fork(after_in_child=_drop_inherited_pool)
+atexit.register(shutdown_operator_pool)
 
 
 def choose_parallel_degree(n_rows: int, requested: int,

@@ -10,6 +10,14 @@ definition, which "preserves the semantics of sum()"):
 * ``count(DISTINCT expr)`` counts distinct non-NULL values.
 * ``avg`` returns REAL; ``sum``/``min``/``max`` keep the input type
   (INTEGER sums stay INTEGER).
+
+The numpy bodies live in :mod:`repro.engine.kernels` -- the
+executor-neutral kernel layer shared with the thread-partitioned and
+multiprocess backends.  This module is the :class:`ColumnData`-facing
+adapter: it unwraps columns into raw buffers, dispatches on function
+name, and rewraps :class:`~repro.engine.kernels.PartialAggState`
+results.  Keeping exactly one implementation of each numpy sequence is
+what makes every backend bit-identical by construction.
 """
 
 from __future__ import annotations
@@ -18,17 +26,20 @@ from typing import Optional
 
 import numpy as np
 
+from repro.engine import kernels
 from repro.engine.column import ColumnData
 from repro.engine.encoding_cache import EncodingCache
 from repro.engine.groupby import PartitionedGrouping, encode_column
 from repro.engine.types import SQLType
-from repro.errors import PlanningError, TypeMismatchError
+from repro.errors import PlanningError
+
+
+def _wrap(state: kernels.PartialAggState) -> ColumnData:
+    return ColumnData(state.sql_type, state.values, state.nulls)
 
 
 def count_star(group_ids: np.ndarray, n_groups: int) -> ColumnData:
-    counts = np.bincount(group_ids, minlength=n_groups)
-    return ColumnData(SQLType.INTEGER, counts.astype(np.int64),
-                      np.zeros(n_groups, dtype=bool))
+    return _wrap(kernels.kernel_count_star(group_ids, n_groups))
 
 
 def count_star_partitioned(pgrouping: PartitionedGrouping) -> ColumnData:
@@ -94,161 +105,32 @@ def compute_aggregate(func: str, arg: ColumnData, distinct: bool,
     """
     if func == "count":
         if distinct:
-            return _count_distinct(arg, group_ids, n_groups, cache)
-        return _count(arg, group_ids, n_groups)
+            encoded = encode_column(arg, cache)
+            return _wrap(kernels.kernel_count_distinct(
+                encoded.codes, encoded.cardinality, group_ids,
+                n_groups))
+        return _wrap(kernels.kernel_count(arg.nulls, group_ids,
+                                          n_groups))
     if distinct:
         raise PlanningError(f"DISTINCT is only supported with count(), "
                             f"not {func}()")
     if func == "sum":
-        return _sum(arg, group_ids, n_groups)
+        return _wrap(kernels.kernel_sum(arg.values, arg.nulls,
+                                        arg.sql_type, group_ids,
+                                        n_groups))
     if func == "avg":
-        return _avg(arg, group_ids, n_groups)
+        return _wrap(kernels.kernel_avg(arg.values, arg.nulls,
+                                        arg.sql_type, group_ids,
+                                        n_groups))
     if func in ("min", "max"):
-        return _min_max(func, arg, group_ids, n_groups)
+        if arg.sql_type == SQLType.VARCHAR:
+            return _wrap(kernels.kernel_min_max_sorted(
+                func, arg.values, arg.nulls, group_ids, n_groups))
+        return _wrap(kernels.kernel_min_max(func, arg.values, arg.nulls,
+                                            arg.sql_type, group_ids,
+                                            n_groups))
     if func in ("var", "stdev"):
-        return _var_stdev(func, arg, group_ids, n_groups)
+        return _wrap(kernels.kernel_var_stdev(
+            func, arg.values, arg.nulls, arg.sql_type, group_ids,
+            n_groups))
     raise PlanningError(f"unknown aggregate function {func}()")
-
-
-# ----------------------------------------------------------------------
-def _count(arg: ColumnData, group_ids: np.ndarray,
-           n_groups: int) -> ColumnData:
-    valid = ~arg.nulls
-    counts = np.bincount(group_ids[valid], minlength=n_groups)
-    return ColumnData(SQLType.INTEGER, counts.astype(np.int64),
-                      np.zeros(n_groups, dtype=bool))
-
-
-def _count_distinct(arg: ColumnData, group_ids: np.ndarray,
-                    n_groups: int,
-                    cache: Optional[EncodingCache] = None) -> ColumnData:
-    encoded = encode_column(arg, cache)
-    valid = encoded.codes != 0
-    if not valid.any():
-        zeros = np.zeros(n_groups, dtype=np.int64)
-        return ColumnData(SQLType.INTEGER, zeros,
-                          np.zeros(n_groups, dtype=bool))
-    pairs = group_ids[valid] * np.int64(encoded.cardinality) \
-        + encoded.codes[valid]
-    unique_pairs = np.unique(pairs)
-    owner = unique_pairs // np.int64(encoded.cardinality)
-    counts = np.bincount(owner, minlength=n_groups)
-    return ColumnData(SQLType.INTEGER, counts.astype(np.int64),
-                      np.zeros(n_groups, dtype=bool))
-
-
-def _numeric_or_raise(func: str, arg: ColumnData) -> None:
-    if arg.sql_type is None or not arg.sql_type.is_numeric:
-        raise TypeMismatchError(
-            f"{func}() requires a numeric argument, got {arg.sql_type}")
-
-
-def _sum(arg: ColumnData, group_ids: np.ndarray,
-         n_groups: int) -> ColumnData:
-    _numeric_or_raise("sum", arg)
-    valid = ~arg.nulls
-    weights = arg.values.astype(np.float64)
-    sums = np.bincount(group_ids[valid], weights=weights[valid],
-                       minlength=n_groups)
-    non_null = np.bincount(group_ids[valid], minlength=n_groups)
-    nulls = non_null == 0
-    if arg.sql_type == SQLType.INTEGER:
-        values = np.rint(sums).astype(np.int64)
-        return ColumnData(SQLType.INTEGER, values, nulls)
-    return ColumnData(SQLType.REAL, sums, nulls)
-
-
-def _avg(arg: ColumnData, group_ids: np.ndarray,
-         n_groups: int) -> ColumnData:
-    _numeric_or_raise("avg", arg)
-    valid = ~arg.nulls
-    weights = arg.values.astype(np.float64)
-    sums = np.bincount(group_ids[valid], weights=weights[valid],
-                       minlength=n_groups)
-    non_null = np.bincount(group_ids[valid], minlength=n_groups)
-    nulls = non_null == 0
-    with np.errstate(divide="ignore", invalid="ignore"):
-        values = np.where(nulls, 0.0, sums / np.where(nulls, 1, non_null))
-    return ColumnData(SQLType.REAL, values, nulls)
-
-
-def _var_stdev(func: str, arg: ColumnData, group_ids: np.ndarray,
-               n_groups: int) -> ColumnData:
-    """Sample variance / standard deviation (n - 1 denominator, as SQL
-    VAR_SAMP/STDDEV_SAMP); NULL for groups with fewer than two non-NULL
-    inputs.  These are the 'non-standard statistical extensions' the
-    companion paper's introduction mentions."""
-    _numeric_or_raise(func, arg)
-    valid = ~arg.nulls
-    values = arg.values.astype(np.float64)
-    counts = np.bincount(group_ids[valid], minlength=n_groups)
-    sums = np.bincount(group_ids[valid], weights=values[valid],
-                       minlength=n_groups)
-    squares = np.bincount(group_ids[valid],
-                          weights=values[valid] ** 2,
-                          minlength=n_groups)
-    nulls = counts < 2
-    safe_counts = np.where(nulls, 2, counts)
-    with np.errstate(divide="ignore", invalid="ignore"):
-        variance = (squares - sums ** 2 / safe_counts) \
-            / (safe_counts - 1)
-    variance = np.maximum(variance, 0.0)  # guard tiny negatives
-    if func == "stdev":
-        variance = np.sqrt(variance)
-    variance = np.where(nulls, 0.0, variance)
-    return ColumnData(SQLType.REAL, variance, nulls)
-
-
-def _min_max(func: str, arg: ColumnData, group_ids: np.ndarray,
-             n_groups: int) -> ColumnData:
-    valid = ~arg.nulls
-    nulls = np.bincount(group_ids[valid], minlength=n_groups) == 0
-    if arg.sql_type == SQLType.VARCHAR:
-        return _min_max_sorted(func, arg, group_ids, n_groups, valid,
-                               nulls)
-    values = arg.values
-    if func == "min":
-        out = np.full(n_groups, _max_sentinel(arg.sql_type),
-                      dtype=arg.sql_type.numpy_dtype)
-        np.minimum.at(out, group_ids[valid], values[valid])
-    else:
-        out = np.full(n_groups, _min_sentinel(arg.sql_type),
-                      dtype=arg.sql_type.numpy_dtype)
-        np.maximum.at(out, group_ids[valid], values[valid])
-    out[nulls] = 0
-    return ColumnData(arg.sql_type, out, nulls)
-
-
-def _min_max_sorted(func: str, arg: ColumnData, group_ids: np.ndarray,
-                    n_groups: int, valid: np.ndarray,
-                    nulls: np.ndarray) -> ColumnData:
-    """min/max for VARCHAR via a (group, value) sort."""
-    ids = group_ids[valid]
-    values = arg.values[valid]
-    value_order = np.argsort(values, kind="stable")
-    order = value_order[np.argsort(ids[value_order], kind="stable")]
-    sorted_ids = ids[order]
-    boundaries = np.ones(len(order), dtype=bool)
-    if func == "min":
-        boundaries[1:] = sorted_ids[1:] != sorted_ids[:-1]
-        pick_ids = sorted_ids[boundaries]
-        pick_values = values[order][boundaries]
-    else:
-        boundaries[:-1] = sorted_ids[:-1] != sorted_ids[1:]
-        pick_ids = sorted_ids[boundaries]
-        pick_values = values[order][boundaries]
-    out = np.full(n_groups, "", dtype=object)
-    out[pick_ids] = pick_values
-    return ColumnData(SQLType.VARCHAR, out, nulls)
-
-
-def _max_sentinel(sql_type: SQLType):
-    if sql_type == SQLType.INTEGER:
-        return np.iinfo(np.int64).max
-    return np.inf
-
-
-def _min_sentinel(sql_type: SQLType):
-    if sql_type == SQLType.INTEGER:
-        return np.iinfo(np.int64).min
-    return -np.inf

@@ -66,11 +66,21 @@ class ExecutorOptions:
         results and logical-I/O counters are identical either way.
     ``parallel_degree`` / ``parallel_row_threshold``:
         intra-query parallelism: aggregations over at least
-        ``parallel_row_threshold`` input rows hash-partition on the
-        grouping key and fan out over up to ``parallel_degree``
-        workers of the shared operator pool.  Results are bit-identical
-        to serial execution (each partition holds complete groups in
-        original row order), so this is a wall-clock knob only.
+        ``parallel_row_threshold`` input rows fan out over up to
+        ``parallel_degree`` workers.  Results are bit-identical to
+        serial execution on every backend, so this is a wall-clock
+        knob only.
+    ``parallel_backend``:
+        which substrate runs the fan-out: ``"thread"`` (default)
+        hash-partitions over the shared operator thread pool;
+        ``"process"`` dispatches group-aligned morsels to the worker
+        *process* pool over shared-memory column blocks (GIL-free --
+        see docs/parallelism.md); ``"serial"`` disables parallel
+        aggregation regardless of ``parallel_degree``.
+    ``morsel_rows``:
+        target rows per process-backend morsel.  Smaller morsels
+        improve load balancing on skewed groups; larger morsels
+        amortize per-task dispatch overhead.
     """
 
     case_dispatch: str = "linear"
@@ -78,11 +88,20 @@ class ExecutorOptions:
     use_encoding_cache: bool = True
     parallel_degree: int = 1
     parallel_row_threshold: int = 20_000
+    parallel_backend: str = "thread"
+    morsel_rows: int = 8192
 
 
 #: Default row count below which parallel aggregation is not worth the
 #: fan-out overhead (mirrors ``ExecutorOptions.parallel_row_threshold``).
 DEFAULT_PARALLEL_ROW_THRESHOLD = 20_000
+
+#: Parallel execution substrates (``ExecutorOptions.parallel_backend``).
+PARALLEL_BACKENDS = ("serial", "thread", "process")
+
+#: Default target rows per process-backend morsel (mirrors
+#: ``ExecutorOptions.morsel_rows``).
+DEFAULT_MORSEL_ROWS = 8192
 
 
 @dataclass
@@ -195,6 +214,15 @@ class Executor:
     def note_parallel_degree(self, degree: int) -> None:
         current = getattr(self._parallel_local, "observed", 1)
         self._parallel_local.observed = max(current, int(degree))
+
+    def _note_thread_parallel(self, degree: int) -> None:
+        """Observation plus the per-backend task counter for thread
+        fan-outs (the process backend counts its own dispatches)."""
+        self.note_parallel_degree(degree)
+        self.stats.registry.counter(
+            "engine_parallel_tasks_total",
+            help="parallel tasks dispatched, by backend",
+            backend="thread").inc(int(degree))
 
     def parallel_degree_observed(self) -> int:
         """The widest fan-out any operator on this thread used since
@@ -537,15 +565,20 @@ class Executor:
                        for e in group_exprs]
         with self.tracer.span("group-by-build", kind="operator",
                               input_rows=frame.n_rows) as build_span:
-            degree = self._parallel_degree_for(frame.n_rows)
+            backend = self.options.parallel_backend
+            degree = 1 if backend == "serial" \
+                else self._parallel_degree_for(frame.n_rows)
             pgrouping: Optional[PartitionedGrouping] = None
-            if degree > 1:
+            if degree > 1 and backend == "thread":
+                # The process backend factorizes serially: its fan-out
+                # unit is the group-aligned morsel, planned after the
+                # grouping exists (see _compute_aggregates).
                 pgrouping = factorize_partitioned(
                     key_columns, frame.n_rows, self.encoding_cache,
                     degree)
             if pgrouping is not None:
                 grouping = pgrouping.grouping
-                self.note_parallel_degree(pgrouping.degree)
+                self._note_thread_parallel(pgrouping.degree)
             else:
                 grouping = factorize(key_columns, frame.n_rows,
                                      self.encoding_cache)
@@ -632,18 +665,29 @@ class Executor:
         enabled, disjoint pivot-style CASE aggregations are computed in
         one factorize pass instead of N masked passes.  With a
         partitioned grouping, per-spec aggregation fans out over the
-        operator pool (bit-identical merge by scatter)."""
+        operator pool (bit-identical merge by scatter); with the
+        process backend, all eligible aggregates ship to worker
+        processes in one shared-memory dispatch."""
         handled: set[int] = set()
+        use_process = (parallel_degree > 1
+                       and self.options.parallel_backend == "process")
+        process_agg = self._process_agg_hook() if use_process else None
         if self.options.case_dispatch == "hash":
             with self.tracer.span("pivot", kind="operator") as span:
                 handled = pivot_mod.compute_pivot_aggregates(
                     agg_specs, frame, grouping, group_frame, self.stats,
                     self.encoding_cache,
-                    parallel_degree=parallel_degree,
-                    on_parallel=self.note_parallel_degree)
+                    parallel_degree=1 if use_process
+                    else parallel_degree,
+                    on_parallel=self._note_thread_parallel,
+                    process_agg=process_agg)
                 if span is not None:
                     span.attrs["aggregates"] = len(handled)
                     span.attrs["groups"] = grouping.n_groups
+        if use_process:
+            self._compute_aggregates_process(agg_specs, frame, grouping,
+                                             group_frame, handled)
+            return
         for i, spec in enumerate(agg_specs):
             if i in handled:
                 continue
@@ -670,6 +714,55 @@ class Executor:
                         spec.name, _concrete(arg), spec.distinct,
                         grouping.group_ids, grouping.n_groups,
                         self.encoding_cache)
+            group_frame.add_column(f"__agg{i}", data)
+
+    def _process_agg_hook(self):
+        """The batch-aggregation closure handed to operators that run
+        on the multiprocess backend (currently the pivot family)."""
+        from repro.engine import process_backend
+
+        def process_agg(items, group_ids, n_groups):
+            return process_backend.run_grouped_aggregates(
+                items, group_ids, n_groups, None,
+                morsel_rows=self.options.morsel_rows,
+                metrics=self.stats.registry, tracer=self.tracer,
+                on_parallel=self.note_parallel_degree)
+
+        return process_agg
+
+    def _compute_aggregates_process(self, agg_specs: list[ast.FuncCall],
+                                    frame: Frame, grouping, group_frame,
+                                    handled: set[int]) -> None:
+        """Process-backend aggregation: evaluate every argument
+        expression here (exactly once, charging stats as serial does),
+        then ship the whole batch in one shared-memory dispatch.
+        Ineligible aggregates are computed locally inside the backend,
+        so results and errors match the serial path."""
+        from repro.engine import process_backend
+
+        items: list[tuple] = []
+        for i, spec in enumerate(agg_specs):
+            if i in handled:
+                continue
+            if spec.args and isinstance(spec.args[0], ast.Star):
+                if spec.name != "count":
+                    raise PlanningError(
+                        f"{spec.name}(*) is not valid; only count(*)")
+                items.append((i, "count", None, False))
+            else:
+                if len(spec.args) != 1:
+                    raise PlanningError(
+                        f"{spec.name}() takes exactly one argument")
+                arg = evaluate(spec.args[0], frame, self.stats)
+                items.append((i, spec.name, _concrete(arg),
+                              spec.distinct))
+        results = process_backend.run_grouped_aggregates(
+            items, grouping.group_ids, grouping.n_groups,
+            self.encoding_cache,
+            morsel_rows=self.options.morsel_rows,
+            metrics=self.stats.registry, tracer=self.tracer,
+            on_parallel=self.note_parallel_degree)
+        for i, data in results.items():
             group_frame.add_column(f"__agg{i}", data)
 
     def _resolve_group_by(self, select: ast.Select) -> list[ast.Expr]:

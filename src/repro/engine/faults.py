@@ -45,7 +45,7 @@ from repro.obs.metrics import global_registry
 #: statement boundary of a generated plan (see core.execute); the rest
 #: fire inside the named operator.
 SITES = ("statement", "join-build", "group-by", "pivot",
-         "encoding-cache")
+         "encoding-cache", "process-worker")
 
 #: Fault kinds and the exception class each raises.
 ERROR_KINDS = {

@@ -1,0 +1,277 @@
+"""The multiprocess (GIL-free) grouped-aggregate backend.
+
+Dataflow for one dispatch::
+
+    coordinator                               workers (forked pool)
+    -----------                               --------------------
+    plan_morsels(group_ids)          .
+    export SharedColumnBlock  ---->  attach (zero-copy views)
+    fire("process-worker")           rows = order[lo:hi]
+    dispatch one task/morsel  ---->  run kernels over [g_lo, g_hi)
+    collect partial states    <----  PartialAggState (O(groups))
+    merge: out[g_lo:g_hi] = partial
+    finally: block.close()  (unlink on every exit path)
+
+Bit-identity argument: morsels are contiguous ranges of the *stable*
+group-sorted row permutation, cut only on group boundaries
+(:func:`repro.engine.kernels.plan_morsels`).  Every group therefore
+lands whole in exactly one morsel with its rows in original relative
+order, each kernel accumulates a group's addends in the serial order,
+and the merge is a disjoint slice assignment -- so sums (including
+float sums), averages and variances match the serial backend to the
+last bit, by construction rather than by tolerance.
+
+Eligibility: an aggregate ships to workers only when its inputs cross
+the process boundary losslessly -- ``count(*)``/``count``/``count
+DISTINCT`` always (DISTINCT arguments are dictionary-encoded **on the
+coordinator** with the ordinary encoding cache, so cache charges match
+the serial path; only int64 codes are exported), and
+sum/avg/var/stdev/min/max for INTEGER/REAL arguments.  Everything else
+(VARCHAR min/max, BOOLEAN arithmetic, unknown functions) is computed
+locally with the serial implementation so results *and errors* are
+identical on every backend.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import nullcontext
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.engine import faults, kernels
+from repro.engine.aggregates import compute_aggregate, count_star
+from repro.engine.column import ColumnData
+from repro.engine.encoding_cache import EncodingCache
+from repro.engine.groupby import encode_column
+from repro.engine.procpool import process_pool
+from repro.engine.shm import AttachedBlock, SharedColumnBlock
+from repro.engine.types import SQLType
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+#: Worker entry point, resolved by the pool via importlib.
+_WORKER_TARGET = "repro.engine.process_backend:execute_morsel_task"
+
+#: SQL types whose buffers cross the process boundary losslessly.
+_SHIPPABLE = (SQLType.INTEGER, SQLType.REAL)
+
+
+def _classify(func: str, arg: Optional[ColumnData],
+              distinct: bool) -> Optional[str]:
+    """The worker-side kernel kind for one aggregate, or ``None`` when
+    it must be computed locally (see the module docstring)."""
+    if func == "count":
+        if arg is None:
+            return None if distinct else "count_star"
+        return "count_distinct" if distinct else "count"
+    if distinct:
+        return None  # DISTINCT sum() etc. -> local, identical error
+    if func in ("sum", "avg", "var", "stdev", "min", "max"):
+        if arg is not None and arg.sql_type in _SHIPPABLE:
+            return "numeric"
+    return None
+
+
+def _compute_local(func: str, arg: Optional[ColumnData], distinct: bool,
+                   group_ids: np.ndarray, n_groups: int,
+                   cache: Optional[EncodingCache]) -> ColumnData:
+    if func == "count" and arg is None and not distinct:
+        return count_star(group_ids, n_groups)
+    if arg is None:
+        # Serial raises inside compute_aggregate's callers for star
+        # forms of non-count functions; mirror by passing through.
+        from repro.errors import PlanningError
+        raise PlanningError(f"{func}(*) is not valid; only count(*) "
+                            f"may take *")
+    return compute_aggregate(func, arg, distinct, group_ids, n_groups,
+                             cache)
+
+
+def run_grouped_aggregates(
+        items: list, group_ids: np.ndarray, n_groups: int,
+        cache: Optional[EncodingCache] = None, *,
+        morsel_rows: int,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        on_parallel: Optional[Callable[[int], None]] = None) -> dict:
+    """Compute every ``(key, func, arg, distinct)`` in ``items`` over
+    one grouping, using worker processes where eligible.
+
+    Returns ``{key: ColumnData}`` for **all** items -- ineligible ones
+    are computed locally, so the caller never needs a fallback path
+    and argument expressions are evaluated exactly once (by the
+    caller, before this runs).  With too few rows to split
+    (:func:`~repro.engine.kernels.plan_morsels` returns ``None``) the
+    whole batch runs locally and is still bit-identical.
+    """
+    results: dict = {}
+    if not items:
+        return results
+    plan = kernels.plan_morsels(group_ids, n_groups, morsel_rows)
+    kinds = {key: _classify(func, arg, distinct)
+             for key, func, arg, distinct in items}
+    shipped = [(key, func, arg, distinct)
+               for key, func, arg, distinct in items
+               if kinds[key] is not None]
+    if plan is None or not shipped:
+        for key, func, arg, distinct in items:
+            results[key] = _compute_local(func, arg, distinct,
+                                          group_ids, n_groups, cache)
+        return results
+
+    # ------------------------------------------------------------------
+    # Build the export: the shared row permutation plus each shipped
+    # aggregate's buffers (dictionary codes for DISTINCT, encoded here
+    # on the coordinator so the cache is charged exactly as in serial).
+    # ------------------------------------------------------------------
+    arrays: dict[str, np.ndarray] = {
+        "__order": plan.order,
+        "__gids": plan.sorted_group_ids.astype(np.int64),
+    }
+    requests: list[tuple] = []
+    merge_types: dict = {}
+    for key, func, arg, distinct in shipped:
+        kind = kinds[key]
+        arg_type = arg.sql_type if arg is not None else None
+        cardinality = 0
+        if kind == "count":
+            arrays[f"n{key}"] = arg.nulls
+        elif kind == "count_distinct":
+            encoded = encode_column(arg, cache)
+            arrays[f"c{key}"] = encoded.codes.astype(np.int64)
+            cardinality = encoded.cardinality
+        elif kind == "numeric":
+            arrays[f"v{key}"] = arg.values
+            arrays[f"n{key}"] = arg.nulls
+        requests.append((key, func, kind, arg_type, cardinality))
+        merge_types[key] = kernels.result_sql_type(func, arg_type)
+
+    pool = process_pool()
+    block = SharedColumnBlock.export(arrays)
+    try:
+        # The fault site fires *after* export so an injected failure
+        # exercises exactly the path a real dispatch error takes:
+        # unwind through this finally and unlink the segment.
+        faults.fire("process-worker")
+        if metrics is not None:
+            metrics.counter(
+                "engine_shm_bytes_exported",
+                help="bytes copied into shared-memory column blocks",
+            ).inc(block.nbytes)
+            metrics.counter(
+                "engine_parallel_tasks_total",
+                help="parallel tasks dispatched, by backend",
+                backend="process").inc(plan.degree)
+            metrics.gauge(
+                "engine_worker_pool_saturation",
+                help="tasks of the last process dispatch per pool "
+                     "worker (>1 means queuing)",
+            ).set(plan.degree / pool.size)
+        payloads = [(block.descriptor, m.lo, m.hi, m.g_lo, m.g_hi,
+                     requests) for m in plan.morsels]
+        span_ctx = tracer.span(
+            "process-dispatch", "parallel", backend="process",
+            morsels=plan.degree, workers=pool.size,
+            shm_bytes=block.nbytes,
+        ) if tracer is not None else nullcontext()
+        with span_ctx as dispatch_span:
+            task_results = pool.run_batch(_WORKER_TARGET, payloads)
+            if tracer is not None:
+                for morsel, task in zip(plan.morsels, task_results):
+                    with tracer.span_under(
+                            dispatch_span, "process-morsel",
+                            "parallel", worker_pid=task["pid"],
+                            worker_seconds=round(task["seconds"], 6),
+                            rows=morsel.n_rows,
+                            groups=morsel.n_groups):
+                        pass
+    finally:
+        block.close()
+
+    if on_parallel is not None:
+        on_parallel(min(plan.degree, pool.size))
+
+    # ------------------------------------------------------------------
+    # Merge.  Buffers are allocated from the *declared* result type --
+    # never a partial's dtype, which np.bincount degrades to int64 for
+    # empty/all-NULL morsels -- and filled by disjoint slice
+    # assignment over each morsel's contiguous group range.
+    # ------------------------------------------------------------------
+    merged_values: dict = {}
+    merged_nulls: dict = {}
+    for key, _, _, _, _ in requests:
+        merged_values[key] = np.zeros(
+            n_groups, dtype=merge_types[key].numpy_dtype)
+        merged_nulls[key] = np.zeros(n_groups, dtype=bool)
+    for morsel, task in zip(plan.morsels, task_results):
+        for key, state in task["partials"]:
+            merged_values[key][morsel.g_lo:morsel.g_hi] = state.values
+            merged_nulls[key][morsel.g_lo:morsel.g_hi] = state.nulls
+    for key, func, arg, distinct in items:
+        if kinds[key] is None:
+            results[key] = _compute_local(func, arg, distinct,
+                                          group_ids, n_groups, cache)
+        else:
+            results[key] = ColumnData(merge_types[key],
+                                      merged_values[key],
+                                      merged_nulls[key])
+    return results
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def execute_morsel_task(payload: tuple) -> dict:
+    """Run every requested kernel over one morsel (worker process).
+
+    ``payload`` is ``(descriptor, lo, hi, g_lo, g_hi, requests)``;
+    rows are gathered through the shared ``__order`` permutation so
+    each group's addends keep their serial accumulation order.
+    Attaching to an already-unlinked segment raises
+    ``FileNotFoundError`` -- the intended fail-fast for stale-epoch
+    tasks -- which the pool ships back and the epoch check discards.
+    """
+    descriptor, lo, hi, g_lo, g_hi, requests = payload
+    started = time.perf_counter()
+    partials: list[tuple] = []
+    with AttachedBlock(descriptor) as block:
+        rows = block.array("__order")[lo:hi]
+        # Arithmetic materializes a private array: no view survives
+        # past block.close().
+        local_gids = block.array("__gids")[lo:hi] - np.int64(g_lo)
+        n_local = g_hi - g_lo
+        for key, func, kind, arg_type, cardinality in requests:
+            if kind == "count_star":
+                state = kernels.kernel_count_star(local_gids, n_local)
+            elif kind == "count":
+                nulls = block.array(f"n{key}")[rows]
+                state = kernels.kernel_count(nulls, local_gids,
+                                             n_local)
+            elif kind == "count_distinct":
+                codes = block.array(f"c{key}")[rows]
+                state = kernels.kernel_count_distinct(
+                    codes, cardinality, local_gids, n_local)
+            else:  # numeric
+                values = block.array(f"v{key}")[rows]
+                nulls = block.array(f"n{key}")[rows]
+                if func == "sum":
+                    state = kernels.kernel_sum(values, nulls, arg_type,
+                                               local_gids, n_local)
+                elif func == "avg":
+                    state = kernels.kernel_avg(values, nulls, arg_type,
+                                               local_gids, n_local)
+                elif func in ("var", "stdev"):
+                    state = kernels.kernel_var_stdev(
+                        func, values, nulls, arg_type, local_gids,
+                        n_local)
+                else:  # min/max
+                    state = kernels.kernel_min_max(
+                        func, values, nulls, arg_type, local_gids,
+                        n_local)
+            partials.append((key, state))
+    return {"pid": os.getpid(),
+            "seconds": time.perf_counter() - started,
+            "partials": partials}

@@ -77,6 +77,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="add partition-parallel engine variants "
                              "(2 workers, row threshold 0); they must "
                              "match the serial variants bit-for-bit")
+    parser.add_argument("--backend", action="append",
+                        choices=("serial", "thread", "process"),
+                        default=None, metavar="BACKEND",
+                        help="add engine variants pinned to this "
+                             "parallel backend (repeatable; serial, "
+                             "thread or process).  Process variants "
+                             "use 2-row morsels so tiny tables still "
+                             "fan out over shared memory, and any "
+                             "segment leaked after a case counts as "
+                             "a divergence")
     parser.add_argument("--trace", action="store_true",
                         help="run engine variants on traced databases "
                              "and validate every trace (well-formed "
@@ -118,7 +128,8 @@ def _fuzz(args: argparse.Namespace) -> int:
         families[case.family] += 1
         result = run_case(case, inject_bug=args.inject_bug,
                           case_timeout=args.case_timeout,
-                          parallel=args.parallel, trace=args.trace)
+                          parallel=args.parallel, trace=args.trace,
+                          backends=tuple(args.backend or ()))
         if result.divergent:
             divergences += 1
             _report(case, result, args)
@@ -138,12 +149,15 @@ def _fuzz(args: argparse.Namespace) -> int:
 
 def _report(case: FuzzCase, result, args: argparse.Namespace) -> None:
     print(f"DIVERGENCE at case {case.index}: {result.explanation}")
+    backends = tuple(args.backend or ())
     minimized = reduce_case(
         case, lambda c: run_case(c, args.inject_bug,
                                  parallel=args.parallel,
-                                 trace=args.trace).divergent)
+                                 trace=args.trace,
+                                 backends=backends).divergent)
     final = run_case(minimized, inject_bug=args.inject_bug,
-                     parallel=args.parallel, trace=args.trace)
+                     parallel=args.parallel, trace=args.trace,
+                     backends=backends)
     path = save_repro(
         minimized, Path(args.out),
         description=f"minimized divergence (seed={case.seed}, "
@@ -182,7 +196,8 @@ def _replay(args: argparse.Namespace) -> int:
     for path, case, expect in load_corpus(args.replay):
         total += 1
         result = run_case(case, parallel=args.parallel,
-                          trace=args.trace)
+                          trace=args.trace,
+                          backends=tuple(args.backend or ()))
         verdict = "divergent" if result.divergent else "consistent"
         ok = verdict == expect
         status = "ok" if ok else f"FAIL (expected {expect}, got {verdict})"

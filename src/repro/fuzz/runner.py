@@ -32,10 +32,11 @@ criterion.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Sequence
 
 from repro.api.database import Database
 from repro.core import plan as plan_mod
+from repro.engine import shm
 from repro.core.execute import execute_plan, generate_plan
 from repro.core.hagg import HorizontalAggStrategy
 from repro.core.horizontal import HorizontalStrategy
@@ -101,7 +102,8 @@ def run_case(case: FuzzCase,
              inject_bug: Optional[str] = None,
              case_timeout: Optional[float] = None,
              parallel: bool = False,
-             trace: bool = False) -> CaseResult:
+             trace: bool = False,
+             backends: Sequence[str] = ()) -> CaseResult:
     """Evaluate every variant and compare outcomes pairwise.
 
     ``case_timeout`` puts every engine variant under the resource
@@ -115,6 +117,14 @@ def run_case(case: FuzzCase,
     path); they must agree bit-for-bit with the serial variants and
     the oracle.
 
+    ``backends`` adds one engine variant per named parallel backend
+    (``serial``/``thread``/``process``), each with 2 workers, a zero
+    row threshold and -- for the process backend -- a 2-row morsel
+    target, so even the fuzzer's tiny tables actually fan out.  All
+    must agree bit-for-bit.  When ``process`` is among them, a
+    shared-memory segment left live after the case counts as a
+    divergence (the leaked names are reclaimed and reported).
+
     ``trace`` runs every engine variant on a traced database and
     checks the trace after each successful run: every span tree must
     be well formed, every statement span must pass the charge audit,
@@ -124,8 +134,16 @@ def run_case(case: FuzzCase,
     """
     result = CaseResult(case=case)
     for name, thunk in _variants(case, inject_bug, case_timeout,
-                                 parallel, trace):
+                                 parallel, trace, backends):
         result.variants.append(_evaluate(name, thunk))
+    if "process" in backends:
+        leaked = shm.live_segment_names()
+        if leaked:
+            shm.force_unlink_all()
+            result.divergent = True
+            result.explanation = (f"leaked shared-memory segment(s): "
+                                  f"{', '.join(leaked)}")
+            return result
     comparable = [v for v in result.variants if v.status != "timeout"]
     if not comparable:
         return result
@@ -262,15 +280,31 @@ def _sqlite_direct_rows(case: FuzzCase) -> list:
 _PARALLEL_KW: dict[str, Any] = {"parallel_workers": 2,
                                 "parallel_row_threshold": 0}
 
+#: Engine options per ``--backend`` variant.  The process backend gets
+#: a 2-row morsel target so the fuzzer's tiny tables still split into
+#: multiple morsels and exercise shared-memory dispatch + merge.
+_BACKEND_KW: dict[str, dict[str, Any]] = {
+    "serial": {"parallel_workers": 2, "parallel_row_threshold": 0,
+               "parallel_backend": "serial"},
+    "thread": {"parallel_workers": 2, "parallel_row_threshold": 0},
+    "process": {"parallel_workers": 2, "parallel_row_threshold": 0,
+                "parallel_backend": "process", "morsel_rows": 2},
+}
+
 
 def _variants(case: FuzzCase, inject_bug: Optional[str],
               case_timeout: Optional[float] = None,
               parallel: bool = False,
-              trace: bool = False
+              trace: bool = False,
+              backends: Sequence[str] = ()
               ) -> list[tuple[str, Callable[[], list]]]:
     if inject_bug is not None and inject_bug not in INJECTABLE_BUGS:
         raise ValueError(f"unknown injectable bug {inject_bug!r}; "
                          f"known: {', '.join(INJECTABLE_BUGS)}")
+    unknown = [b for b in backends if b not in _BACKEND_KW]
+    if unknown:
+        raise ValueError(f"unknown backend(s) {', '.join(unknown)}; "
+                         f"known: {', '.join(_BACKEND_KW)}")
     # Engine variants run under the governor's wall-clock budget; the
     # sqlite oracle has no governor, so only plan *generation* of the
     # replay variants is affected.
@@ -286,6 +320,11 @@ def _variants(case: FuzzCase, inject_bug: Optional[str],
                 ("engine:join-insert-parallel",
                  lambda: _strategy_rows(case, VerticalStrategy(),
                                         **_PARALLEL_KW, **kw)))
+        for backend in backends:
+            variants.append(
+                (f"engine:join-insert-{backend}",
+                 lambda b=backend: _strategy_rows(
+                     case, VerticalStrategy(), **_BACKEND_KW[b], **kw)))
         return variants
     if case.family in ("hpct", "hagg"):
         variants = _horizontal_variants(case, kw)
@@ -305,6 +344,17 @@ def _variants(case: FuzzCase, inject_bug: Optional[str],
                                         case_dispatch="hash",
                                         **_PARALLEL_KW, **kw)),
             ]
+        for backend in backends:
+            variants += [
+                (f"engine:case-direct-{backend}",
+                 lambda b=backend: _strategy_rows(
+                     case, HorizontalStrategy(source="F"),
+                     **_BACKEND_KW[b], **kw)),
+                (f"engine:case-direct-hash-{backend}",
+                 lambda b=backend: _strategy_rows(
+                     case, HorizontalStrategy(source="F"),
+                     case_dispatch="hash", **_BACKEND_KW[b], **kw)),
+            ]
         return variants
     variants = [
         ("engine:direct", lambda: _direct_rows(case, **kw)),
@@ -314,6 +364,11 @@ def _variants(case: FuzzCase, inject_bug: Optional[str],
         variants.insert(
             1, ("engine:direct-parallel",
                 lambda: _direct_rows(case, **_PARALLEL_KW, **kw)))
+    for backend in backends:
+        variants.append(
+            (f"engine:direct-{backend}",
+             lambda b=backend: _direct_rows(case, **_BACKEND_KW[b],
+                                            **kw)))
     return variants
 
 

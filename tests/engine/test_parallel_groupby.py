@@ -145,7 +145,8 @@ class TestExplain:
         lines = [row[0] for row in db.query(
             "EXPLAIN SELECT d, sum(a) FROM t GROUP BY d")]
         parallel_lines = [l for l in lines if l.startswith("parallel:")]
-        assert parallel_lines == ["parallel: degree=4 (row threshold 1)"]
+        assert parallel_lines == [
+            "parallel: degree=4 backend=thread (row threshold 1)"]
         governor_at = next(i for i, l in enumerate(lines)
                            if l.startswith("governor:"))
         assert lines.index(parallel_lines[0]) < governor_at

@@ -1,0 +1,92 @@
+"""Shared-memory block transport: roundtrip fidelity, the exporter's
+unlink-on-close guarantee, the leak oracle, and the fail-fast behavior
+of stale attaches."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import shm
+from repro.engine.shm import AttachedBlock, SharedColumnBlock
+
+
+def _sample_arrays():
+    return {
+        "order": np.arange(10, dtype=np.int64),
+        "values": np.linspace(0.0, 1.0, 10),
+        "nulls": np.array([i % 3 == 0 for i in range(10)]),
+    }
+
+
+class TestRoundtrip:
+    def test_export_attach_roundtrip(self):
+        arrays = _sample_arrays()
+        with SharedColumnBlock.export(arrays) as block:
+            with AttachedBlock(block.descriptor) as attached:
+                for name, original in arrays.items():
+                    view = attached.array(name)
+                    assert view.dtype == original.dtype
+                    assert np.array_equal(view, original)
+
+    def test_single_segment_per_block(self):
+        with SharedColumnBlock.export(_sample_arrays()) as block:
+            assert shm.live_segment_names() == [block.name]
+            assert block.nbytes == sum(a.nbytes for a in
+                                       _sample_arrays().values())
+
+    def test_empty_arrays_export(self):
+        arrays = {"order": np.empty(0, dtype=np.int64)}
+        with SharedColumnBlock.export(arrays) as block:
+            with AttachedBlock(block.descriptor) as attached:
+                assert len(attached.array("order")) == 0
+
+    def test_object_dtype_rejected(self):
+        arrays = {"names": np.array(["a", "b"], dtype=object)}
+        with pytest.raises(TypeError, match="object dtype"):
+            SharedColumnBlock.export(arrays)
+        assert shm.live_segment_names() == []
+
+
+class TestLifecycle:
+    def test_close_unlinks_and_deregisters(self):
+        block = SharedColumnBlock.export(_sample_arrays())
+        descriptor = block.descriptor
+        assert shm.live_segment_names() == [block.name]
+        block.close()
+        assert shm.live_segment_names() == []
+        # The segment is gone for everyone: a stale attach fails fast
+        # instead of reading freed memory.
+        with pytest.raises(FileNotFoundError):
+            AttachedBlock(descriptor)
+
+    def test_close_is_idempotent(self):
+        block = SharedColumnBlock.export(_sample_arrays())
+        block.close()
+        block.close()
+        assert shm.live_segment_names() == []
+
+    def test_attached_close_never_unlinks(self):
+        with SharedColumnBlock.export(_sample_arrays()) as block:
+            attached = AttachedBlock(block.descriptor)
+            attached.close()
+            attached.close()           # idempotent too
+            with pytest.raises(ValueError):
+                attached.array("order")
+            # Exporter still owns a live segment; a fresh attach works.
+            with AttachedBlock(block.descriptor) as again:
+                assert len(again.array("order")) == 10
+
+    def test_close_on_exception_path(self):
+        with pytest.raises(RuntimeError):
+            with SharedColumnBlock.export(_sample_arrays()):
+                raise RuntimeError("dispatch failed")
+        assert shm.live_segment_names() == []
+
+    def test_force_unlink_all(self):
+        SharedColumnBlock.export(_sample_arrays())
+        SharedColumnBlock.export(_sample_arrays())
+        assert len(shm.live_segment_names()) == 2
+        assert shm.force_unlink_all() == 2
+        assert shm.live_segment_names() == []
+        assert shm.force_unlink_all() == 0
