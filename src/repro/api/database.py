@@ -32,6 +32,12 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer
 from repro.sql import ast
 from repro.sql.parser import parse_script, parse_statement
+from repro.storage.engine import StorageEngine
+from repro.storage.pool import DEFAULT_POOL_PAGES
+
+#: Table storage backends: heap-resident (the original engine) or
+#: page-based durable storage behind a buffer pool (docs/storage.md).
+STORAGE_BACKENDS = ("memory", "disk")
 
 
 class Database:
@@ -78,6 +84,15 @@ class Database:
             backing ``db.stats`` and the service histograms.  Each
             database owns a fresh registry by default, so a reopened
             database starts from zero (no stale-counter carryover).
+        storage: ``"memory"`` (default, tables live on the heap) or
+            ``"disk"`` (tables live on checksummed pages behind an LRU
+            buffer pool, with write-ahead-logged catalog mutations and
+            crash recovery -- see docs/storage.md).
+        storage_path: directory of the disk store (required for --
+            and only valid with -- ``storage="disk"``).  Opening an
+            existing store recovers its committed state.
+        pool_pages / page_size: buffer-pool capacity (in pages) and
+            on-disk page size for the disk backend.
     """
 
     def __init__(self, max_columns: int = DEFAULT_MAX_COLUMNS,
@@ -97,9 +112,23 @@ class Database:
                  keep_history: bool = False,
                  tracing: bool = False,
                  clock: Optional[Clock] = None,
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 storage: str = "memory",
+                 storage_path: Optional[str] = None,
+                 pool_pages: Optional[int] = None,
+                 page_size: Optional[int] = None):
         if case_dispatch not in ("linear", "hash"):
             raise ValueError("case_dispatch must be 'linear' or 'hash'")
+        if storage not in STORAGE_BACKENDS:
+            raise ValueError(
+                f"storage must be one of {', '.join(STORAGE_BACKENDS)}")
+        if storage == "disk" and storage_path is None:
+            raise ValueError("storage='disk' requires storage_path")
+        if storage == "memory" and storage_path is not None:
+            raise ValueError(
+                "storage_path is only valid with storage='disk'")
+        if pool_pages is not None and pool_pages < 1:
+            raise ValueError("pool_pages must be >= 1")
         if parallel_workers < 1:
             raise ValueError("parallel_workers must be >= 1")
         if parallel_backend not in PARALLEL_BACKENDS:
@@ -117,6 +146,29 @@ class Database:
                                encoding_cache_bytes=encoding_cache_bytes)
         self.stats = StatsCollector(keep_history=keep_history,
                                     registry=self.metrics)
+        self.storage_backend = storage
+        self.storage_engine: Optional[StorageEngine] = None
+        if storage == "disk":
+            engine_kwargs = {}
+            if page_size is not None:
+                engine_kwargs["page_size"] = page_size
+            self.storage_engine = StorageEngine(
+                storage_path,
+                pool_pages=(pool_pages if pool_pages is not None
+                            else DEFAULT_POOL_PAGES),
+                registry=self.metrics,
+                stats=self.stats,
+                **engine_kwargs)
+            self.catalog.storage = self.storage_engine
+            # Recover whatever a previous incarnation committed; a
+            # fresh directory just writes a clean baseline checkpoint.
+            # A failed recovery (e.g. a corrupt committed page) must
+            # not leak the half-open store.
+            try:
+                self.storage_engine.open_catalog(self.catalog)
+            except BaseException:
+                self.storage_engine.abandon()
+                raise
         self.options = ExecutorOptions(
             case_dispatch=case_dispatch,
             use_indexes=use_indexes,
@@ -124,7 +176,8 @@ class Database:
             parallel_degree=parallel_workers,
             parallel_row_threshold=parallel_row_threshold,
             parallel_backend=parallel_backend,
-            morsel_rows=morsel_rows)
+            morsel_rows=morsel_rows,
+            storage=storage)
         self.governor = ResourceGovernor(ResourceBudget(
             max_seconds=max_query_seconds,
             max_rows=max_query_rows,
@@ -235,7 +288,10 @@ class Database:
                 self.catalog.drop_table(name, if_exists=True)
             self.catalog.create_table(table)
             self.stats.add(rows_written=table.n_rows)
-        return table
+            # Return the *published* table: on the disk backend the
+            # catalog publishes a page-backed StoredTable, not the
+            # heap table built above.
+            return self.catalog.table(name)
 
     # ------------------------------------------------------------------
     # Introspection & options
@@ -314,6 +370,36 @@ class Database:
 
     def resource_budget(self) -> ResourceBudget:
         return self.governor.budget
+
+    # ------------------------------------------------------------------
+    # Storage lifecycle (disk backend)
+    # ------------------------------------------------------------------
+    def storage_info(self) -> dict[str, Any]:
+        """Backend name plus, on disk, store/pool occupancy."""
+        info: dict[str, Any] = {"backend": self.storage_backend}
+        if self.storage_engine is not None:
+            info.update(self.storage_engine.info())
+        return info
+
+    def checkpoint(self) -> None:
+        """Persist the full catalog manifest and truncate the WAL.
+        A no-op on the memory backend."""
+        if self.storage_engine is not None:
+            with self._lock:
+                self.storage_engine.checkpoint(self.catalog)
+
+    def close(self) -> None:
+        """Shut down cleanly: on disk, checkpoint and release the
+        store's file handles.  Idempotent; a no-op on memory."""
+        if self.storage_engine is not None:
+            with self._lock:
+                self.storage_engine.close(self.catalog)
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def _lookup_ci_dict(mapping: dict, name: str):

@@ -1,0 +1,236 @@
+"""Storage-backend benchmark (``repro.bench --suite storage``).
+
+Four questions, four measurements, all on the paper's sales-style
+fact table:
+
+* **Cold vs warm pool**: the same aggregation query against an empty
+  buffer pool (every page read from disk) and against a hot one
+  (every fetch a hit) -- the hit rates are recorded so the report
+  shows the pool actually did the work.
+* **Eviction pressure**: the query against a pool holding a fraction
+  of the working set, demonstrating correctness and cost under
+  steady-state eviction.
+* **Disk vs memory A/B** (informational): the disk backend's steady
+  state vs the plain heap-resident backend, interleaved so drift hits
+  both sides equally.
+* **Memory-backend overhead**: the acceptance bar.  The default
+  ``storage="memory"`` path must be untouched by the storage
+  subsystem; its only additions are ``storage is None`` branch tests
+  in the catalog hooks and three always-zero counters in the stats
+  ledger.  As with the obs suite's disabled-tracing bound, we measure
+  the per-call cost of those additions directly, count how often one
+  workload run reaches them, and bound the overhead as
+  ``per_call_seconds * calls / run_seconds`` -- the bar is 5%.
+
+The cold/warm/eviction cells force a ``gc.collect()`` before each run
+so the tables' weak-value column caches drop and the buffer pool is
+what gets measured; the A/B cell deliberately does not, because the
+column cache *is* product behavior and steady state is the honest
+comparison.
+"""
+
+from __future__ import annotations
+
+import gc
+import shutil
+import tempfile
+import time
+
+from repro.api.database import Database
+
+#: The measured workload: scan-heavy grouped aggregation touching one
+#: dimension and the measure.
+QUERY = ("SELECT store, sum(salesamt), count(*) FROM sales "
+         "GROUP BY store")
+
+#: The DML statement mixed into the memory-overhead workload so the
+#: catalog's (branch-guarded) storage hooks are actually reached.
+DML = "UPDATE sales SET salesamt = salesamt WHERE store = 1"
+
+#: Storage-subsystem touch points one memory-backend statement can
+#: reach: the catalog hook branches (create/replace/drop x
+#: table/view/index + rollback), the executor option read and the
+#: three ledger counters.  Generous by design -- the bound only has
+#: to come in far under the bar.
+_HOOKS_PER_STATEMENT = 12
+
+
+def _load(db: Database, sales_n: int) -> None:
+    from repro.datagen import load_sales
+
+    load_sales(db, sales_n)
+
+
+def _pool_pages_for(sales_n: int) -> int:
+    # 9 columns x 8 bytes/row plus headers; generous headroom so the
+    # whole table is pool-resident for the warm/A-B measurements.
+    return max(128, sales_n // 32)
+
+
+def _time_query(db: Database) -> float:
+    started = time.perf_counter()
+    db.query(QUERY)
+    return time.perf_counter() - started
+
+
+def _pool_delta(pool, run) -> dict:
+    # Materialized columns linger in the tables' weak-value caches
+    # until cyclic garbage is collected; collect first so the run
+    # exercises the buffer pool rather than the column cache.
+    gc.collect()
+    before = pool.info()
+    seconds = run()
+    after = pool.info()
+    hits = after["hits"] - before["hits"]
+    misses = after["misses"] - before["misses"]
+    total = hits + misses
+    return {
+        "seconds": round(seconds, 6),
+        "pool_hits": hits,
+        "pool_misses": misses,
+        "evictions": after["evictions"] - before["evictions"],
+        "hit_rate": round(hits / total, 4) if total else None,
+    }
+
+
+def _memory_overhead(mem: Database, repeats: int) -> dict:
+    """Bound the storage subsystem's cost on the memory backend."""
+    catalog = mem.catalog
+    stats = mem.stats
+
+    def run_workload() -> float:
+        started = time.perf_counter()
+        mem.query(QUERY)
+        mem.execute(DML)
+        return time.perf_counter() - started
+
+    statements_before = stats.statements
+    run_seconds = min(run_workload() for _ in range(repeats))
+    statements = max(1, (stats.statements - statements_before)
+                     // repeats)
+
+    # Per-call microbenchmark of the added work: the branch test the
+    # catalog hooks perform, plus a zero-increment of the storage
+    # counters (what the ledger would pay if anything charged them).
+    loops = 200_000
+    started = time.perf_counter()
+    for _ in range(loops):
+        if catalog.storage is not None:  # pragma: no cover - never
+            raise AssertionError
+    branch_seconds = (time.perf_counter() - started) / loops
+    started = time.perf_counter()
+    for _ in range(2_000):
+        stats.add(storage_page_fetches=0, storage_pool_hits=0,
+                  storage_page_reads=0)
+    counter_seconds = (time.perf_counter() - started) / 2_000
+    per_call = branch_seconds + counter_seconds
+
+    calls = statements * _HOOKS_PER_STATEMENT
+    estimated = per_call * calls / run_seconds if run_seconds else 0.0
+    return {
+        "run_seconds": round(run_seconds, 6),
+        "statements_per_run": statements,
+        "hook_calls_per_run": calls,
+        "per_call_seconds": per_call,
+        "estimated_overhead_fraction": round(estimated, 6),
+        "overhead_within_5pct": estimated <= 0.05,
+    }
+
+
+def run_storage_benchmark(sales_n: int = 120_000,
+                          repeats: int = 3) -> dict:
+    tmp = tempfile.mkdtemp(prefix="repro-bench-storage-")
+    pool_pages = _pool_pages_for(sales_n)
+    try:
+        db = Database(storage="disk", storage_path=tmp,
+                      pool_pages=pool_pages)
+        _load(db, sales_n)
+        db.close()
+
+        # Reopen = full recovery (checkpoint load + live-page
+        # verification); worth a number of its own.
+        started = time.perf_counter()
+        db = Database(storage="disk", storage_path=tmp,
+                      pool_pages=pool_pages)
+        reopen_seconds = time.perf_counter() - started
+        pool = db.storage_engine.pool
+
+        # Cold: recovery already verified (and pooled) every live
+        # page, so drop the pool to measure a genuinely cold read.
+        pool.clear()
+        cold = _pool_delta(pool, lambda: _time_query(db))
+
+        warm_runs = [_pool_delta(pool, lambda: _time_query(db))
+                     for _ in range(repeats)]
+        warm = min(warm_runs, key=lambda r: r["seconds"])
+
+        # Interleaved A/B against the memory backend.
+        mem = Database()
+        _load(mem, sales_n)
+        mem_seconds: list[float] = []
+        disk_seconds: list[float] = []
+        # No forced gc here: steady state lets the tables' weak-value
+        # column caches work (the product behavior), so the disk side
+        # only re-deserializes when Python actually collects.
+        for _ in range(repeats):
+            mem_seconds.append(_time_query(mem))
+            disk_seconds.append(_time_query(db))
+        ab_mem = min(mem_seconds)
+        ab_disk = min(disk_seconds)
+        ab_overhead = (ab_disk - ab_mem) / ab_mem if ab_mem else 0.0
+
+        memory_overhead = _memory_overhead(mem, repeats)
+
+        info = db.storage_info()
+        db.close()
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    # Eviction pressure: a pool a fraction of the working set.
+    small_pages = max(8, pool_pages // 8)
+    tmp = tempfile.mkdtemp(prefix="repro-bench-storage-small-")
+    try:
+        small_db = Database(storage="disk", storage_path=tmp,
+                            pool_pages=small_pages)
+        _load(small_db, sales_n)
+        small_db.storage_engine.pool.clear()
+        small_pool = small_db.storage_engine.pool
+        small_runs = [_pool_delta(small_pool,
+                                  lambda: _time_query(small_db))
+                      for _ in range(max(2, repeats))]
+        small = small_runs[-1]  # steady state, not the cold fill
+        small["pool_pages"] = small_pages
+        small_db.close()
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    return {
+        "workload": QUERY,
+        "scales": {"sales_n": sales_n},
+        "page_size": info["page_size"],
+        "pool_pages": pool_pages,
+        "allocated_pages": info["allocated_pages"],
+        "reopen_seconds": round(reopen_seconds, 6),
+        "cold": cold,
+        "warm": warm,
+        "warm_runs": warm_runs,
+        "small_pool": small,
+        "disk_vs_memory": {
+            "memory_seconds": round(ab_mem, 6),
+            "disk_steady_seconds": round(ab_disk, 6),
+            "disk_paged_seconds": warm["seconds"],
+            "overhead_fraction": round(ab_overhead, 4),
+        },
+        "memory_overhead": memory_overhead,
+        "summary": {
+            "cold_seconds": cold["seconds"],
+            "warm_seconds": warm["seconds"],
+            "cold_over_warm": round(
+                cold["seconds"] / warm["seconds"], 4)
+            if warm["seconds"] else None,
+            "warm_hit_rate": warm["hit_rate"],
+            "small_pool_hit_rate": small["hit_rate"],
+            "memory_overhead_within_5pct":
+                memory_overhead["overhead_within_5pct"],
+        },
+    }

@@ -235,7 +235,17 @@ def execute_plan(db: Database, plan: GeneratedPlan,
         _cleanup_or_chain(db, plan, error)
         raise error
     if not keep_temps:
-        cleanup_plan(db, plan)
+        try:
+            cleanup_plan(db, plan)
+        except BaseException as exc:
+            # A faulted cleanup DROP can leave a temp half-dropped --
+            # on a durable catalog, the WAL and the in-memory name
+            # space disagreeing about it.  Rolling back to the
+            # pre-plan savepoint heals both sides atomically (the
+            # restore re-asserts a state without the temps), and the
+            # failure surfaces as the plan's error rather than a leak.
+            _rollback_or_chain(db, savepoint, exc)
+            raise
     elapsed = db.clock.now() - started
     return ExecutionReport(
         result=result, plan=plan, elapsed_seconds=elapsed,

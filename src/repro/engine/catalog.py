@@ -102,6 +102,15 @@ class Catalog:
         #: per statement), so snapshot versions totally order catalog
         #: states.
         self.version = 0
+        #: Optional :class:`~repro.storage.engine.StorageEngine`.  When
+        #: set (by the Database, before any table exists), every
+        #: mutating operation commits through the engine's write-ahead
+        #: log *before* publishing in memory, and tables are persisted
+        #: to pages on the way in.  Overlay catalogs built by
+        #: :meth:`from_snapshot` leave it ``None``: snapshot-isolated
+        #: temp DDL stays in memory (published StoredTables keep their
+        #: own engine reference, so overlay reads still work).
+        self.storage = None
         self._publish_lock = threading.Lock()
         self._tables: dict[str, Table] = {}
         self._indexes: dict[str, HashIndex] = {}
@@ -191,6 +200,10 @@ class Catalog:
         self.validate_schema(table.schema)
         if replace and key in self._tables:
             self.encoding_cache.invalidate_table(key)
+        if self.storage is not None:
+            # Persist + WAL-commit before the in-memory publish: a
+            # crash in between redoes the publish on reopen.
+            table = self.storage.on_create_table(table, replace=replace)
         table.seal_cache_tokens()
         tables = dict(self._tables)
         tables[key] = table
@@ -217,6 +230,8 @@ class Catalog:
         if key not in self._tables:
             raise CatalogError(f"no such table: {table.name!r}")
         self.encoding_cache.invalidate_table(key)
+        if self.storage is not None:
+            table = self.storage.on_replace_table(table)
         table.seal_cache_tokens()
         tables = dict(self._tables)
         tables[key] = table
@@ -235,6 +250,8 @@ class Catalog:
             if if_exists:
                 return
             raise CatalogError(f"no such table: {name!r}")
+        if self.storage is not None:
+            self.storage.log_drop_table(key)
         tables = dict(self._tables)
         del tables[key]
         self.encoding_cache.invalidate_table(key)
@@ -261,6 +278,8 @@ class Catalog:
             raise CatalogError(
                 f"identifier {name!r} is {len(name)} characters; "
                 f"the maximum is {self.max_name_length}")
+        if self.storage is not None:
+            self.storage.log_create_view(key, select, replace=replace)
         views = dict(self._views)
         views[key] = select
         self._publish(views=views)
@@ -280,6 +299,8 @@ class Catalog:
             if if_exists:
                 return
             raise CatalogError(f"no such view: {name!r}")
+        if self.storage is not None:
+            self.storage.log_drop_view(key)
         views = dict(self._views)
         del views[key]
         self._publish(views=views)
@@ -303,6 +324,8 @@ class Catalog:
                     f"no column {col!r} in table {table_name!r}")
         index = HashIndex(name, table.name, column_names)
         index.rebuild(table, cache=self.encoding_cache)
+        if self.storage is not None:
+            self.storage.log_create_index(index)
         indexes = dict(self._indexes)
         indexes[key] = index
         self._publish(indexes=indexes)
@@ -314,6 +337,8 @@ class Catalog:
             if if_exists:
                 return
             raise CatalogError(f"no such index: {name!r}")
+        if self.storage is not None:
+            self.storage.log_drop_index(key)
         indexes = dict(self._indexes)
         del indexes[key]
         self._publish(indexes=indexes)
@@ -382,9 +407,33 @@ class Catalog:
                                     index.column_names)
                 rebuilt.rebuild(table, cache=self.encoding_cache)
                 indexes[key] = rebuilt
+        if self.storage is not None:
+            # One full-manifest WAL record re-asserting the restored
+            # state.  This is what heals a fault injected mid-commit:
+            # whatever half-committed records the failed statement left
+            # in the log, the restore record replayed after them lands
+            # the recovered store back on the savepoint state.
+            self.storage.log_restore(savepoint.tables, savepoint.views,
+                                     indexes)
         self._publish(tables=dict(savepoint.tables),
                       views=dict(savepoint.views),
                       indexes=indexes)
+
+    # ------------------------------------------------------------------
+    # Recovery (storage engine only)
+    # ------------------------------------------------------------------
+    def bootstrap(self, tables: Mapping[str, Table],
+                  views: Mapping[str, object],
+                  indexes: Mapping[str, HashIndex]) -> None:
+        """Publish recovered name spaces wholesale, bypassing the
+        storage hooks (the state *came from* the store; re-logging it
+        would be circular).  Called once by
+        :meth:`~repro.storage.engine.StorageEngine.open_catalog` before
+        the database accepts statements."""
+        for table in tables.values():
+            table.seal_cache_tokens()
+        self._publish(tables=dict(tables), views=dict(views),
+                      indexes=dict(indexes))
 
 
 def _fingerprint(tables: Mapping[str, Table],

@@ -81,6 +81,12 @@ class ExecutorOptions:
         target rows per process-backend morsel.  Smaller morsels
         improve load balancing on skewed groups; larger morsels
         amortize per-task dispatch overhead.
+    ``storage``:
+        which table substrate the owning Database runs on --
+        ``"memory"`` (heap tables) or ``"disk"`` (page-backed tables
+        behind a buffer pool).  Informational at the executor level
+        (tables arrive already bound to their backend); EXPLAIN
+        reports it.
     """
 
     case_dispatch: str = "linear"
@@ -90,6 +96,7 @@ class ExecutorOptions:
     parallel_row_threshold: int = 20_000
     parallel_backend: str = "thread"
     morsel_rows: int = 8192
+    storage: str = "memory"
 
 
 #: Default row count below which parallel aggregation is not worth the

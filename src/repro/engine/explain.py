@@ -84,6 +84,9 @@ def _plan_lines(executor, statement: ast.Statement) -> list[str]:
     if parallel is not None:
         lines.append(parallel)
     lines.append(_governor_line(executor))
+    storage = _storage_line(executor)
+    if storage is not None:
+        lines.append(storage)
     lines.append(_cache_line(executor))
     return lines
 
@@ -107,6 +110,22 @@ def _governor_line(executor) -> str:
     """The resource budgets this statement will run under (the cache
     line stays last; consumers assert on the leading rows)."""
     return f"governor: {executor.governor.budget.describe()}"
+
+
+def _storage_line(executor) -> Optional[str]:
+    """The table substrate plus buffer-pool occupancy; omitted on the
+    memory backend so existing plans are unchanged (the cache line
+    stays last either way)."""
+    if executor.options.storage != "disk":
+        return None
+    engine = getattr(executor.catalog, "storage", None)
+    if engine is None:
+        return "storage: disk"
+    pool = engine.pool.info()
+    return (f"storage: disk page_size={engine.page_size} "
+            f"pool={pool['pages']}/{pool['capacity']} pages "
+            f"hits={pool['hits']} misses={pool['misses']} "
+            f"evictions={pool['evictions']}")
 
 
 def _cache_line(executor) -> str:

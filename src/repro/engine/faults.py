@@ -43,9 +43,16 @@ from repro.obs.metrics import global_registry
 
 #: Injection sites wired into the engine.  ``statement`` fires at every
 #: statement boundary of a generated plan (see core.execute); the rest
-#: fire inside the named operator.
+#: fire inside the named operator.  The three ``storage-*`` sites are
+#: the WAL/buffer-pool kill points: ``storage-page-write`` fires
+#: between the two halves of a page image (a crash there tears the
+#: page), ``storage-wal-fsync`` fires just before a commit record is
+#: appended (a crash there loses the mutation cleanly), and
+#: ``storage-commit`` fires after the record is durable but before the
+#: in-memory publish (a crash there must be redone on reopen).
 SITES = ("statement", "join-build", "group-by", "pivot",
-         "encoding-cache", "process-worker")
+         "encoding-cache", "process-worker",
+         "storage-page-write", "storage-wal-fsync", "storage-commit")
 
 #: Fault kinds and the exception class each raises.
 ERROR_KINDS = {

@@ -21,6 +21,11 @@ Counters (all cumulative until :meth:`reset`):
   These are deliberately **not** part of :meth:`StatementStats.
   logical_io`: the cache saves wall-clock work, not logical I/O, so
   the paper's cost shapes are bit-identical with the cache on or off.
+* ``storage_page_fetches`` / ``storage_pool_hits`` /
+  ``storage_page_reads`` -- buffer-pool traffic charged by the disk
+  backend's column reads (``hits + reads == fetches`` always).  Also
+  excluded from :meth:`StatementStats.logical_io` so the paper's cost
+  shapes are identical on the memory and disk backends.
 
 Storage now lives in a :class:`~repro.obs.metrics.MetricsRegistry`:
 each counter is the registry metric named by :data:`METRIC_NAMES`
@@ -53,7 +58,9 @@ from repro.obs.metrics import MetricsRegistry
 COUNTER_NAMES = (
     "rows_scanned", "rows_written", "rows_updated", "rows_joined",
     "case_evaluations", "index_lookups", "encode_cache_hits",
-    "encode_cache_misses", "encode_cache_evictions", "statements",
+    "encode_cache_misses", "encode_cache_evictions",
+    "storage_page_fetches", "storage_pool_hits", "storage_page_reads",
+    "statements",
 )
 
 #: Registry metric backing each counter.
@@ -69,6 +76,9 @@ _HELP = {
     "encode_cache_hits": "dictionary-encoding cache hits",
     "encode_cache_misses": "dictionary-encoding cache misses",
     "encode_cache_evictions": "dictionary-encoding cache evictions",
+    "storage_page_fetches": "pages requested from the buffer pool",
+    "storage_pool_hits": "page fetches served from the buffer pool",
+    "storage_page_reads": "page fetches that read from disk",
     "statements": "SQL statements executed",
 }
 
@@ -92,6 +102,9 @@ class StatementStats:
     encode_cache_hits: int = 0
     encode_cache_misses: int = 0
     encode_cache_evictions: int = 0
+    storage_page_fetches: int = 0
+    storage_pool_hits: int = 0
+    storage_page_reads: int = 0
     elapsed_seconds: float = 0.0
 
     def logical_io(self) -> int:

@@ -129,6 +129,20 @@ class CatalogError(ReproError):
     """A catalog invariant or DBMS limit was violated."""
 
 
+class StorageError(ReproError):
+    """A durable-storage failure (page allocation, WAL, checkpoint,
+    store lifecycle).  Not retryable: storage errors indicate either
+    misuse (closed engine) or on-disk damage that retrying cannot
+    heal."""
+
+
+class PageCorruptError(StorageError):
+    """A page failed verification (bad magic, wrong page id, length
+    out of range, or checksum mismatch) -- the torn-write detector.
+    The message always names the page id so operators can map it back
+    to a table via the checkpoint manifest."""
+
+
 class ServiceError(ReproError):
     """Base class for concurrent-query-service failures (sessions,
     admission control, scheduling)."""

@@ -9,6 +9,8 @@ Examples::
     python -m repro.fuzz --fault-sweep --seed 0 --budget 40
     python -m repro.fuzz --seed 0 --budget 200 --case-timeout 10
     python -m repro.fuzz --seed 0 --budget 100 --trace
+    python -m repro.fuzz --seed 0 --budget 100 --storage disk
+    python -m repro.fuzz --fault-sweep --storage disk --seed 0 --budget 20
 
 Exit status 0 means every case was consistent across all strategies
 and the sqlite oracle; 1 means at least one divergence (each one is
@@ -87,6 +89,21 @@ def build_parser() -> argparse.ArgumentParser:
                              "fan out over shared memory, and any "
                              "segment leaked after a case counts as "
                              "a divergence")
+    parser.add_argument("--storage", action="append",
+                        choices=("memory", "disk"), default=None,
+                        metavar="BACKEND",
+                        help="add engine variants pinned to this table "
+                             "substrate (repeatable).  'memory' is the "
+                             "baseline every case already runs; 'disk' "
+                             "adds page-backed variants with a tiny "
+                             "buffer pool that must match the memory "
+                             "variants bit-for-bit, with leaked page "
+                             "files or live stores counted as "
+                             "divergences.  With --fault-sweep, 'disk' "
+                             "additionally sweeps the WAL/buffer-pool "
+                             "kill points (torn page writes, pre-fsync "
+                             "and post-commit crashes) and verifies "
+                             "recovery after a simulated kill")
     parser.add_argument("--trace", action="store_true",
                         help="run engine variants on traced databases "
                              "and validate every trace (well-formed "
@@ -129,7 +146,8 @@ def _fuzz(args: argparse.Namespace) -> int:
         result = run_case(case, inject_bug=args.inject_bug,
                           case_timeout=args.case_timeout,
                           parallel=args.parallel, trace=args.trace,
-                          backends=tuple(args.backend or ()))
+                          backends=tuple(args.backend or ()),
+                          storages=tuple(args.storage or ()))
         if result.divergent:
             divergences += 1
             _report(case, result, args)
@@ -150,14 +168,16 @@ def _fuzz(args: argparse.Namespace) -> int:
 def _report(case: FuzzCase, result, args: argparse.Namespace) -> None:
     print(f"DIVERGENCE at case {case.index}: {result.explanation}")
     backends = tuple(args.backend or ())
+    storages = tuple(args.storage or ())
     minimized = reduce_case(
         case, lambda c: run_case(c, args.inject_bug,
                                  parallel=args.parallel,
                                  trace=args.trace,
-                                 backends=backends).divergent)
+                                 backends=backends,
+                                 storages=storages).divergent)
     final = run_case(minimized, inject_bug=args.inject_bug,
                      parallel=args.parallel, trace=args.trace,
-                     backends=backends)
+                     backends=backends, storages=storages)
     path = save_repro(
         minimized, Path(args.out),
         description=f"minimized divergence (seed={case.seed}, "
@@ -172,8 +192,10 @@ def _report(case: FuzzCase, result, args: argparse.Namespace) -> None:
 
 
 def _sweep(args: argparse.Namespace) -> int:
-    from repro.fuzz.crash import SweepStats, sweep_case
+    from repro.fuzz.crash import (SweepStats, sweep_case,
+                                  sweep_case_storage)
 
+    sweep_disk = "disk" in (args.storage or ())
     generator = CaseGenerator(seed=args.seed)
     started = time.monotonic()
     stats = SweepStats()
@@ -182,9 +204,14 @@ def _sweep(args: argparse.Namespace) -> int:
                 time.monotonic() - started > args.max_seconds:
             print(f"time budget reached after {stats.cases} cases")
             break
-        sweep_case(case, stats)
+        if sweep_disk:
+            sweep_case_storage(case, stats)
+        else:
+            sweep_case(case, stats)
     elapsed = time.monotonic() - started
-    print(f"{stats.summary()} in {elapsed:.1f}s")
+    kind = "storage kill points" if sweep_disk \
+        else "statement/operator sites"
+    print(f"{stats.summary()} ({kind}) in {elapsed:.1f}s")
     for finding in stats.findings:
         print(f"FINDING: {finding.describe()}", file=sys.stderr)
     return 0 if stats.ok else 1
@@ -197,7 +224,8 @@ def _replay(args: argparse.Namespace) -> int:
         total += 1
         result = run_case(case, parallel=args.parallel,
                           trace=args.trace,
-                          backends=tuple(args.backend or ()))
+                          backends=tuple(args.backend or ()),
+                          storages=tuple(args.storage or ()))
         verdict = "divergent" if result.divergent else "consistent"
         ok = verdict == expect
         status = "ok" if ok else f"FAIL (expected {expect}, got {verdict})"

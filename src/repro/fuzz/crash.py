@@ -25,15 +25,19 @@ machinery.
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.api.database import Database
 from repro.core.execute import RetryPolicy, run_resilient
 from repro.engine import faults
 from repro.engine.faults import FaultInjector, FaultSpec
 from repro.errors import ReproError
 from repro.fuzz.generator import FuzzCase
-from repro.fuzz.runner import _load_db
+from repro.fuzz.runner import _STORAGE_POOL_PAGES, _load_db
+from repro.storage import engine as storage_engine
 
 #: ``(kind, times)`` grid: a one-shot transient (the retry loop must
 #: absorb it), a one-shot resource fault (fallback may absorb it), and
@@ -185,3 +189,182 @@ def sweep_cases(cases, stats: Optional[SweepStats] = None,
     for case in cases:
         sweep_case(case, stats, operator_sites=operator_sites)
     return stats
+
+
+# ----------------------------------------------------------------------
+# Durable-storage sweep (disk backend kill points)
+# ----------------------------------------------------------------------
+
+#: The WAL/buffer-pool kill points, in commit-protocol order: a torn
+#: page image, a crash just before the commit record is durable, and a
+#: crash after durability but before the in-memory publish.
+STORAGE_SITES = ("storage-page-write", "storage-wal-fsync",
+                 "storage-commit")
+
+#: ``(kind, times)`` grid for storage sites.  Deliberately one-shot
+#: only: the resilient runtime's rollback re-commits through the very
+#: same sites, so a *permanent* fault there would fault the rollback
+#: too and no in-process invariant could hold -- real kills are
+#: modeled instead by abandoning the store and reopening it (see
+#: :func:`_run_storage_injection`).
+STORAGE_FAULT_KINDS = (("transient", 1), ("crash", 1))
+
+#: At most this many hit indexes are swept per storage site (first,
+#: middle, last) -- each injection pays a full store build + reopen.
+_STORAGE_INDEX_LIMIT = 3
+
+
+def _sample_indexes(hits: int) -> list[int]:
+    if hits <= 0:
+        return []
+    picks = {0, hits // 2, hits - 1}
+    return sorted(picks)[:_STORAGE_INDEX_LIMIT]
+
+
+def _disk_db(case: FuzzCase, path: str) -> Database:
+    return _load_db(case, storage="disk", storage_path=path,
+                    pool_pages=_STORAGE_POOL_PAGES)
+
+
+def sweep_case_storage(case: FuzzCase, stats: SweepStats) -> None:
+    """Sweep one case's query across the storage kill points.
+
+    Per injection the contract is checked twice:
+
+    * **in process** -- the run returns the reference rows or raises a
+      typed error, temp tables don't leak, and the catalog fingerprint
+      is unchanged (the rollback's ``restore`` record heals the
+      WAL/memory divergence a mid-commit fault leaves behind);
+    * **across a kill** -- the store is then abandoned *without* a
+      checkpoint (exactly what a dead process leaves) and reopened:
+      recovery must reproduce the pre-query committed tables
+      bit-identically, or fail with a typed error, and the store
+      directory must hold nothing but its three files.
+    """
+    sql = case.query_sql()
+    # Probe on a throwaway store: count storage-site hits during the
+    # query alone (loading happens before the injector activates, so
+    # load-time commits are outside the swept range).
+    probe = FaultInjector()
+    reference: Optional[list] = None
+    tmp = tempfile.mkdtemp(prefix="repro-sweep-store-")
+    try:
+        db = _disk_db(case, tmp)
+        try:
+            with faults.active(probe):
+                reference = run_resilient(
+                    db, sql, retry=_NO_BACKOFF).result.to_rows()
+        except ReproError:
+            pass  # degenerate case: errors are an acceptable outcome
+        finally:
+            db.close()
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    stats.cases += 1
+
+    for site in STORAGE_SITES:
+        for index in _sample_indexes(probe.hits.get(site, 0)):
+            for kind, times in STORAGE_FAULT_KINDS:
+                stats.injections += 1
+                _run_storage_injection(case, sql, reference, site,
+                                       index, kind, times, stats)
+
+
+def _run_storage_injection(case: FuzzCase, sql: str,
+                           reference: Optional[list], site: str,
+                           index: int, kind: str, times: int,
+                           stats: SweepStats) -> None:
+    tmp = tempfile.mkdtemp(prefix="repro-sweep-store-")
+    try:
+        db = _disk_db(case, tmp)
+        committed = {name: db.table(name).to_rows()
+                     for name in db.table_names()}
+        fingerprint = db.catalog.fingerprint()
+        injector = FaultInjector([FaultSpec(site, error=kind,
+                                            at=index, times=times)])
+        rows: Optional[list] = None
+        error: Optional[BaseException] = None
+        try:
+            with faults.active(injector):
+                rows = run_resilient(
+                    db, sql, retry=_NO_BACKOFF).result.to_rows()
+        except ReproError as exc:
+            error = exc
+        except Exception as exc:  # noqa: BLE001 - the invariant
+            error = exc
+            stats.findings.append(SweepFinding(
+                case, site, index, kind,
+                "untyped error escaped the runtime",
+                f"{type(exc).__name__}: {exc}"))
+
+        if error is None:
+            if reference is not None and rows != reference:
+                stats.findings.append(SweepFinding(
+                    case, site, index, kind,
+                    "recovered run returned different rows",
+                    f"{rows!r} != {reference!r}"))
+            else:
+                stats.recovered += 1
+        elif isinstance(error, ReproError):
+            stats.clean_errors += 1
+
+        leaked = [n for n in db.table_names() if n not in committed]
+        if leaked:
+            stats.findings.append(SweepFinding(
+                case, site, index, kind,
+                "temp tables leaked", ", ".join(sorted(leaked))))
+        if db.catalog.fingerprint() != fingerprint:
+            stats.findings.append(SweepFinding(
+                case, site, index, kind,
+                "catalog changed across the plan boundary"))
+
+        # Kill the process's view of the store (no checkpoint) and
+        # recover: the committed pre-query state must come back
+        # bit-identically.
+        db.storage_engine.abandon()
+        _check_reopen(case, tmp, committed, site, index, kind, stats)
+        stray = storage_engine.stray_files(tmp)
+        if stray:
+            stats.findings.append(SweepFinding(
+                case, site, index, kind, "stray store files leaked",
+                ", ".join(stray)))
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def _check_reopen(case: FuzzCase, path: str, committed: dict,
+                  site: str, index: int, kind: str,
+                  stats: SweepStats) -> None:
+    try:
+        db = Database(storage="disk", storage_path=path,
+                      pool_pages=_STORAGE_POOL_PAGES)
+    except ReproError:
+        # A typed refusal to open is a clean outcome (recovery
+        # detected damage it cannot repair) -- but only if it is
+        # typed; anything else escaped through the except below.
+        stats.clean_errors += 1
+        return
+    except Exception as exc:  # noqa: BLE001 - the invariant
+        stats.findings.append(SweepFinding(
+            case, site, index, kind,
+            "untyped error escaped recovery",
+            f"{type(exc).__name__}: {exc}"))
+        return
+    try:
+        names = set(db.table_names())
+        expected = set(committed)
+        if names != expected:
+            stats.findings.append(SweepFinding(
+                case, site, index, kind,
+                "recovered catalog lost or invented tables",
+                f"recovered {sorted(names)} != committed "
+                f"{sorted(expected)}"))
+            return
+        for name in sorted(expected):
+            if db.table(name).to_rows() != committed[name]:
+                stats.findings.append(SweepFinding(
+                    case, site, index, kind,
+                    "recovered table differs from committed state",
+                    name))
+    finally:
+        db.close()

@@ -31,12 +31,15 @@ criterion.
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
 from repro.api.database import Database
 from repro.core import plan as plan_mod
 from repro.engine import shm
+from repro.storage import engine as storage_engine
 from repro.core.execute import execute_plan, generate_plan
 from repro.core.hagg import HorizontalAggStrategy
 from repro.core.horizontal import HorizontalStrategy
@@ -103,7 +106,8 @@ def run_case(case: FuzzCase,
              case_timeout: Optional[float] = None,
              parallel: bool = False,
              trace: bool = False,
-             backends: Sequence[str] = ()) -> CaseResult:
+             backends: Sequence[str] = (),
+             storages: Sequence[str] = ()) -> CaseResult:
     """Evaluate every variant and compare outcomes pairwise.
 
     ``case_timeout`` puts every engine variant under the resource
@@ -125,6 +129,16 @@ def run_case(case: FuzzCase,
     shared-memory segment left live after the case counts as a
     divergence (the leaked names are reclaimed and reported).
 
+    ``storages`` adds one engine variant per named table substrate
+    beyond the default in-memory one (only ``"disk"`` adds anything:
+    ``"memory"`` is the baseline every case already runs).  Disk
+    variants run the family's primary strategies against a page-backed
+    store in a fresh temp directory with a deliberately tiny buffer
+    pool, so even small tables evict; they must agree bit-for-bit with
+    the memory variants and the oracle.  A store directory left with
+    stray files, or a store still open after its variant finished,
+    counts as a divergence (mirroring the shared-memory leak oracle).
+
     ``trace`` runs every engine variant on a traced database and
     checks the trace after each successful run: every span tree must
     be well formed, every statement span must pass the charge audit,
@@ -134,7 +148,7 @@ def run_case(case: FuzzCase,
     """
     result = CaseResult(case=case)
     for name, thunk in _variants(case, inject_bug, case_timeout,
-                                 parallel, trace, backends):
+                                 parallel, trace, backends, storages):
         result.variants.append(_evaluate(name, thunk))
     if "process" in backends:
         leaked = shm.live_segment_names()
@@ -142,6 +156,14 @@ def run_case(case: FuzzCase,
             shm.force_unlink_all()
             result.divergent = True
             result.explanation = (f"leaked shared-memory segment(s): "
+                                  f"{', '.join(leaked)}")
+            return result
+    if "disk" in storages:
+        leaked = storage_engine.live_store_paths()
+        if leaked:
+            storage_engine.force_close_all()
+            result.divergent = True
+            result.explanation = (f"leaked live page store(s): "
                                   f"{', '.join(leaked)}")
             return result
     comparable = [v for v in result.variants if v.status != "timeout"]
@@ -213,17 +235,23 @@ def _load_db(case: FuzzCase, **db_kwargs: Any) -> Database:
 
 def _strategy_rows(case: FuzzCase, strategy, **db_kwargs: Any) -> list:
     db = _load_db(case, **db_kwargs)
-    plan = generate_plan(db, case.query_sql(), strategy)
-    rows = execute_plan(db, plan).result.to_rows()
-    _check_trace(db)
-    return rows
+    try:
+        plan = generate_plan(db, case.query_sql(), strategy)
+        rows = execute_plan(db, plan).result.to_rows()
+        _check_trace(db)
+        return rows
+    finally:
+        db.close()
 
 
 def _direct_rows(case: FuzzCase, **db_kwargs: Any) -> list:
     db = _load_db(case, **db_kwargs)
-    rows = db.query(case.query_sql())
-    _check_trace(db)
-    return rows
+    try:
+        rows = db.query(case.query_sql())
+        _check_trace(db)
+        return rows
+    finally:
+        db.close()
 
 
 def _replay_rows(case: FuzzCase, strategy) -> list:
@@ -250,10 +278,13 @@ def _olap_sql(case: FuzzCase, inject_bug: Optional[str]) -> str:
 def _engine_olap_rows(case: FuzzCase, inject_bug: Optional[str],
                       **db_kwargs: Any) -> list:
     db = _load_db(case, **db_kwargs)
-    result = db.execute(_olap_sql(case, inject_bug))
-    rows = result.to_rows()
-    _check_trace(db)
-    return rows
+    try:
+        result = db.execute(_olap_sql(case, inject_bug))
+        rows = result.to_rows()
+        _check_trace(db)
+        return rows
+    finally:
+        db.close()
 
 
 def _sqlite_olap_rows(case: FuzzCase,
@@ -292,11 +323,72 @@ _BACKEND_KW: dict[str, dict[str, Any]] = {
 }
 
 
+#: Buffer-pool capacity for disk fuzz variants: small enough that the
+#: fuzzer's tables still evict pages, so the pool's replacement path
+#: is inside the differential net, not just the happy path.
+_STORAGE_POOL_PAGES = 8
+
+STORAGE_VARIANTS = ("memory", "disk")
+
+
+class StorageLeakError(Exception):
+    """A disk fuzz variant left debris in its store directory."""
+
+
+def _disk_rows(runner: Callable[..., list]) -> list:
+    """Run ``runner`` (a ``_strategy_rows``-style callable accepting
+    Database kwargs) against a page-backed store in a fresh temp
+    directory, then sweep the directory for stray files -- leaked
+    checkpoint temps and the like surface as an error outcome and
+    therefore a divergence."""
+    tmp = tempfile.mkdtemp(prefix="repro-fuzz-store-")
+    try:
+        rows = runner(storage="disk", storage_path=tmp,
+                      pool_pages=_STORAGE_POOL_PAGES)
+        stray = storage_engine.stray_files(tmp)
+        if stray:
+            raise StorageLeakError(
+                f"store left stray file(s): {', '.join(stray)}")
+        return rows
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def _storage_variants(case: FuzzCase, kw: dict[str, Any]
+                      ) -> list[tuple[str, Callable[[], list]]]:
+    """The disk twins of each family's primary strategies."""
+    if case.family == "vpct":
+        return [
+            ("engine:join-insert-disk",
+             lambda: _disk_rows(lambda **skw: _strategy_rows(
+                 case, VerticalStrategy(), **skw, **kw))),
+            ("engine:join-update-disk",
+             lambda: _disk_rows(lambda **skw: _strategy_rows(
+                 case, VerticalStrategy(use_update=True),
+                 **skw, **kw))),
+        ]
+    if case.family in ("hpct", "hagg"):
+        return [
+            ("engine:case-direct-disk",
+             lambda: _disk_rows(lambda **skw: _strategy_rows(
+                 case, HorizontalStrategy(source="F"), **skw, **kw))),
+            ("engine:case-indirect-disk",
+             lambda: _disk_rows(lambda **skw: _strategy_rows(
+                 case, HorizontalStrategy(source="FV"), **skw, **kw))),
+        ]
+    return [
+        ("engine:direct-disk",
+         lambda: _disk_rows(lambda **skw: _direct_rows(
+             case, **skw, **kw))),
+    ]
+
+
 def _variants(case: FuzzCase, inject_bug: Optional[str],
               case_timeout: Optional[float] = None,
               parallel: bool = False,
               trace: bool = False,
-              backends: Sequence[str] = ()
+              backends: Sequence[str] = (),
+              storages: Sequence[str] = ()
               ) -> list[tuple[str, Callable[[], list]]]:
     if inject_bug is not None and inject_bug not in INJECTABLE_BUGS:
         raise ValueError(f"unknown injectable bug {inject_bug!r}; "
@@ -305,6 +397,10 @@ def _variants(case: FuzzCase, inject_bug: Optional[str],
     if unknown:
         raise ValueError(f"unknown backend(s) {', '.join(unknown)}; "
                          f"known: {', '.join(_BACKEND_KW)}")
+    unknown = [s for s in storages if s not in STORAGE_VARIANTS]
+    if unknown:
+        raise ValueError(f"unknown storage(s) {', '.join(unknown)}; "
+                         f"known: {', '.join(STORAGE_VARIANTS)}")
     # Engine variants run under the governor's wall-clock budget; the
     # sqlite oracle has no governor, so only plan *generation* of the
     # replay variants is affected.
@@ -325,6 +421,8 @@ def _variants(case: FuzzCase, inject_bug: Optional[str],
                 (f"engine:join-insert-{backend}",
                  lambda b=backend: _strategy_rows(
                      case, VerticalStrategy(), **_BACKEND_KW[b], **kw)))
+        if "disk" in storages:
+            variants += _storage_variants(case, kw)
         return variants
     if case.family in ("hpct", "hagg"):
         variants = _horizontal_variants(case, kw)
@@ -355,6 +453,8 @@ def _variants(case: FuzzCase, inject_bug: Optional[str],
                      case, HorizontalStrategy(source="F"),
                      case_dispatch="hash", **_BACKEND_KW[b], **kw)),
             ]
+        if "disk" in storages:
+            variants += _storage_variants(case, kw)
         return variants
     variants = [
         ("engine:direct", lambda: _direct_rows(case, **kw)),
@@ -369,6 +469,8 @@ def _variants(case: FuzzCase, inject_bug: Optional[str],
             (f"engine:direct-{backend}",
              lambda b=backend: _direct_rows(case, **_BACKEND_KW[b],
                                             **kw)))
+    if "disk" in storages:
+        variants += _storage_variants(case, kw)
     return variants
 
 

@@ -47,10 +47,17 @@ class SessionDefaults:
     parallel_row_threshold: Optional[int] = None
     parallel_backend: Optional[str] = None
     morsel_rows: Optional[int] = None
+    #: Not an override but a *pin*: a session cannot switch table
+    #: substrates (tables are already bound to one), so a non-None
+    #: value asserts the base database runs on that backend and
+    #: :meth:`resolve` raises on mismatch.
+    storage: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.case_dispatch not in (None, "linear", "hash"):
             raise ValueError("case_dispatch must be 'linear' or 'hash'")
+        if self.storage not in (None, "memory", "disk"):
+            raise ValueError("storage must be 'memory' or 'disk'")
         if self.parallel_workers is not None and self.parallel_workers < 1:
             raise ValueError("parallel_workers must be >= 1")
         if (self.parallel_row_threshold is not None
@@ -69,6 +76,10 @@ class SessionDefaults:
         def pick(override, inherited):
             return inherited if override is None else override
 
+        if self.storage is not None and self.storage != base.storage:
+            raise ValueError(
+                f"session pinned storage={self.storage!r} but the "
+                f"database runs on {base.storage!r}")
         return dataclasses.replace(
             base,
             case_dispatch=pick(self.case_dispatch, base.case_dispatch),

@@ -1,0 +1,185 @@
+"""The on-disk page format and the columnar chunk serialization.
+
+A *page* is the unit of disk I/O: a fixed-size block holding a header
+(magic, page id, payload length, CRC-32 of the payload) followed by the
+payload bytes and zero padding.  The header makes every read
+self-verifying -- a torn write, a bit flip or a page written to the
+wrong offset surfaces as a typed :class:`~repro.errors.PageCorruptError`
+naming the page, never as silently wrong data.
+
+A *column chunk* is what pages carry: one
+:class:`~repro.engine.column.ColumnData` serialized to a flat byte
+string (type code, row count, packed null bitmap, then the values in a
+fixed little-endian layout).  Chunks larger than one page's payload
+capacity are split across consecutive pages by
+:func:`chunk_payload` and reassembled on read.
+
+The layout is deliberately columnar, matching the engine's execution
+model: a scan materializes whole columns, so each column's bytes live
+on their own run of pages and a query touching three columns fetches
+only those columns' pages.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+from repro.engine.column import ColumnData
+from repro.engine.types import SQLType
+from repro.errors import PageCorruptError, StorageError
+
+#: Default page size in bytes.  Small enough that modest tables span
+#: many pages (exercising the buffer pool), large enough to amortize
+#: the 20-byte header.
+DEFAULT_PAGE_SIZE = 4096
+
+PAGE_MAGIC = b"RPPG"
+
+#: Page header: magic, page id, payload length, CRC-32 of the payload.
+_HEADER = struct.Struct("<4sQII")
+HEADER_SIZE = _HEADER.size
+
+
+def payload_capacity(page_size: int) -> int:
+    """Payload bytes one page can carry."""
+    return page_size - HEADER_SIZE
+
+
+def encode_page(page_id: int, payload: bytes, page_size: int) -> bytes:
+    """A full page image: header + payload + zero padding."""
+    cap = payload_capacity(page_size)
+    if len(payload) > cap:
+        raise StorageError(
+            f"payload of {len(payload)} bytes exceeds page capacity "
+            f"{cap}")
+    header = _HEADER.pack(PAGE_MAGIC, page_id, len(payload),
+                          zlib.crc32(payload))
+    return header + payload + b"\x00" * (cap - len(payload))
+
+
+def decode_page(page_id: int, raw: bytes, page_size: int) -> bytes:
+    """Verify and strip one page image, returning the payload.
+
+    Raises :class:`PageCorruptError` naming ``page_id`` on any
+    mismatch: short read, bad magic, wrong page id (a write landed at
+    the wrong offset), an impossible payload length, or a CRC failure
+    (torn write / bit rot).
+    """
+    if len(raw) < page_size:
+        raise PageCorruptError(
+            f"page {page_id} is torn: read {len(raw)} of "
+            f"{page_size} bytes")
+    magic, stored_id, length, crc = _HEADER.unpack_from(raw)
+    if magic != PAGE_MAGIC:
+        raise PageCorruptError(
+            f"page {page_id} has bad magic {magic!r}")
+    if stored_id != page_id:
+        raise PageCorruptError(
+            f"page {page_id} header claims page id {stored_id}")
+    if length > payload_capacity(page_size):
+        raise PageCorruptError(
+            f"page {page_id} claims {length} payload bytes; capacity "
+            f"is {payload_capacity(page_size)}")
+    payload = raw[HEADER_SIZE:HEADER_SIZE + length]
+    if zlib.crc32(payload) != crc:
+        raise PageCorruptError(
+            f"page {page_id} failed its checksum (torn write or "
+            f"corruption)")
+    return payload
+
+
+def chunk_payload(data: bytes, capacity: int) -> list[bytes]:
+    """Split ``data`` into page-sized chunks (always at least one, so
+    an empty column still owns a page and round-trips)."""
+    if not data:
+        return [b""]
+    return [data[i:i + capacity] for i in range(0, len(data), capacity)]
+
+
+# ----------------------------------------------------------------------
+# Column chunk serialization
+# ----------------------------------------------------------------------
+_TYPE_CODES = {
+    SQLType.INTEGER: 1,
+    SQLType.REAL: 2,
+    SQLType.VARCHAR: 3,
+    SQLType.BOOLEAN: 4,
+}
+_CODE_TYPES = {code: sql_type for sql_type, code in _TYPE_CODES.items()}
+
+_COLUMN_HEADER = struct.Struct("<BQ")
+
+
+def serialize_column(data: ColumnData) -> bytes:
+    """One column as a flat byte string.
+
+    NULL positions are normalized to the type's zero filler before
+    encoding, so serialization is a pure function of the column's
+    *logical* content -- two columns that compare equal row-by-row
+    produce identical bytes (the bit-identity the recovery tests and
+    the differential fuzzer rely on).
+    """
+    n = len(data)
+    nulls = np.asarray(data.nulls, dtype=bool)
+    parts = [_COLUMN_HEADER.pack(_TYPE_CODES[data.sql_type], n),
+             np.packbits(nulls).tobytes()]
+    if data.sql_type == SQLType.INTEGER:
+        values = np.where(nulls, 0, data.values).astype("<i8")
+        parts.append(values.tobytes())
+    elif data.sql_type == SQLType.REAL:
+        values = np.where(nulls, 0.0, data.values).astype("<f8")
+        parts.append(values.tobytes())
+    elif data.sql_type == SQLType.BOOLEAN:
+        values = np.where(nulls, False, data.values).astype(bool)
+        parts.append(np.packbits(values).tobytes())
+    else:  # VARCHAR
+        encoded = [b"" if nulls[i] else str(data.values[i]).encode()
+                   for i in range(n)]
+        lengths = np.fromiter((len(e) for e in encoded), dtype="<u4",
+                              count=n)
+        parts.append(lengths.tobytes())
+        parts.append(b"".join(encoded))
+    return b"".join(parts)
+
+
+def deserialize_column(raw: bytes) -> ColumnData:
+    """Invert :func:`serialize_column`."""
+    try:
+        code, n = _COLUMN_HEADER.unpack_from(raw)
+        sql_type = _CODE_TYPES[code]
+    except (struct.error, KeyError) as exc:
+        raise StorageError(f"unreadable column chunk: {exc}") from None
+    offset = _COLUMN_HEADER.size
+    bitmap_bytes = (n + 7) // 8
+    nulls = _unpack_bits(raw[offset:offset + bitmap_bytes], n)
+    offset += bitmap_bytes
+    if sql_type == SQLType.INTEGER:
+        values = np.frombuffer(raw, dtype="<i8", count=n,
+                               offset=offset).astype(np.int64)
+    elif sql_type == SQLType.REAL:
+        values = np.frombuffer(raw, dtype="<f8", count=n,
+                               offset=offset).astype(np.float64)
+    elif sql_type == SQLType.BOOLEAN:
+        values = _unpack_bits(raw[offset:offset + bitmap_bytes], n)
+    else:  # VARCHAR
+        lengths = np.frombuffer(raw, dtype="<u4", count=n,
+                                offset=offset)
+        offset += 4 * n
+        values = np.empty(n, dtype=object)
+        for i in range(n):
+            size = int(lengths[i])
+            values[i] = raw[offset:offset + size].decode()
+            offset += size
+    if len(values) != n:
+        raise StorageError(
+            f"column chunk truncated: expected {n} rows, "
+            f"decoded {len(values)}")
+    return ColumnData(sql_type, values, nulls)
+
+
+def _unpack_bits(raw: bytes, n: int) -> np.ndarray:
+    bits = np.unpackbits(np.frombuffer(raw, dtype=np.uint8), count=n)
+    return bits.astype(bool)

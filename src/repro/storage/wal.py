@@ -1,0 +1,108 @@
+"""The write-ahead log: an append-only file of checksummed records.
+
+Each record is ``[magic][payload length][CRC-32][JSON payload]``.  A
+record is *committed* once :meth:`WriteAheadLog.append` returns with
+``sync=True``: the bytes and an fsync barrier are on disk, so recovery
+will replay it.  A crash earlier leaves either nothing or a torn tail;
+:meth:`replay` detects a torn tail (short header, impossible length,
+or CRC mismatch), truncates it, and returns only the complete prefix
+-- which is exactly the set of durable commits.
+
+The log is paired with a checkpoint (see
+:class:`~repro.storage.engine.StorageEngine`): a checkpoint captures
+the full catalog manifest atomically and then truncates the log, so
+recovery is always "load checkpoint, replay whatever the log still
+holds".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from typing import Any
+
+from repro.errors import StorageError
+
+WAL_MAGIC = b"RPWL"
+_RECORD = struct.Struct("<4sII")
+
+
+class WriteAheadLog:
+    """Append-only checksummed record log."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
+        self._closed = False
+        self.seq = 0  # monotonically increasing within one log epoch
+
+    # ------------------------------------------------------------------
+    def append(self, record: dict[str, Any], sync: bool = True) -> int:
+        """Append one record; durable once this returns (``sync``)."""
+        self._check_open()
+        self.seq += 1
+        record = dict(record, seq=self.seq)
+        payload = json.dumps(record, sort_keys=True).encode()
+        buf = _RECORD.pack(WAL_MAGIC, len(payload),
+                           zlib.crc32(payload)) + payload
+        os.lseek(self._fd, 0, os.SEEK_END)
+        os.write(self._fd, buf)
+        if sync:
+            os.fsync(self._fd)
+        return self.seq
+
+    def replay(self) -> list[dict[str, Any]]:
+        """Every complete record in order; a torn tail is truncated.
+
+        Also resets :attr:`seq` to continue after the last durable
+        record.
+        """
+        self._check_open()
+        size = os.fstat(self._fd).st_size
+        raw = os.pread(self._fd, size, 0)
+        records: list[dict[str, Any]] = []
+        offset = 0
+        while offset < len(raw):
+            if offset + _RECORD.size > len(raw):
+                break  # torn header
+            magic, length, crc = _RECORD.unpack_from(raw, offset)
+            body_start = offset + _RECORD.size
+            if magic != WAL_MAGIC \
+                    or body_start + length > len(raw):
+                break  # torn or garbage tail
+            payload = raw[body_start:body_start + length]
+            if zlib.crc32(payload) != crc:
+                break  # torn write inside the payload
+            try:
+                records.append(json.loads(payload.decode()))
+            except ValueError:
+                break
+            offset = body_start + length
+        if offset < size:
+            os.ftruncate(self._fd, offset)
+            os.fsync(self._fd)
+        self.seq = records[-1]["seq"] if records else 0
+        return records
+
+    def reset(self) -> None:
+        """Truncate the log (after a checkpoint made it redundant)."""
+        self._check_open()
+        os.ftruncate(self._fd, 0)
+        os.fsync(self._fd)
+        self.seq = 0
+
+    def size_bytes(self) -> int:
+        self._check_open()
+        return os.fstat(self._fd).st_size
+
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError(f"WAL {self.path!r} is closed")
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            os.close(self._fd)

@@ -8,6 +8,7 @@ import pytest
 
 from repro import Database
 from repro.engine import shm
+from repro.storage import engine as storage_engine
 
 
 def pytest_addoption(parser) -> None:
@@ -68,6 +69,26 @@ def no_shm_leaks(request):
         f"shared-memory segments leaked past the test: {leaked}; "
         f"either an exporter skipped its close() or the test wants "
         f"@pytest.mark.allow_shm_leaks")
+
+
+@pytest.fixture(autouse=True)
+def no_storage_leaks(request):
+    """Every test must leave zero open page stores behind: a disk
+    database's close()/abandon() must always run, and this guard is
+    the oracle for that discipline (a leaked store holds open file
+    descriptors and undeleted page/WAL files).  Opt out with
+    ``@pytest.mark.allow_storage_leaks``."""
+    yield
+    if request.node.get_closest_marker("allow_storage_leaks"):
+        storage_engine.force_close_all()
+        return
+    leaked = storage_engine.live_store_paths()
+    if leaked:
+        storage_engine.force_close_all()
+    assert not leaked, (
+        f"page stores leaked past the test: {leaked}; either a "
+        f"database skipped its close() or the test wants "
+        f"@pytest.mark.allow_storage_leaks")
 
 #: The SIGMOD paper's Table 1 example fact table.
 PAPER_SALES_ROWS = [

@@ -1,0 +1,141 @@
+"""Write-ahead log unit tests: replay, torn tails, reset, sequencing."""
+
+import os
+import struct
+import zlib
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.wal import WAL_MAGIC, WriteAheadLog
+
+_RECORD = struct.Struct("<4sII")
+
+
+@pytest.fixture
+def wal_path(tmp_path):
+    return os.path.join(tmp_path, "wal.log")
+
+
+def test_append_replay_roundtrip(wal_path):
+    wal = WriteAheadLog(wal_path)
+    try:
+        wal.append({"op": "a"})
+        wal.append({"op": "b"})
+    finally:
+        wal.close()
+    wal = WriteAheadLog(wal_path)
+    try:
+        records = wal.replay()
+        assert [r["op"] for r in records] == ["a", "b"]
+        assert [r["seq"] for r in records] == [1, 2]
+        # Sequencing continues after the last durable record.
+        assert wal.append({"op": "c"}) == 3
+    finally:
+        wal.close()
+
+
+def _truncate(path, drop_bytes):
+    size = os.path.getsize(path)
+    with open(path, "r+b") as handle:
+        handle.truncate(size - drop_bytes)
+
+
+@pytest.mark.parametrize("drop", [1, 4, 1000],
+                         ids=["payload-tail", "mid-payload", "whole"])
+def test_torn_tail_truncated(wal_path, drop):
+    wal = WriteAheadLog(wal_path)
+    try:
+        wal.append({"op": "keep"})
+        keep_size = wal.size_bytes()
+        wal.append({"op": "torn", "padding": "x" * 64})
+    finally:
+        wal.close()
+    _truncate(wal_path, min(drop, os.path.getsize(wal_path)))
+    wal = WriteAheadLog(wal_path)
+    try:
+        records = wal.replay()
+        if drop >= 1000:
+            assert records == []
+            assert wal.seq == 0
+        else:
+            assert [r["op"] for r in records] == ["keep"]
+            assert wal.seq == 1
+        # The torn tail was physically truncated, so the log is
+        # exactly the durable prefix again.
+        assert os.path.getsize(wal_path) == \
+            (0 if drop >= 1000 else keep_size)
+    finally:
+        wal.close()
+
+
+def test_torn_header_truncated(wal_path):
+    wal = WriteAheadLog(wal_path)
+    try:
+        wal.append({"op": "keep"})
+    finally:
+        wal.close()
+    with open(wal_path, "ab") as handle:
+        handle.write(WAL_MAGIC + b"\x01")  # 5 of 12 header bytes
+    wal = WriteAheadLog(wal_path)
+    try:
+        assert [r["op"] for r in wal.replay()] == ["keep"]
+    finally:
+        wal.close()
+
+
+def test_corrupt_payload_stops_replay(wal_path):
+    wal = WriteAheadLog(wal_path)
+    try:
+        wal.append({"op": "keep"})
+        wal.append({"op": "flip"})
+    finally:
+        wal.close()
+    with open(wal_path, "r+b") as handle:
+        data = bytearray(handle.read())
+        data[-2] ^= 0xFF  # flip a byte inside the last payload
+        handle.seek(0)
+        handle.write(data)
+    wal = WriteAheadLog(wal_path)
+    try:
+        assert [r["op"] for r in wal.replay()] == ["keep"]
+    finally:
+        wal.close()
+
+
+def test_garbage_magic_stops_replay(wal_path):
+    wal = WriteAheadLog(wal_path)
+    try:
+        wal.append({"op": "keep"})
+    finally:
+        wal.close()
+    payload = b'{"op": "evil"}'
+    with open(wal_path, "ab") as handle:
+        handle.write(_RECORD.pack(b"XXXX", len(payload),
+                                  zlib.crc32(payload)) + payload)
+    wal = WriteAheadLog(wal_path)
+    try:
+        assert [r["op"] for r in wal.replay()] == ["keep"]
+    finally:
+        wal.close()
+
+
+def test_reset_truncates_and_restarts_sequencing(wal_path):
+    wal = WriteAheadLog(wal_path)
+    try:
+        wal.append({"op": "a"})
+        assert wal.size_bytes() > 0
+        wal.reset()
+        assert wal.size_bytes() == 0
+        assert wal.append({"op": "b"}) == 1
+        assert [r["op"] for r in wal.replay()] == ["b"]
+    finally:
+        wal.close()
+
+
+def test_closed_wal_raises_typed_error(wal_path):
+    wal = WriteAheadLog(wal_path)
+    wal.close()
+    with pytest.raises(StorageError, match="closed"):
+        wal.append({"op": "late"})
+    wal.close()  # idempotent
