@@ -9,10 +9,13 @@ JDBC stand-in) both talk to it.
 from __future__ import annotations
 
 import threading
+from contextlib import nullcontext
 from typing import Any, Iterable, Optional, Sequence
 
 import numpy as np
 
+from repro.engine import cancel as cancel_mod
+from repro.engine.cancel import CancelToken
 from repro.engine.catalog import Catalog
 from repro.engine.column import ColumnData
 from repro.engine.encoding_cache import DEFAULT_ENCODING_CACHE_BYTES
@@ -116,7 +119,8 @@ class Database:
                  storage: str = "memory",
                  storage_path: Optional[str] = None,
                  pool_pages: Optional[int] = None,
-                 page_size: Optional[int] = None):
+                 page_size: Optional[int] = None,
+                 default_deadline_seconds: Optional[float] = None):
         if case_dispatch not in ("linear", "hash"):
             raise ValueError("case_dispatch must be 'linear' or 'hash'")
         if storage not in STORAGE_BACKENDS:
@@ -137,6 +141,10 @@ class Database:
                 f"{', '.join(PARALLEL_BACKENDS)}")
         if morsel_rows < 1:
             raise ValueError("morsel_rows must be >= 1")
+        if default_deadline_seconds is not None \
+                and default_deadline_seconds <= 0:
+            raise ValueError("default_deadline_seconds must be > 0")
+        self.default_deadline_seconds = default_deadline_seconds
         self.clock = clock if clock is not None else MonotonicClock()
         self.metrics = metrics if metrics is not None \
             else MetricsRegistry()
@@ -181,7 +189,7 @@ class Database:
         self.governor = ResourceGovernor(ResourceBudget(
             max_seconds=max_query_seconds,
             max_rows=max_query_rows,
-            max_result_width=max_result_width))
+            max_result_width=max_result_width), clock=self.clock)
         self.executor = Executor(self.catalog, self.stats, self.options,
                                  governor=self.governor,
                                  tracer=self.tracer)
@@ -193,25 +201,48 @@ class Database:
     # ------------------------------------------------------------------
     # SQL execution
     # ------------------------------------------------------------------
-    def execute(self, sql: str) -> Table | int:
+    def execute(self, sql: str,
+                deadline_seconds: Optional[float] = None,
+                cancel_token: Optional[CancelToken] = None
+                ) -> Table | int:
         """Run one SQL statement.
 
         Returns a :class:`Table` for SELECT, a row count for DML/DDL.
         Per-statement timing and counters are recorded when
-        ``keep_history`` is enabled.
+        ``keep_history`` is enabled.  ``deadline_seconds`` bounds this
+        statement's wall clock (a child of any ambient deadline, so the
+        tighter budget wins); ``cancel_token`` attaches a caller-held
+        token instead -- ``token.cancel()`` from another thread stops
+        the statement at its next safepoint.
         """
         statement = parse_statement(sql)
-        return self._run(statement, sql)
+        return self._run(statement, sql,
+                         deadline_seconds=deadline_seconds,
+                         cancel_token=cancel_token)
 
     def execute_statement(self, statement: ast.Statement,
-                          sql: str = "") -> Table | int:
+                          sql: str = "",
+                          deadline_seconds: Optional[float] = None,
+                          cancel_token: Optional[CancelToken] = None
+                          ) -> Table | int:
         """Run an already-parsed statement (used by the code generator)."""
-        return self._run(statement, sql)
+        return self._run(statement, sql,
+                         deadline_seconds=deadline_seconds,
+                         cancel_token=cancel_token)
 
-    def execute_script(self, sql: str) -> list[Table | int]:
+    def execute_script(self, sql: str,
+                       deadline_seconds: Optional[float] = None,
+                       cancel_token: Optional[CancelToken] = None
+                       ) -> list[Table | int]:
         """Run a ';'-separated script, returning one result per
-        statement."""
-        return [self._run(s, sql) for s in parse_script(sql)]
+        statement.  A ``deadline_seconds`` here covers the *whole*
+        script: one token spans every statement, so remaining time
+        shrinks as the script progresses."""
+        token = self._statement_token(deadline_seconds, cancel_token)
+        ctx = cancel_mod.activate(token) if token is not None \
+            else nullcontext()
+        with ctx:
+            return [self._run(s, sql) for s in parse_script(sql)]
 
     def query(self, sql: str) -> list[tuple[Any, ...]]:
         """Run a SELECT and return rows as Python tuples."""
@@ -220,8 +251,38 @@ class Database:
             raise TypeError("query() requires a SELECT statement")
         return result.to_rows()
 
-    def _run(self, statement: ast.Statement, sql: str) -> Table | int:
-        with self._lock, self.governor.window():
+    def _statement_token(self, deadline_seconds: Optional[float],
+                         cancel_token: Optional[CancelToken]
+                         ) -> Optional[CancelToken]:
+        """Resolve the token a statement (or script) runs under.
+
+        Precedence: an explicit token wins outright; an explicit
+        deadline builds a fresh token as a *child* of any ambient one
+        (the tighter deadline fires first); otherwise an ambient token
+        (a script's, or the service's) is inherited as-is, and the
+        database-wide default deadline applies only at top level."""
+        if cancel_token is not None:
+            return cancel_token
+        ambient = cancel_mod.active_token()
+        if deadline_seconds is not None:
+            return CancelToken.with_timeout(
+                deadline_seconds, clock=self.clock, parent=ambient,
+                registry=self.metrics)
+        if ambient is not None:
+            return None  # already active; nothing to install
+        if self.default_deadline_seconds is not None:
+            return CancelToken.with_timeout(
+                self.default_deadline_seconds, clock=self.clock,
+                registry=self.metrics)
+        return None
+
+    def _run(self, statement: ast.Statement, sql: str,
+             deadline_seconds: Optional[float] = None,
+             cancel_token: Optional[CancelToken] = None) -> Table | int:
+        token = self._statement_token(deadline_seconds, cancel_token)
+        cancel_ctx = cancel_mod.activate(token) if token is not None \
+            else nullcontext()
+        with self._lock, cancel_ctx, self.governor.window():
             tracer = self.tracer
             before = self.stats.snapshot()
             started = self.clock.now()

@@ -104,6 +104,21 @@ class Connection:
         self._database: Optional[Database] = database
         self._check_same_thread = bool(check_same_thread)
         self._owner_thread = threading.get_ident()
+        self._deadline_seconds: Optional[float] = None
+
+    def set_deadline(self, seconds: Optional[float]) -> None:
+        """Per-statement wall-clock deadline applied to every execute
+        on this connection's cursors (``None`` clears it).  A deadline
+        overrun surfaces as :class:`OperationalError` wrapping the
+        typed :class:`~repro.errors.QueryCancelledError`."""
+        if seconds is not None and seconds <= 0:
+            raise InterfaceError("deadline must be > 0 seconds")
+        self._check_thread()
+        self._deadline_seconds = seconds
+
+    @property
+    def deadline_seconds(self) -> Optional[float]:
+        return self._deadline_seconds
 
     @property
     def database(self) -> Database:
@@ -166,7 +181,9 @@ class Cursor:
         self._check_open()
         sql = _bind_parameters(operation, parameters)
         try:
-            result = self.connection.database.execute(sql)
+            result = self.connection.database.execute(
+                sql,
+                deadline_seconds=self.connection.deadline_seconds)
         except ReproError as exc:
             raise _map_error(exc) from exc
         if isinstance(result, Table):
@@ -194,7 +211,9 @@ class Cursor:
         """Non-standard convenience: run a multi-statement script."""
         self._check_open()
         try:
-            self.connection.database.execute_script(script)
+            self.connection.database.execute_script(
+                script,
+                deadline_seconds=self.connection.deadline_seconds)
         except ReproError as exc:
             raise _map_error(exc) from exc
         self._rows = []

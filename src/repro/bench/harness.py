@@ -233,7 +233,8 @@ def main(argv: Optional[list[str]] = None) -> int:
                     "machine-readable JSON report.")
     parser.add_argument("--suite",
                         choices=("encoding-cache", "concurrency",
-                                 "obs", "multicore", "storage"),
+                                 "obs", "multicore", "storage",
+                                 "overload"),
                         default="encoding-cache",
                         help="encoding-cache: cold/warm dictionary-"
                              "encoding sweep; concurrency: service "
@@ -243,7 +244,11 @@ def main(argv: Optional[list[str]] = None) -> int:
                              "vs thread vs serial backends on one "
                              "compute-heavy aggregation; storage: "
                              "cold/warm buffer pool and memory-vs-disk "
-                             "overhead on the page-based backend")
+                             "overhead on the page-based backend; "
+                             "overload: open-loop arrival ramp past "
+                             "service capacity with load shedding on "
+                             "vs off, plus the deadline-token "
+                             "bookkeeping overhead")
     parser.add_argument("--out", default=None,
                         help="output path (default: BENCH_<suite>.json)")
     parser.add_argument("--employee", type=int, default=100_000)
@@ -275,6 +280,31 @@ def main(argv: Optional[list[str]] = None) -> int:
               f"{summary['intra_query_speedup_at_4_workers']} at 4 "
               f"workers, parallel bit-identical="
               f"{summary['all_parallel_results_bit_identical']}")
+        return 0
+
+    if args.suite == "overload":
+        from repro.bench.overload import run_overload_benchmark
+
+        out = args.out or "BENCH_overload.json"
+        # The overload workload is admission-bound, not scan-bound;
+        # cap the fact table so the default run stays interactive.
+        report = run_overload_benchmark(
+            sales_n=min(args.sales, 60_000), repeats=args.repeats)
+        with open(out, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        summary = report["summary"]
+        print(f"wrote {out}: goodput shed-on "
+              f"{summary['goodput_shed_on_qps']} qps vs shed-off "
+              f"{summary['goodput_shed_off_qps']} qps, shed rate "
+              f"{summary['shed_rate']}, accepted p99 "
+              f"{summary['accepted_p99_shed_on_seconds']}s vs "
+              f"unloaded {summary['unloaded_p99_seconds']}s "
+              f"(under 2x: {summary['accepted_p99_under_2x_unloaded']}"
+              f"), deadline overhead "
+              f"{summary['deadline_overhead_fraction'] * 100:+.3f}% "
+              f"(under 5% bar: "
+              f"{summary['deadline_overhead_within_5pct']})")
         return 0
 
     if args.suite == "multicore":

@@ -24,6 +24,7 @@ from typing import Any, Callable, Optional
 import numpy as np
 
 from repro.engine import aggregates as agg_mod
+from repro.engine import cancel
 from repro.engine import pivot as pivot_mod
 from repro.engine.catalog import Catalog
 from repro.engine.column import ColumnData
@@ -259,6 +260,7 @@ class Executor:
     # ------------------------------------------------------------------
     def execute(self, statement: ast.Statement) -> Table | int:
         """Run one statement; SELECT returns a Table, DML a row count."""
+        cancel.checkpoint("statement")
         self.governor.check_time("statement start")
         if isinstance(statement, ast.Select):
             return self.run_select(statement)
@@ -332,6 +334,7 @@ class Executor:
         if select.limit is not None:
             result = result.take(
                 np.arange(min(select.limit, result.n_rows)))
+        cancel.checkpoint("projection")
         self.governor.check_width(result.schema.width(), "projection")
         self.governor.charge_rows(result.n_rows, "projection")
         return result
@@ -380,6 +383,7 @@ class Executor:
         plan = plan_from(select.from_, select.where, resolve_binding)
 
         first_table, first_base = materialized[plan.first.binding.lower()]
+        cancel.checkpoint("scan")
         self._charge("scan", rows_scanned=first_table.n_rows)
         self.governor.charge_rows(first_table.n_rows, "scan")
         dataset.add(plan.first.binding, first_table, first_base)
@@ -387,6 +391,7 @@ class Executor:
         for join in plan.joins:
             right_table, right_base = \
                 materialized[join.source.binding.lower()]
+            cancel.checkpoint("scan")
             self._charge("scan", rows_scanned=right_table.n_rows)
             self.governor.charge_rows(right_table.n_rows, "scan")
             self._apply_join(dataset, join, right_table, right_base)
@@ -849,6 +854,7 @@ class Executor:
         return result.n_rows
 
     def _insert_values(self, statement: ast.InsertValues) -> int:
+        cancel.checkpoint("dml")
         table = self.catalog.table(statement.table)
         schema = table.schema
         column_order = list(statement.columns) or schema.column_names()
@@ -877,6 +883,7 @@ class Executor:
         return len(rows)
 
     def _insert_select(self, statement: ast.InsertSelect) -> int:
+        cancel.checkpoint("dml")
         table = self.catalog.table(statement.table)
         schema = table.schema
         result = self.run_select(statement.select)
@@ -904,6 +911,7 @@ class Executor:
         return result.n_rows
 
     def _update(self, statement: ast.Update) -> int:
+        cancel.checkpoint("dml")
         table = self.catalog.table(statement.table.name)
         binding = statement.table.binding
         n = table.n_rows
@@ -1033,6 +1041,7 @@ class Executor:
         return frame, matched, where_mask
 
     def _delete(self, statement: ast.Delete) -> int:
+        cancel.checkpoint("dml")
         table = self.catalog.table(statement.table.name)
         n = table.n_rows
         self._charge("scan", rows_scanned=n)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.engine import cancel
 from repro.engine.column import ColumnData
 from repro.engine.planner import plan_from
 from repro.engine.table import Table
@@ -84,6 +85,9 @@ def _plan_lines(executor, statement: ast.Statement) -> list[str]:
     if parallel is not None:
         lines.append(parallel)
     lines.append(_governor_line(executor))
+    deadline = _deadline_line()
+    if deadline is not None:
+        lines.append(deadline)
     storage = _storage_line(executor)
     if storage is not None:
         lines.append(storage)
@@ -110,6 +114,19 @@ def _governor_line(executor) -> str:
     """The resource budgets this statement will run under (the cache
     line stays last; consumers assert on the leading rows)."""
     return f"governor: {executor.governor.budget.describe()}"
+
+
+def _deadline_line() -> Optional[str]:
+    """The ambient cancel token's deadline, if one is active; omitted
+    entirely otherwise so deadline-free plans are unchanged (the cache
+    line stays last either way)."""
+    token = cancel.active_token()
+    if token is None:
+        return None
+    remaining = token.remaining()
+    if remaining is None:
+        return "deadline: none (cancellable)"
+    return f"deadline: {remaining:.3f}s remaining"
 
 
 def _storage_line(executor) -> Optional[str]:

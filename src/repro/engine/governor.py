@@ -24,14 +24,15 @@ clock.  Budget overruns raise the typed errors from
 from __future__ import annotations
 
 import threading
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
+from repro.engine import cancel as cancel_mod
 from repro.errors import (QueryTimeout, RowBudgetExceeded,
                           WidthBudgetExceeded)
 from repro.obs import tracer as tracer_mod
+from repro.obs.clock import Clock, MonotonicClock
 
 
 @dataclass(frozen=True)
@@ -83,8 +84,13 @@ class _Window:
 class ResourceGovernor:
     """Cooperative budget enforcement over thread-local query windows."""
 
-    def __init__(self, budget: ResourceBudget = ResourceBudget()):
+    def __init__(self, budget: ResourceBudget = ResourceBudget(),
+                 clock: Optional[Clock] = None):
         self.budget = budget
+        #: Injected time source -- the same clock the tracer and any
+        #: ambient deadline token use, so wall-clock budget tests run
+        #: deterministically under ``ManualClock``.
+        self.clock = clock if clock is not None else MonotonicClock()
         self._local = threading.local()
         #: Usage of the most recently closed top-level window on any
         #: thread (reporting only; not part of enforcement).
@@ -116,7 +122,7 @@ class ResourceGovernor:
         state = self._window()
         state.depth += 1
         if state.depth == 1:
-            state.started = time.perf_counter()
+            state.started = self.clock.now()
             state.rows = 0
             state.queue_wait = 0.0
         try:
@@ -130,11 +136,15 @@ class ResourceGovernor:
     # Checkpoints
     # ------------------------------------------------------------------
     def check_time(self, context: str = "") -> None:
+        # Every governor checkpoint is also a cancellation safepoint:
+        # the ambient token's deadline (which shrinks as a script
+        # progresses) is enforced wherever the wall-clock budget is.
+        cancel_mod.poll(context)
         limit = self.budget.max_seconds
         state = self._window()
         if limit is None or state.depth == 0:
             return
-        elapsed = time.perf_counter() - state.started
+        elapsed = self.clock.now() - state.started
         if elapsed > limit:
             raise QueryTimeout(
                 f"query exceeded its {limit:g}s wall-clock budget "
@@ -187,7 +197,7 @@ class ResourceGovernor:
     def usage(self) -> dict:
         """A snapshot of the current (or just-closed) window."""
         state = self._window()
-        elapsed = (time.perf_counter() - state.started) \
+        elapsed = (self.clock.now() - state.started) \
             if state.depth else 0.0
         return {
             "active": state.depth > 0,

@@ -19,7 +19,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.engine import faults
+from repro.engine import cancel, faults
 from repro.engine.column import ColumnData
 from repro.engine.encoding_cache import EncodingCache
 from repro.engine.types import SQLType
@@ -135,6 +135,7 @@ def factorize(columns: list[ColumnData], n_rows: int,
     base-table key columns reuse dictionary encodings across plan
     steps and queries.
     """
+    cancel.checkpoint("group-by")
     faults.fire("group-by")
     if not columns:
         group_ids = np.zeros(n_rows, dtype=np.int64)
@@ -246,6 +247,7 @@ def factorize_partitioned(columns: list[ColumnData], n_rows: int,
         code_space *= enc.cardinality
         if code_space > _MAX_CODE_SPACE:
             return None  # lex fallback stays serial
+    cancel.checkpoint("group-by")
     faults.fire("group-by")
 
     combined = np.zeros(n_rows, dtype=np.int64)

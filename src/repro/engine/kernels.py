@@ -43,6 +43,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.engine import cancel
 from repro.engine.types import SQLType
 from repro.errors import PlanningError, TypeMismatchError
 
@@ -322,6 +323,9 @@ def plan_morsels(group_ids: np.ndarray, n_groups: int,
     morsels: list[Morsel] = []
     g = 0
     while g < n_groups:
+        # One safepoint per morsel planned: a cancel lands before any
+        # shared-memory export, so nothing has to be unwound yet.
+        cancel.checkpoint("morsel")
         target = bounds[g] + morsel_rows
         g_next = int(np.searchsorted(bounds, target, side="left"))
         g_next = max(g_next, g + 1)       # always advance a full group

@@ -29,7 +29,7 @@ from typing import Any, Optional
 import numpy as np
 
 from repro.engine import aggregates as agg_mod
-from repro.engine import faults
+from repro.engine import cancel, faults
 from repro.engine.column import ColumnData
 from repro.engine.encoding_cache import EncodingCache
 from repro.engine.expressions import Frame, evaluate
@@ -75,6 +75,7 @@ def compute_pivot_aggregates(agg_specs: list[ast.FuncCall], frame: Frame,
             in families.items():
         if len(terms) < 2:
             continue  # linear evaluation is fine for a single term
+        cancel.checkpoint("pivot")
         faults.fire("pivot")
         _compute_family(terms, list(column_keys), columns, result_expr,
                         frame, grouping, group_frame, stats, cache,

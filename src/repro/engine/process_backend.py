@@ -41,7 +41,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from repro.engine import faults, kernels
+from repro.engine import cancel, faults, kernels
 from repro.engine.aggregates import compute_aggregate, count_star
 from repro.engine.column import ColumnData
 from repro.engine.encoding_cache import EncodingCache
@@ -154,7 +154,9 @@ def run_grouped_aggregates(
     try:
         # The fault site fires *after* export so an injected failure
         # exercises exactly the path a real dispatch error takes:
-        # unwind through this finally and unlink the segment.
+        # unwind through this finally and unlink the segment.  The
+        # cancel safepoint sits on the same spot for the same reason.
+        cancel.checkpoint("process-dispatch")
         faults.fire("process-worker")
         if metrics is not None:
             metrics.counter(

@@ -38,10 +38,12 @@ import atexit
 import importlib
 import multiprocessing as mp
 import os
+import sys
 import threading
 import time
 from typing import Any, Optional
 
+from repro.engine import cancel
 from repro.errors import WorkerCrashError
 
 #: Upper bound on pool processes regardless of core count.
@@ -105,6 +107,7 @@ class ProcessPool:
         self._ctx = _mp_context()
         self._lock = threading.Lock()
         self._epoch = 0
+        self._closed = False
         self._start()
 
     def _start(self) -> None:
@@ -150,6 +153,12 @@ class ProcessPool:
                 got_epoch, task_id, status, payload = \
                     self._results.get(timeout=_POLL_SECONDS)
             except Exception:  # queue.Empty
+                # Cancellation safepoint on the drain loop: a poll (not
+                # a counted checkpoint -- iteration counts here are
+                # timing noise).  Raising abandons this epoch; workers
+                # stay healthy, and any straggler results are dropped
+                # by the epoch check once the next dispatch arrives.
+                cancel.poll("process-pool drain")
                 self._check_alive()
                 if deadline is not None \
                         and time.monotonic() > deadline:
@@ -179,8 +188,16 @@ class ProcessPool:
                 f"was rebuilt -- retry the query")
 
     def _reset(self) -> None:
-        """Rebuild queues and processes after a death or timeout."""
+        """Rebuild queues and processes after a death or timeout.
+
+        During interpreter shutdown (the atexit hook racing a
+        ``WorkerCrashError`` unwind, or a daemon worker reaped before
+        our teardown) restarting is both pointless and unsafe --
+        ``Process.start()`` raises once Python is finalizing -- so a
+        closed or finalizing pool tears down without rebuilding."""
         self._terminate()
+        if self._closed or sys.is_finalizing():
+            return
         self._start()
 
     def _terminate(self) -> None:
@@ -195,8 +212,14 @@ class ProcessPool:
         self._workers = []
 
     def shutdown(self) -> None:
-        """Orderly stop: one poison pill per worker, then join."""
+        """Orderly stop: one poison pill per worker, then join.
+        Idempotent -- a second call (atexit racing an explicit
+        shutdown) finds no workers and closed queues and does
+        nothing."""
         with self._lock:
+            if self._closed:
+                return
+            self._closed = True
             for worker in self._workers:
                 if worker.is_alive():
                     self._tasks.put(None)

@@ -125,6 +125,23 @@ class SimulatedCrash(ExecutionError):
     """
 
 
+class QueryCancelledError(ExecutionError):
+    """The query was cancelled cooperatively at a safepoint.
+
+    ``reason`` records who pulled the plug: ``"client"`` (an explicit
+    :meth:`~repro.engine.cancel.CancelToken.cancel` call), ``"deadline"``
+    (the token's deadline passed) or ``"shed"`` (the service gave up on
+    it under overload).  Neither retryable nor fallback-eligible: the
+    caller asked for the query to stop, so the runtime's only job is to
+    unwind cleanly through the savepoint/finally discipline and
+    surface this error after rollback.
+    """
+
+    def __init__(self, message: str, reason: str = "client"):
+        super().__init__(message)
+        self.reason = reason
+
+
 class CatalogError(ReproError):
     """A catalog invariant or DBMS limit was violated."""
 
@@ -154,6 +171,32 @@ class AdmissionRejected(ServiceError):
     backlog drains as running queries finish."""
 
     retryable = True
+
+
+class OverloadError(AdmissionRejected):
+    """The scheduler shed the query: its predicted queue wait already
+    exceeds the deadline it would run under, so admitting it could only
+    burn a worker slot on an answer nobody will wait for.
+
+    ``retry_after_seconds`` is the scheduler's estimate of when the
+    backlog will have drained enough for a resubmission to fit its
+    deadline -- a well-behaved client backs off at least that long.
+    """
+
+    def __init__(self, message: str, retry_after_seconds: float = 0.0):
+        super().__init__(message)
+        self.retry_after_seconds = float(retry_after_seconds)
+
+
+class CircuitBreakerOpen(AdmissionRejected):
+    """The session's circuit breaker is open after repeated failures;
+    submissions are refused until the cooldown elapses (then one trial
+    query half-opens the breaker).  ``retry_after_seconds`` is the
+    remaining cooldown."""
+
+    def __init__(self, message: str, retry_after_seconds: float = 0.0):
+        super().__init__(message)
+        self.retry_after_seconds = float(retry_after_seconds)
 
 
 class SessionClosed(ServiceError):

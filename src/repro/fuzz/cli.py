@@ -11,6 +11,7 @@ Examples::
     python -m repro.fuzz --seed 0 --budget 100 --trace
     python -m repro.fuzz --seed 0 --budget 100 --storage disk
     python -m repro.fuzz --fault-sweep --storage disk --seed 0 --budget 20
+    python -m repro.fuzz --cancel-sweep --seed 0 --budget 10
 
 Exit status 0 means every case was consistent across all strategies
 and the sqlite oracle; 1 means at least one divergence (each one is
@@ -23,6 +24,10 @@ whole run; timed-out variants are excluded from comparison.
 comparing strategies it injects faults at every statement boundary of
 every case's plan and verifies recovery (see
 :mod:`repro.fuzz.crash`).
+``--cancel-sweep`` switches to the cancel-point chaos sweep: it arms a
+cancellation at every safepoint each case's query crosses and verifies
+the unwind (typed error, no leaks, bit-identical re-run; see
+:mod:`repro.fuzz.cancelsweep`).
 ``--trace`` runs every engine variant on a traced database and
 validates the trace after each run (well-formed span trees, charge
 audits, statement-count drift against the stats ledger); a malformed
@@ -115,6 +120,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "of differential comparison: inject a "
                              "fault at every statement boundary and "
                              "check recovery invariants")
+    parser.add_argument("--cancel-sweep", action="store_true",
+                        help="run the cancel-point chaos sweep: arm a "
+                             "cancellation at every safepoint the "
+                             "query crosses (per backend x storage "
+                             "variant; defaults to all combinations, "
+                             "narrow with --backend/--storage) and "
+                             "check that each shot unwinds as a clean "
+                             "typed QueryCancelledError with no "
+                             "catalog/shm/store leakage and a "
+                             "bit-identical re-run")
     parser.add_argument("-q", "--quiet", action="store_true",
                         help="suppress per-divergence detail")
     return parser
@@ -122,6 +137,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[list[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.fault_sweep and args.cancel_sweep:
+        print("error: --fault-sweep and --cancel-sweep are mutually "
+              "exclusive", file=sys.stderr)
+        return 2
+    if args.cancel_sweep:
+        return _cancel_sweep(args)
     if args.fault_sweep:
         return _sweep(args)
     if args.replay:
@@ -212,6 +233,32 @@ def _sweep(args: argparse.Namespace) -> int:
     kind = "storage kill points" if sweep_disk \
         else "statement/operator sites"
     print(f"{stats.summary()} ({kind}) in {elapsed:.1f}s")
+    for finding in stats.findings:
+        print(f"FINDING: {finding.describe()}", file=sys.stderr)
+    return 0 if stats.ok else 1
+
+
+def _cancel_sweep(args: argparse.Namespace) -> int:
+    from repro.fuzz.cancelsweep import (BACKENDS, STORAGES,
+                                        CancelSweepStats,
+                                        sweep_case_cancel)
+
+    backends = tuple(args.backend or BACKENDS)
+    storages = tuple(args.storage or STORAGES)
+    generator = CaseGenerator(seed=args.seed)
+    started = time.monotonic()
+    stats = CancelSweepStats()
+    for case in generator.cases(args.budget):
+        if args.max_seconds is not None and \
+                time.monotonic() - started > args.max_seconds:
+            print(f"time budget reached after {stats.cases} cases")
+            break
+        sweep_case_cancel(case, stats, backends=backends,
+                          storages=storages)
+    elapsed = time.monotonic() - started
+    print(f"{stats.summary()} "
+          f"(backends: {', '.join(backends)}; "
+          f"storages: {', '.join(storages)}) in {elapsed:.1f}s")
     for finding in stats.findings:
         print(f"FINDING: {finding.describe()}", file=sys.stderr)
     return 0 if stats.ok else 1

@@ -65,6 +65,10 @@ class QueryService:
             the pool before submissions raise
             :class:`~repro.errors.AdmissionRejected`.
         session_inflight_cap: per-session concurrent-query ceiling.
+        shed_enabled / breaker_threshold / breaker_cooldown_seconds /
+            brownout_fraction: overload-protection knobs forwarded to
+            the :class:`~repro.service.scheduler.Scheduler` (load
+            shedding, per-session circuit breaker, brownout).
 
     Usable as a context manager; :meth:`shutdown` closes every session
     and drains the pool.
@@ -72,7 +76,11 @@ class QueryService:
 
     def __init__(self, db: Optional[Database] = None, workers: int = 4,
                  max_queue_depth: int = 16,
-                 session_inflight_cap: int = 4, **db_options):
+                 session_inflight_cap: int = 4,
+                 shed_enabled: bool = True,
+                 breaker_threshold: int = 5,
+                 breaker_cooldown_seconds: float = 1.0,
+                 brownout_fraction: float = 0.75, **db_options):
         if db is not None and db_options:
             raise ValueError(
                 "pass database options or an existing database, not both")
@@ -83,9 +91,13 @@ class QueryService:
         self.write_lock = threading.RLock()
         self.snapshots = SnapshotManager(self.db, self.write_lock)
         self.sessions = SessionManager()
-        self.scheduler = Scheduler(self, workers=workers,
-                                   max_queue_depth=max_queue_depth,
-                                   session_inflight_cap=session_inflight_cap)
+        self.scheduler = Scheduler(
+            self, workers=workers, max_queue_depth=max_queue_depth,
+            session_inflight_cap=session_inflight_cap,
+            shed_enabled=shed_enabled,
+            breaker_threshold=breaker_threshold,
+            breaker_cooldown_seconds=breaker_cooldown_seconds,
+            brownout_fraction=brownout_fraction)
 
     # ------------------------------------------------------------------
     def create_session(self,

@@ -33,16 +33,19 @@ immediately, not through the future):
 
 from __future__ import annotations
 
+import dataclasses
 import threading
-import time
 from concurrent.futures import Future, ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.core.execute import run_resilient
 from repro.core.model import build_percentage_query
+from repro.engine import cancel as cancel_mod
+from repro.engine.cancel import CancelToken
 from repro.engine.table import Table
-from repro.errors import AdmissionRejected, ServiceError
+from repro.errors import AdmissionRejected, OverloadError, ServiceError
 from repro.obs import tracer as tracer_mod
 from repro.obs.tracer import Span, render_tree
 from repro.service.session import Session
@@ -71,6 +74,12 @@ class ServiceReport:
     #: Widest partition fan-out any aggregation used (1 = serial).
     parallel_degree: int = 1
     statements_run: int = 0
+    #: True when the scheduler forced cheaper evaluation options
+    #: (brownout) because the service was near capacity.
+    brownout: bool = False
+    #: The deadline (seconds from submission) this script ran under,
+    #: or None when unbounded.
+    deadline_seconds: Optional[float] = None
     #: Resource-governor snapshot of the script's query window.
     governor_usage: dict[str, Any] = field(default_factory=dict)
     #: Root span of the script's trace (script -> statement ->
@@ -128,26 +137,63 @@ class Scheduler:
         max_queue_depth: admitted-but-not-running queries allowed
             beyond the pool size before submissions are rejected.
         session_inflight_cap: per-session concurrent-query ceiling.
+        shed_enabled: queue-wait-aware load shedding -- refuse (with a
+            retryable :class:`~repro.errors.OverloadError`) a
+            deadline-bearing query whose *predicted* queue wait already
+            exceeds its deadline, instead of admitting it, burning a
+            worker slot, and cancelling it anyway.  Prediction is
+            backlog ahead of it divided by throughput (an EWMA of
+            recent script runtimes per worker).
+        breaker_threshold / breaker_cooldown_seconds: per-session
+            circuit breaker -- after ``breaker_threshold`` consecutive
+            failures the session's submissions are refused
+            (:class:`~repro.errors.CircuitBreakerOpen`) for the
+            cooldown, then one trial query half-opens it.
+        brownout_fraction: load fraction (admitted over total capacity)
+            at which read scripts are forced onto cheaper evaluation
+            options (hash CASE dispatch, serial operators) *before*
+            the service resorts to shedding.  1.0 disables brownout.
     """
+
+    #: EWMA smoothing factor for the per-script runtime estimate.
+    _EWMA_ALPHA = 0.2
 
     def __init__(self, service, workers: int = 4,
                  max_queue_depth: int = 16,
-                 session_inflight_cap: int = 4):
+                 session_inflight_cap: int = 4,
+                 shed_enabled: bool = True,
+                 breaker_threshold: int = 5,
+                 breaker_cooldown_seconds: float = 1.0,
+                 brownout_fraction: float = 0.75):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if max_queue_depth < 0:
             raise ValueError("max_queue_depth must be >= 0")
         if session_inflight_cap < 1:
             raise ValueError("session_inflight_cap must be >= 1")
+        if breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if breaker_cooldown_seconds < 0:
+            raise ValueError("breaker_cooldown_seconds must be >= 0")
+        if not 0.0 < brownout_fraction <= 1.0:
+            raise ValueError("brownout_fraction must be in (0, 1]")
         self._service = service
         self.workers = workers
         self.max_queue_depth = max_queue_depth
         self.session_inflight_cap = session_inflight_cap
+        self.shed_enabled = shed_enabled
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown_seconds = breaker_cooldown_seconds
+        self.brownout_fraction = brownout_fraction
         self._pool = ThreadPoolExecutor(max_workers=workers,
                                         thread_name_prefix="repro-query")
         self._lock = threading.Lock()
         self._admitted = 0
         self._shutdown = False
+        #: EWMA of recent script runtimes (seconds); 0.0 until the
+        #: first script completes, which disables shed prediction.
+        self._ewma_run_seconds = 0.0
+        self._clock = service.db.clock
         self._metrics = service.db.metrics
         self._inflight = self._metrics.gauge(
             "service_inflight_queries",
@@ -160,46 +206,128 @@ class Scheduler:
         """Queries admitted and not yet finished (queued + running)."""
         return self._admitted
 
+    def _session_deadline(self, session: Session) -> Optional[float]:
+        """The deadline (seconds from submission) scripts of this
+        session run under: the session default, else the database-wide
+        default, else none."""
+        if session.defaults.deadline_seconds is not None:
+            return session.defaults.deadline_seconds
+        return self._service.db.default_deadline_seconds
+
+    def _reject(self, reason: str) -> None:
+        self._metrics.counter(
+            "service_rejections_total",
+            help="submissions refused at admission, by reason",
+            reason=reason).inc()
+
+    def predicted_wait_seconds(self) -> float:
+        """Expected queue wait for a submission arriving now: the
+        backlog ahead of it (admitted beyond the worker count) divided
+        by estimated throughput.  0.0 until the first script completes
+        (no runtime estimate yet)."""
+        with self._lock:
+            backlog = max(0, self._admitted - self.workers + 1)
+            return backlog * self._ewma_run_seconds / self.workers
+
     def submit(self, session: Session, sql: str) -> "Future[ServiceReport]":
         """Admit ``sql`` for ``session`` and return its future.
 
         Parsing (and therefore syntax errors) happens here, on the
-        caller's thread; execution errors come through the future.
+        caller's thread, as do the admission gates -- queue depth,
+        session cap, circuit breaker, and (for deadline-bearing
+        sessions) load shedding; execution errors come through the
+        future.
         """
         statements = parse_script(sql)
         if not statements:
             raise ServiceError("cannot schedule an empty script")
         kind = _classify(statements)
+        deadline = self._session_deadline(session)
+        try:
+            session._breaker_allow(self._clock.now())
+        except AdmissionRejected:
+            self._reject("breaker")
+            raise
         with self._lock:
             if self._shutdown:
                 raise ServiceError("the query service is shut down")
             if self._admitted >= self.workers + self.max_queue_depth:
+                self._reject("queue-full")
                 raise AdmissionRejected(
                     f"scheduler queue is full ({self._admitted} queries "
                     f"admitted; capacity {self.workers} workers + "
                     f"{self.max_queue_depth} queued)")
-            session._reserve(self.session_inflight_cap)
+            if self.shed_enabled and deadline is not None \
+                    and self._ewma_run_seconds > 0.0:
+                backlog = max(0, self._admitted - self.workers + 1)
+                predicted = (backlog * self._ewma_run_seconds
+                             / self.workers)
+                if predicted > deadline:
+                    # Admitting would only burn a worker slot on an
+                    # answer nobody will wait for: the query would sit
+                    # past its deadline and be cancelled at its first
+                    # safepoint anyway.
+                    self._reject("shed")
+                    self._metrics.counter(
+                        "query_cancelled_total",
+                        help="queries cancelled at a safepoint, "
+                             "by reason",
+                        reason="shed").inc()
+                    raise OverloadError(
+                        f"predicted queue wait {predicted:.3f}s exceeds "
+                        f"the {deadline:g}s deadline; resubmit after "
+                        f"the backlog drains",
+                        retry_after_seconds=predicted - deadline)
+            try:
+                session._reserve(self.session_inflight_cap)
+            except AdmissionRejected:
+                self._reject("session-cap")
+                raise
             self._admitted += 1
         self._inflight.inc()
         self._metrics.counter(
             "service_scripts_total",
             help="scripts admitted by the scheduler",
             kind=kind).inc()
-        enqueued = time.perf_counter()
+        # The script's cancel token is built at *submission*, so its
+        # deadline covers queue wait: a query stuck behind a backlog
+        # cancels at its very first safepoint.
+        token = None
+        if deadline is not None:
+            token = CancelToken.with_timeout(
+                deadline, clock=self._clock, registry=self._metrics)
+        enqueued = self._clock.now()
         try:
             future = self._pool.submit(self._run, session, sql,
-                                       statements, kind, enqueued)
+                                       statements, kind, enqueued,
+                                       token, deadline)
         except BaseException:
-            self._finish(session)
+            self._finish(session, None)
             raise
-        future.add_done_callback(lambda _f: self._finish(session))
+        future.add_done_callback(
+            lambda f: self._finish(session, f))
         return future
 
-    def _finish(self, session: Session) -> None:
+    def _finish(self, session: Session,
+                future: Optional["Future[ServiceReport]"]) -> None:
         with self._lock:
             self._admitted -= 1
         self._inflight.dec()
         session._release()
+        if future is None:
+            return
+        exc = future.exception()
+        session._breaker_note(exc is None, self._clock.now(),
+                              self.breaker_threshold,
+                              self.breaker_cooldown_seconds)
+        if exc is None:
+            elapsed = future.result().elapsed_seconds
+            with self._lock:
+                if self._ewma_run_seconds == 0.0:
+                    self._ewma_run_seconds = elapsed
+                else:
+                    self._ewma_run_seconds += self._EWMA_ALPHA * (
+                        elapsed - self._ewma_run_seconds)
 
     def _observe_wait(self, session: Session, wait: float) -> None:
         self._metrics.histogram(
@@ -217,29 +345,61 @@ class Scheduler:
     # ------------------------------------------------------------------
     def _run(self, session: Session, sql: str,
              statements: list[ast.Statement], kind: str,
-             enqueued: float) -> ServiceReport:
+             enqueued: float, token: Optional[CancelToken],
+             deadline: Optional[float]) -> ServiceReport:
         if kind == "read":
-            return self._run_read(session, sql, statements, enqueued)
-        return self._run_write(session, sql, statements, enqueued)
+            return self._run_read(session, sql, statements, enqueued,
+                                  token, deadline)
+        return self._run_write(session, sql, statements, enqueued,
+                               token, deadline)
+
+    def _brownout_options(self, options):
+        """Cheaper evaluation options for near-capacity operation, or
+        ``options`` unchanged when the service has headroom.  Brownout
+        trades per-query speed for service-wide capacity: hash CASE
+        dispatch (no strategy search) and serial operators (no fan-out
+        competing for cores the backlog needs)."""
+        if self.brownout_fraction >= 1.0:
+            return options, False
+        capacity = self.workers + self.max_queue_depth
+        with self._lock:
+            load = self._admitted
+        if load < self.brownout_fraction * capacity:
+            return options, False
+        self._metrics.counter(
+            "service_brownout_total",
+            help="read scripts forced onto cheaper options near "
+                 "capacity").inc()
+        return dataclasses.replace(
+            options, case_dispatch="hash", parallel_backend="serial",
+            parallel_degree=1), True
 
     def _run_read(self, session: Session, sql: str,
-                  statements: list[ast.Statement],
-                  enqueued: float) -> ServiceReport:
+                  statements: list[ast.Statement], enqueued: float,
+                  token: Optional[CancelToken],
+                  deadline: Optional[float]) -> ServiceReport:
         service = self._service
         snapshot = service.snapshots.acquire()
-        reader = service.snapshots.reader(
-            snapshot, session.defaults.resolve(service.db.options))
-        wait = time.perf_counter() - enqueued
+        options, brownout = self._brownout_options(
+            session.defaults.resolve(service.db.options))
+        reader = service.snapshots.reader(snapshot, options)
+        wait = self._clock.now() - enqueued
         self._observe_wait(session, wait)
         report = ServiceReport(kind="read", sql=sql,
                                session_id=session.id,
                                snapshot_version=snapshot.version,
-                               queue_wait_seconds=wait)
-        started = time.perf_counter()
+                               queue_wait_seconds=wait,
+                               brownout=brownout,
+                               deadline_seconds=deadline)
+        started = self._clock.now()
         tracer = service.db.tracer
+        cancel_ctx = (cancel_mod.activate(token) if token is not None
+                      else nullcontext())
         # One window for the whole script: the script is the governed
-        # unit, exactly like a generated percentage plan.
-        with reader.governor.window():
+        # unit, exactly like a generated percentage plan.  The cancel
+        # token activates outside the window so every governor
+        # checkpoint inside also polls the deadline.
+        with cancel_ctx, reader.governor.window():
             reader.governor.note_queue_wait(wait)
             with tracer_mod.activate(tracer), \
                     tracer.span("script", kind="script",
@@ -250,24 +410,28 @@ class Scheduler:
                 self._run_statements(reader, statements, sql, report)
             report.trace = span
             report.governor_usage = reader.governor.usage()
-        report.elapsed_seconds = time.perf_counter() - started
+        report.elapsed_seconds = self._clock.now() - started
         return report
 
     def _run_write(self, session: Session, sql: str,
-                   statements: list[ast.Statement],
-                   enqueued: float) -> ServiceReport:
+                   statements: list[ast.Statement], enqueued: float,
+                   token: Optional[CancelToken],
+                   deadline: Optional[float]) -> ServiceReport:
         service = self._service
         db = service.db
         with service.write_lock:
-            wait = time.perf_counter() - enqueued
+            wait = self._clock.now() - enqueued
             self._observe_wait(session, wait)
             report = ServiceReport(kind="write", sql=sql,
                                    session_id=session.id,
-                                   queue_wait_seconds=wait)
-            started = time.perf_counter()
+                                   queue_wait_seconds=wait,
+                                   deadline_seconds=deadline)
+            started = self._clock.now()
             tracer = db.tracer
             savepoint = db.catalog.savepoint()
-            with db.governor.window():
+            cancel_ctx = (cancel_mod.activate(token) if token is not None
+                          else nullcontext())
+            with cancel_ctx, db.governor.window():
                 db.governor.note_queue_wait(wait)
                 try:
                     with tracer_mod.activate(tracer), \
@@ -278,6 +442,7 @@ class Scheduler:
                     report.trace = span
                 except BaseException as exc:
                     # All-or-nothing scripts: a mid-script failure
+                    # (including a deadline firing between statements)
                     # restores the pre-script catalog, so the torn
                     # middle never becomes the committed state.  A
                     # rollback failure chains under the original error
@@ -289,7 +454,7 @@ class Scheduler:
                     raise
                 report.governor_usage = db.governor.usage()
             report.snapshot_version = db.catalog.version
-        report.elapsed_seconds = time.perf_counter() - started
+        report.elapsed_seconds = self._clock.now() - started
         return report
 
     def _run_statements(self, db, statements: list[ast.Statement],

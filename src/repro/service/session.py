@@ -19,7 +19,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from repro.engine.executor import PARALLEL_BACKENDS, ExecutorOptions
-from repro.errors import AdmissionRejected, SessionClosed
+from repro.errors import (AdmissionRejected, CircuitBreakerOpen,
+                          SessionClosed)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from concurrent.futures import Future
@@ -47,6 +48,12 @@ class SessionDefaults:
     parallel_row_threshold: Optional[int] = None
     parallel_backend: Optional[str] = None
     morsel_rows: Optional[int] = None
+    #: Wall-clock deadline (seconds) every script submitted through
+    #: this session runs under.  The clock starts at *submission*, so
+    #: queue wait counts against it -- that is what lets the scheduler
+    #: shed a query whose predicted wait already exceeds it.  ``None``
+    #: falls back to the database's ``default_deadline_seconds``.
+    deadline_seconds: Optional[float] = None
     #: Not an override but a *pin*: a session cannot switch table
     #: substrates (tables are already bound to one), so a non-None
     #: value asserts the base database runs on that backend and
@@ -69,6 +76,8 @@ class SessionDefaults:
                 f"{', '.join(PARALLEL_BACKENDS)}")
         if self.morsel_rows is not None and self.morsel_rows < 1:
             raise ValueError("morsel_rows must be >= 1")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValueError("deadline_seconds must be > 0")
 
     def resolve(self, base: ExecutorOptions) -> ExecutorOptions:
         """The effective options: ``base`` with this session's
@@ -114,6 +123,13 @@ class Session:
         self._closed = False
         self._in_flight = 0
         self._connection: Optional["Connection"] = None
+        # Circuit-breaker state (driven by the scheduler): "closed"
+        # admits freely, "open" refuses until the cooldown instant,
+        # "half-open" lets trial queries through -- one success closes
+        # the breaker, one failure re-opens it.
+        self._breaker_state = "closed"
+        self._breaker_failures = 0
+        self._breaker_open_until = 0.0
 
     # ------------------------------------------------------------------
     # Query submission
@@ -176,6 +192,46 @@ class Session:
     def _release(self) -> None:
         with self._lock:
             self._in_flight -= 1
+
+    # ------------------------------------------------------------------
+    # Circuit breaker (driven by the scheduler)
+    # ------------------------------------------------------------------
+    @property
+    def breaker_state(self) -> str:
+        """``"closed"`` / ``"open"`` / ``"half-open"`` (observability;
+        the scheduler drives the transitions)."""
+        return self._breaker_state
+
+    def _breaker_allow(self, now: float) -> None:
+        """Gate a submission on the breaker; raises
+        :class:`~repro.errors.CircuitBreakerOpen` while open."""
+        with self._lock:
+            if self._breaker_state != "open":
+                return
+            if now < self._breaker_open_until:
+                remaining = self._breaker_open_until - now
+                raise CircuitBreakerOpen(
+                    f"session {self.id}'s circuit breaker is open for "
+                    f"another {remaining:.3f}s after repeated failures",
+                    retry_after_seconds=remaining)
+            self._breaker_state = "half-open"
+
+    def _breaker_note(self, ok: bool, now: float, threshold: int,
+                      cooldown: float) -> None:
+        """Record a finished query's outcome: success closes the
+        breaker; ``threshold`` consecutive failures (or one failure of
+        a half-open trial) open it for ``cooldown`` seconds."""
+        with self._lock:
+            if ok:
+                self._breaker_state = "closed"
+                self._breaker_failures = 0
+                return
+            self._breaker_failures += 1
+            if self._breaker_state == "half-open" \
+                    or self._breaker_failures >= threshold:
+                self._breaker_state = "open"
+                self._breaker_open_until = now + cooldown
+                self._breaker_failures = 0
 
     # ------------------------------------------------------------------
     def close(self) -> None:

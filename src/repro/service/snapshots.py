@@ -103,6 +103,7 @@ class SnapshotDatabase(Database):
         # opened) and meter into the base registry, so per-query state
         # stays private while the telemetry view stays whole-service.
         self.clock = base.clock
+        self.default_deadline_seconds = base.default_deadline_seconds
         self.tracer = base.tracer
         self.metrics = base.metrics
         self.executor = Executor(self.catalog, self.stats, self.options,

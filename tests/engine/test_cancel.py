@@ -1,0 +1,237 @@
+"""Cooperative cancellation: tokens, deadlines, safepoints."""
+
+import pytest
+
+from repro.api.database import Database
+from repro.engine import cancel
+from repro.engine.cancel import REASONS, SAFEPOINTS, CancelToken
+from repro.errors import ExecutionError, QueryCancelledError
+from repro.obs.clock import ManualClock
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestToken:
+    def test_live_token_passes_checkpoints(self):
+        token = CancelToken()
+        for site in SAFEPOINTS:
+            token.check(site)
+        assert not token.cancelled
+        assert token.hits == {site: 1 for site in SAFEPOINTS}
+
+    def test_cancel_fires_at_next_checkpoint(self):
+        token = CancelToken()
+        token.check("statement")
+        token.cancel()
+        with pytest.raises(QueryCancelledError) as info:
+            token.check("scan")
+        assert info.value.reason == "client"
+        assert "scan" in str(info.value)
+
+    def test_first_cancel_reason_wins(self):
+        token = CancelToken()
+        token.cancel("client")
+        token.cancel("shed")
+        assert token.reason() == "client"
+
+    def test_raises_once_then_unwinds_quietly(self):
+        """After the first raise, safepoints on the rollback/cleanup
+        path must pass so the unwind itself cannot leak."""
+        token = CancelToken()
+        token.cancel()
+        with pytest.raises(QueryCancelledError):
+            token.check("statement")
+        token.check("dml")       # cleanup DROP crosses a safepoint
+        token.poll("governor")   # and a governor checkpoint
+
+    def test_deadline_fires_with_manual_clock(self):
+        clock = ManualClock(step=0.5)
+        token = CancelToken.with_timeout(1.0, clock=clock)
+        token.check("statement")  # t=0.5: inside the deadline
+        with pytest.raises(QueryCancelledError) as info:
+            token.check("scan")   # t=1.0: expired
+        assert info.value.reason == "deadline"
+
+    def test_with_timeout_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            CancelToken.with_timeout(0.0)
+
+    def test_parent_cancellation_propagates(self):
+        parent = CancelToken()
+        child = CancelToken(parent=parent)
+        parent.cancel("client")
+        assert child.cancelled
+        with pytest.raises(QueryCancelledError):
+            child.check("statement")
+
+    def test_remaining_reports_tightest_deadline(self):
+        clock = ManualClock(step=0.0)
+        script = CancelToken.with_timeout(10.0, clock=clock)
+        statement = CancelToken.with_timeout(60.0, clock=clock,
+                                             parent=script)
+        assert statement.remaining() == pytest.approx(10.0)
+        clock.advance(4.0)
+        assert statement.remaining() == pytest.approx(6.0)
+        assert CancelToken().remaining() is None
+
+    def test_armed_cancel_at_fires_on_exact_hit(self):
+        token = CancelToken()
+        token.cancel_at = ("scan", 1)
+        token.check("scan")  # index 0: passes
+        with pytest.raises(QueryCancelledError):
+            token.check("scan")  # index 1: fires
+        assert token.hits["scan"] == 2
+
+    def test_fired_token_charges_reason_metric(self):
+        registry = MetricsRegistry()
+        token = CancelToken(registry=registry)
+        token.cancel("shed")
+        with pytest.raises(QueryCancelledError):
+            token.poll()
+        assert registry.value("query_cancelled_total",
+                              reason="shed") == 1
+
+    def test_reasons_cover_error_contract(self):
+        for reason in REASONS:
+            error = QueryCancelledError("x", reason=reason)
+            assert isinstance(error, ExecutionError)
+            assert not error.retryable
+            assert not error.fallback_eligible
+
+
+class TestAmbient:
+    def test_checkpoint_is_noop_without_token(self):
+        assert cancel.active_token() is None
+        cancel.checkpoint("statement")
+        cancel.poll()
+
+    def test_activate_installs_and_restores(self):
+        token = CancelToken()
+        with cancel.activate(token):
+            assert cancel.active_token() is token
+            inner = CancelToken()
+            with cancel.activate(inner):
+                assert cancel.active_token() is inner
+            assert cancel.active_token() is token
+        assert cancel.active_token() is None
+
+    def test_activate_none_shields_cleanup(self):
+        token = CancelToken()
+        token.cancel()
+        with cancel.activate(token):
+            with cancel.activate(None):
+                cancel.checkpoint("statement")  # shielded: no raise
+
+
+class TestDatabaseDeadlines:
+    def _db(self, **kwargs):
+        db = Database(clock=ManualClock(step=0.001), **kwargs)
+        db.execute("CREATE TABLE t (a INT, b INT)")
+        db.execute("INSERT INTO t VALUES (1, 10), (2, 20)")
+        return db
+
+    def test_expired_deadline_cancels_statement(self):
+        db = self._db()
+        with pytest.raises(QueryCancelledError) as info:
+            db.execute("SELECT a FROM t", deadline_seconds=1e-9)
+        assert info.value.reason == "deadline"
+
+    def test_generous_deadline_does_not_interfere(self):
+        db = self._db()
+        result = db.execute("SELECT a FROM t ORDER BY a",
+                            deadline_seconds=1e9)
+        assert result.to_rows() == [(1,), (2,)]
+
+    def test_default_deadline_applies_to_every_statement(self):
+        db = self._db()
+        db.default_deadline_seconds = 1e-9
+        with pytest.raises(QueryCancelledError):
+            db.execute("SELECT a FROM t")
+        # an explicit per-statement deadline overrides the default
+        assert db.execute("SELECT count(*) FROM t",
+                          deadline_seconds=1e9).to_rows() == [(2,)]
+
+    def test_explicit_cancel_token_wins(self):
+        db = self._db()
+        token = CancelToken(clock=db.clock)
+        token.cancel()
+        with pytest.raises(QueryCancelledError) as info:
+            db.execute("SELECT a FROM t", cancel_token=token)
+        assert info.value.reason == "client"
+
+    def test_cancelled_dml_rolls_back(self):
+        db = self._db()
+        token = CancelToken(clock=db.clock)
+        token.cancel_at = ("dml", 0)
+        with pytest.raises(QueryCancelledError):
+            db.execute("INSERT INTO t VALUES (3, 30)",
+                       cancel_token=token)
+        assert db.query("SELECT count(*) FROM t") == [(2,)]
+
+    def test_script_shares_one_deadline(self):
+        """The script token is created once, so later statements run
+        on the *remaining* budget and an expired budget stops the
+        script midway (with rollback-per-statement semantics)."""
+        db = self._db()
+        clock = db.clock
+        token = CancelToken.with_timeout(1e9, clock=clock)
+        db.execute_script(
+            "INSERT INTO t VALUES (3, 30); INSERT INTO t VALUES (4, 40)",
+            cancel_token=token)
+        assert db.query("SELECT count(*) FROM t") == [(4,)]
+        assert token.hits["statement"] == 2
+
+    def test_governor_checkpoints_enforce_ambient_deadline(self):
+        """check_time folds the cancel poll in, so a deadline fires at
+        governor checkpoints even between named safepoints."""
+        db = self._db()
+        token = CancelToken(clock=db.clock)
+        token.cancel("deadline")
+        with cancel.activate(token):
+            with pytest.raises(QueryCancelledError):
+                db.governor.check_time("mid-operator")
+
+    def test_explain_shows_deadline_line_only_when_active(self):
+        db = self._db()
+        plain = [r[0] for r in db.execute("EXPLAIN SELECT a FROM t")
+                 .to_rows()]
+        assert not any(r.startswith("deadline:") for r in plain)
+        lines = [r[0] for r in
+                 db.execute("EXPLAIN SELECT a FROM t",
+                            deadline_seconds=100.0).to_rows()]
+        deadline = [r for r in lines if r.startswith("deadline:")]
+        assert len(deadline) == 1
+        assert "remaining" in deadline[0]
+        # the cache line stays last, governor before deadline
+        assert lines[-1].startswith("encoding cache:")
+
+    def test_cancelled_metric_reason_deadline(self):
+        db = self._db()
+        with pytest.raises(QueryCancelledError):
+            db.execute("SELECT a FROM t", deadline_seconds=1e-9)
+        assert db.metrics.value("query_cancelled_total",
+                                reason="deadline") == 1
+
+
+class TestDbapiDeadline:
+    def test_set_deadline_maps_overrun_to_operational_error(self):
+        from repro.api import dbapi
+
+        conn = dbapi.connect(database=Database(
+            clock=ManualClock(step=0.001)))
+        cur = conn.cursor()
+        cur.execute("CREATE TABLE t (a INT)")
+        cur.execute("INSERT INTO t VALUES (1)")
+        conn.set_deadline(1e-9)
+        with pytest.raises(dbapi.OperationalError) as info:
+            cur.execute("SELECT a FROM t")
+        assert "cancelled" in str(info.value)
+        conn.set_deadline(None)
+        cur.execute("SELECT a FROM t")
+        assert cur.fetchall() == [(1,)]
+
+    def test_set_deadline_rejects_non_positive(self):
+        from repro.api import dbapi
+
+        conn = dbapi.connect()
+        with pytest.raises(dbapi.InterfaceError):
+            conn.set_deadline(0)

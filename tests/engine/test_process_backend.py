@@ -173,6 +173,41 @@ class TestFaultsAndDeath:
         finally:
             pool.shutdown()
 
+    def test_shutdown_is_idempotent(self):
+        """The atexit hook racing an explicit shutdown: the second
+        call must find the closed pool and return without touching the
+        already-closed queues or respawning workers."""
+        pool = ProcessPool(size=2)
+        assert pool.run_batch(f"{__name__}:_echo", [1]) == [2]
+        pool.shutdown()
+        assert pool._workers == []
+        pool.shutdown()  # the atexit hook's call
+        assert pool._workers == []
+
+    def test_reset_on_closed_pool_does_not_restart(self):
+        """A WorkerCrashError unwind racing teardown: _reset on a
+        closed pool must tear down without rebuilding (restarting a
+        pool nobody will use again leaks its worker processes)."""
+        pool = ProcessPool(size=2)
+        pool.shutdown()
+        pool._reset()
+        assert pool._workers == []
+
+    def test_reset_while_finalizing_does_not_restart(self, monkeypatch):
+        """During interpreter shutdown Process.start() raises, so a
+        finalizing _reset (daemon worker reaped before our teardown)
+        must not attempt a rebuild."""
+        import sys
+
+        pool = ProcessPool(size=2)
+        try:
+            monkeypatch.setattr(sys, "is_finalizing", lambda: True)
+            pool._reset()
+            assert pool._workers == []
+        finally:
+            monkeypatch.undo()
+            pool.shutdown()
+
 
 class TestObservability:
     def test_backend_metrics(self):

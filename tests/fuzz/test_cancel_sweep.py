@@ -1,0 +1,61 @@
+"""The cancel-point chaos sweep as a test, plus its self-tests (the
+sweep must not be blind to the failure classes it exists to catch)."""
+
+import pytest
+
+from repro.core import execute as execute_mod
+from repro.engine.cancel import CancelToken
+from repro.fuzz.cancelsweep import (CancelSweepStats, sweep_case_cancel,
+                                    sweep_cases_cancel)
+from repro.fuzz.generator import CaseGenerator
+
+
+def _cases(count, seed=0):
+    return list(CaseGenerator(seed=seed).cases(count))
+
+
+class TestCancelSweep:
+    def test_small_budget_sweep_is_clean(self):
+        """Every backend x storage variant over a few cases: every
+        armed shot must unwind as a clean typed cancellation."""
+        stats = sweep_cases_cancel(_cases(3))
+        assert stats.ok, "\n".join(f.describe()
+                                   for f in stats.findings)
+        assert stats.injections > 0
+        assert stats.cancelled > 0
+
+    def test_sweep_covers_all_variants(self):
+        stats = CancelSweepStats()
+        sweep_case_cancel(_cases(1)[0], stats)
+        # 2 storages x 3 backends
+        assert stats.variants == 6
+
+    @pytest.mark.allow_temp_leaks
+    def test_sweep_detects_a_leaky_unwind(self, monkeypatch):
+        """Self-test: neuter the plan cleanup and the sweep must
+        report leaked temp tables (it is not blind to leaks)."""
+        monkeypatch.setattr(execute_mod, "cleanup_plan",
+                            lambda db, plan: None)
+        stats = CancelSweepStats()
+        for case in _cases(8):
+            if case.family in ("vpct", "hpct", "hagg"):
+                sweep_case_cancel(case, stats, backends=("serial",),
+                                  storages=("memory",))
+                break
+        else:  # pragma: no cover - generator always mixes families
+            pytest.skip("no plan-generating case in sample")
+        assert any(f.problem == "temp tables leaked"
+                   for f in stats.findings)
+
+    def test_sweep_detects_a_swallowed_cancel(self, monkeypatch):
+        """Self-test: a safepoint that counts crossings but never
+        raises must surface as 'armed cancellation did not fire'."""
+        def blind_check(self, safepoint):
+            self.hits[safepoint] = self.hits.get(safepoint, 0) + 1
+
+        monkeypatch.setattr(CancelToken, "check", blind_check)
+        stats = CancelSweepStats()
+        sweep_case_cancel(_cases(1)[0], stats, backends=("serial",),
+                          storages=("memory",))
+        assert any(f.problem == "armed cancellation did not fire"
+                   for f in stats.findings)
