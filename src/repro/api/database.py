@@ -203,7 +203,8 @@ class Database:
     # ------------------------------------------------------------------
     def execute(self, sql: str,
                 deadline_seconds: Optional[float] = None,
-                cancel_token: Optional[CancelToken] = None
+                cancel_token: Optional[CancelToken] = None,
+                use_views: bool = True
                 ) -> Table | int:
         """Run one SQL statement.
 
@@ -213,22 +214,27 @@ class Database:
         statement's wall clock (a child of any ambient deadline, so the
         tighter budget wins); ``cancel_token`` attaches a caller-held
         token instead -- ``token.cancel()`` from another thread stops
-        the statement at its next safepoint.
+        the statement at its next safepoint.  ``use_views=False``
+        disables materialized-view rewrites for this statement (the
+        recompute baseline the differential oracle compares against).
         """
         statement = parse_statement(sql)
         return self._run(statement, sql,
                          deadline_seconds=deadline_seconds,
-                         cancel_token=cancel_token)
+                         cancel_token=cancel_token,
+                         use_views=use_views)
 
     def execute_statement(self, statement: ast.Statement,
                           sql: str = "",
                           deadline_seconds: Optional[float] = None,
-                          cancel_token: Optional[CancelToken] = None
+                          cancel_token: Optional[CancelToken] = None,
+                          use_views: bool = True
                           ) -> Table | int:
         """Run an already-parsed statement (used by the code generator)."""
         return self._run(statement, sql,
                          deadline_seconds=deadline_seconds,
-                         cancel_token=cancel_token)
+                         cancel_token=cancel_token,
+                         use_views=use_views)
 
     def execute_script(self, sql: str,
                        deadline_seconds: Optional[float] = None,
@@ -278,33 +284,45 @@ class Database:
 
     def _run(self, statement: ast.Statement, sql: str,
              deadline_seconds: Optional[float] = None,
-             cancel_token: Optional[CancelToken] = None) -> Table | int:
+             cancel_token: Optional[CancelToken] = None,
+             use_views: bool = True) -> Table | int:
         token = self._statement_token(deadline_seconds, cancel_token)
         cancel_ctx = cancel_mod.activate(token) if token is not None \
             else nullcontext()
         with self._lock, cancel_ctx, self.governor.window():
-            tracer = self.tracer
-            before = self.stats.snapshot()
-            started = self.clock.now()
-            with tracer_mod.activate(tracer), \
-                    tracer.span("statement", kind="statement",
-                                sql=sql or type(statement).__name__
-                                ) as span:
-                result = self.executor.execute(statement)
-                record = self.stats.diff_since(before)
-                record.sql = sql
-                record.elapsed_seconds = self.clock.now() - started
-                if span is not None:
-                    span.attrs["result_rows"] = (
-                        result.n_rows if isinstance(result, Table)
-                        else int(result))
-                    # Counter deltas on the span: what this statement
-                    # charged.  Under concurrency the diff can include
-                    # other sessions' work (shared counters); the
-                    # charge audit therefore only runs serially.
-                    span.attrs.update(record.counters())
-            self.stats.record_statement(record)
-            return result
+            # Flipped under the statement lock, so the per-statement
+            # override cannot leak into a concurrent session.
+            saved_rewrite = self.options.matview_rewrite
+            self.options.matview_rewrite = saved_rewrite and use_views
+            try:
+                return self._run_locked(statement, sql)
+            finally:
+                self.options.matview_rewrite = saved_rewrite
+
+    def _run_locked(self, statement: ast.Statement,
+                    sql: str) -> Table | int:
+        tracer = self.tracer
+        before = self.stats.snapshot()
+        started = self.clock.now()
+        with tracer_mod.activate(tracer), \
+                tracer.span("statement", kind="statement",
+                            sql=sql or type(statement).__name__
+                            ) as span:
+            result = self.executor.execute(statement)
+            record = self.stats.diff_since(before)
+            record.sql = sql
+            record.elapsed_seconds = self.clock.now() - started
+            if span is not None:
+                span.attrs["result_rows"] = (
+                    result.n_rows if isinstance(result, Table)
+                    else int(result))
+                # Counter deltas on the span: what this statement
+                # charged.  Under concurrency the diff can include
+                # other sessions' work (shared counters); the
+                # charge audit therefore only runs serially.
+                span.attrs.update(record.counters())
+        self.stats.record_statement(record)
+        return result
 
     def last_statement_stats(self) -> Optional[StatementStats]:
         if self.stats.history:

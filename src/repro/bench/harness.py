@@ -31,6 +31,52 @@ from repro.olap.windowgen import generate_olap_percentage_query
 Strategy = Union[VerticalStrategy, HorizontalStrategy,
                  HorizontalAggStrategy]
 
+#: Schema tag stamped on every suite report; bump when the shared
+#: header layout changes.
+REPORT_SCHEMA = "repro-bench/v1"
+
+
+def git_revision() -> Optional[str]:
+    """The checkout's current commit hash, or ``None`` when the bench
+    runs outside a git checkout (e.g. from an sdist)."""
+    import subprocess
+    try:
+        proc = subprocess.run(["git", "rev-parse", "HEAD"],
+                              capture_output=True, text=True,
+                              timeout=10)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    rev = proc.stdout.strip()
+    return rev if proc.returncode == 0 and rev else None
+
+
+def report_header(suite: str) -> dict:
+    """The shared header every suite report opens with, so reports
+    from different machines and revisions are comparable."""
+    import os
+    import platform
+    return {
+        "schema": REPORT_SCHEMA,
+        "suite": suite,
+        "cpu_count": os.cpu_count(),
+        "git_rev": git_revision(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+
+
+def write_report(report: dict, out: str, suite: str) -> dict:
+    """Prepend the shared header and write ``out`` as pretty JSON.
+
+    Suite keys win on collision (the concurrency and multicore
+    reports carry their own top-level ``cpu_count``; it is the same
+    value either way)."""
+    merged = {**report_header(suite), **report}
+    with open(out, "w") as handle:
+        json.dump(merged, handle, indent=2)
+        handle.write("\n")
+    return merged
+
 
 @dataclass
 class ExperimentResult:
@@ -234,7 +280,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--suite",
                         choices=("encoding-cache", "concurrency",
                                  "obs", "multicore", "storage",
-                                 "overload"),
+                                 "overload", "views"),
                         default="encoding-cache",
                         help="encoding-cache: cold/warm dictionary-"
                              "encoding sweep; concurrency: service "
@@ -248,7 +294,11 @@ def main(argv: Optional[list[str]] = None) -> int:
                              "overload: open-loop arrival ramp past "
                              "service capacity with load shedding on "
                              "vs off, plus the deadline-token "
-                             "bookkeeping overhead")
+                             "bookkeeping overhead; views: "
+                             "materialized percentage views -- delta "
+                             "maintenance vs full recompute at a 1% "
+                             "update rate, and view-answered reads vs "
+                             "cold Vpct evaluation")
     parser.add_argument("--out", default=None,
                         help="output path (default: BENCH_<suite>.json)")
     parser.add_argument("--employee", type=int, default=100_000)
@@ -269,9 +319,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         # cap the fact table so the default run stays interactive.
         report = run_concurrency_benchmark(
             sales_n=min(args.sales, 120_000), repeats=args.repeats)
-        with open(out, "w") as handle:
-            json.dump(report, handle, indent=2)
-            handle.write("\n")
+        write_report(report, out, args.suite)
         summary = report["summary"]
         print(f"wrote {out}: cpu_count={report['cpu_count']}, "
               f"{summary['best_read_throughput_qps']} qps best, "
@@ -290,9 +338,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         # cap the fact table so the default run stays interactive.
         report = run_overload_benchmark(
             sales_n=min(args.sales, 60_000), repeats=args.repeats)
-        with open(out, "w") as handle:
-            json.dump(report, handle, indent=2)
-            handle.write("\n")
+        write_report(report, out, args.suite)
         summary = report["summary"]
         print(f"wrote {out}: goodput shed-on "
               f"{summary['goodput_shed_on_qps']} qps vs shed-off "
@@ -307,15 +353,33 @@ def main(argv: Optional[list[str]] = None) -> int:
               f"{summary['deadline_overhead_within_5pct']})")
         return 0
 
+    if args.suite == "views":
+        from repro.bench.views import run_views_benchmark
+
+        out = args.out or "BENCH_views.json"
+        # The views workload is maintenance-bound, not scan-bound; cap
+        # the fact table so the default run stays interactive.
+        report = run_views_benchmark(
+            sales_n=min(args.sales, 200_000), repeats=args.repeats)
+        write_report(report, out, args.suite)
+        summary = report["summary"]
+        print(f"wrote {out}: delta maintenance "
+              f"x{summary['delta_speedup_over_full']} vs full "
+              f"recompute at 1% updates (>=5x bar: "
+              f"{summary['delta_speedup_at_least_5x']}), view reads "
+              f"x{summary['view_read_speedup_over_cold']} vs cold "
+              f"Vpct (>=10x bar: "
+              f"{summary['view_read_speedup_at_least_10x']}), "
+              f"bit-identical={summary['view_bit_identical']}")
+        return 0
+
     if args.suite == "multicore":
         from repro.bench.multicore import run_multicore_benchmark
 
         out = args.out or "BENCH_multicore.json"
         report = run_multicore_benchmark(sales_n=args.sales,
                                          repeats=args.repeats)
-        with open(out, "w") as handle:
-            json.dump(report, handle, indent=2)
-            handle.write("\n")
+        write_report(report, out, args.suite)
         summary = report["summary"]
         print(f"wrote {out}: cpu_count={report['cpu_count']}, "
               f"process x{summary['process_speedup_at_4_workers']} at "
@@ -336,9 +400,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         # fact table so the default run stays interactive.
         report = run_storage_benchmark(
             sales_n=min(args.sales, 120_000), repeats=args.repeats)
-        with open(out, "w") as handle:
-            json.dump(report, handle, indent=2)
-            handle.write("\n")
+        write_report(report, out, args.suite)
         summary = report["summary"]
         ab = report["disk_vs_memory"]
         mem_over = report["memory_overhead"]
@@ -361,9 +423,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         # table so the default run stays interactive.
         report = run_obs_benchmark(sales_n=min(args.sales, 60_000),
                                    repeats=args.repeats)
-        with open(out, "w") as handle:
-            json.dump(report, handle, indent=2)
-            handle.write("\n")
+        write_report(report, out, args.suite)
         summary = report["summary"]
         print(f"wrote {out}: tracing on "
               f"+{summary['tracing_on_overhead_fraction'] * 100:.1f}%"
@@ -377,9 +437,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     report = run_encoding_cache_benchmark(
         employee_n=args.employee, sales_n=args.sales,
         warm_repeats=args.repeats, include_widest=args.full)
-    with open(out, "w") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
+    write_report(report, out, args.suite)
     summary = report["summary"]
     print(f"wrote {out}: "
           f"{summary['speedup_warm_over_cold']}x warm-over-cold, "

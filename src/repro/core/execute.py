@@ -85,12 +85,18 @@ DEFAULT_RETRY = RetryPolicy()
 
 
 def generate_plan(db: Database, query: Union[str, PercentageQuery],
-                  strategy: Optional[Strategy] = None) -> GeneratedPlan:
+                  strategy: Optional[Strategy] = None,
+                  use_views: bool = True) -> GeneratedPlan:
     """Parse/validate a percentage query and generate its plan.
 
     With no explicit strategy the optimizer's recommendation is used.
     The strategy type selects the generator: a
     :class:`HorizontalAggStrategy` forces the SPJ form.
+
+    When a materialized view's definition matches the whole query (and
+    no strategy was forced), the plan collapses to a zero-step read of
+    the view; ``use_views=False`` opts out, which is how the
+    differential oracle obtains its recompute baseline.
 
     Generation may itself execute statements (MATERIALIZE/DISCOVER
     steps feed combination discovery); if it fails midway the catalog
@@ -99,12 +105,48 @@ def generate_plan(db: Database, query: Union[str, PercentageQuery],
     if isinstance(query, str):
         query = parse_percentage_query(query)
     validate_mod.validate(query)
+    if strategy is None and use_views:
+        view_plan = _view_plan(db, query)
+        if view_plan is not None:
+            return view_plan
     savepoint = db.catalog.savepoint()
     try:
         return _generate(db, query, strategy)
     except BaseException as exc:
         _rollback_or_chain(db, savepoint, exc)
         raise
+
+
+def _view_plan(db: Database,
+               query: PercentageQuery) -> Optional[GeneratedPlan]:
+    """A zero-step plan reading a matching materialized view, or None.
+
+    The plan's result statement is the *original* SELECT text: the
+    executor's whole-statement view rewrite serves it straight from
+    the view (refreshing first when stale), so the answer is the
+    maintained result itself -- no re-projection layer that could
+    perturb bit-identity."""
+    if not query.sql or not db.options.matview_rewrite \
+            or not db.catalog.matviews():
+        return None
+    from repro.sql import ast as sql_ast
+    from repro.sql.parser import parse_statement
+    from repro.views.rewrite import match_view
+    try:
+        select = parse_statement(query.sql)
+    except ReproError:
+        return None
+    if not isinstance(select, sql_ast.Select):
+        return None
+    mv = match_view(db.catalog, select)
+    if mv is None:
+        return None
+    base = db.catalog.table(mv.definition.base_table)
+    freshness = "fresh" if mv.fresh(base) else "stale"
+    return GeneratedPlan(
+        result_select=query.sql,
+        description=f"view: {mv.definition.name} "
+                    f"({freshness}@v{mv.base_version})")
 
 
 def _generate(db: Database, query: PercentageQuery,
@@ -318,7 +360,8 @@ def run_resilient(db: Database, query: Union[str, PercentageQuery],
                   strategy: Optional[Strategy] = None,
                   keep_temps: bool = False,
                   retry: Optional[RetryPolicy] = None,
-                  allow_fallback: bool = True) -> ExecutionReport:
+                  allow_fallback: bool = True,
+                  use_views: bool = True) -> ExecutionReport:
     """Plan and execute with automatic strategy fallback.
 
     When the plan fails with a fallback-eligible error (resource
@@ -333,7 +376,7 @@ def run_resilient(db: Database, query: Union[str, PercentageQuery],
     if isinstance(query, str):
         query = parse_percentage_query(query)
     try:
-        plan = generate_plan(db, query, strategy)
+        plan = generate_plan(db, query, strategy, use_views=use_views)
         return execute_plan(db, plan, keep_temps=keep_temps, retry=retry)
     except ReproError as exc:
         if not allow_fallback or not exc.fallback_eligible:
@@ -370,7 +413,8 @@ def run_percentage_query(db: Database,
                          strategy: Optional[Strategy] = None,
                          keep_temps: bool = False,
                          retry: Optional[RetryPolicy] = None,
-                         allow_fallback: bool = False) -> Table:
+                         allow_fallback: bool = False,
+                         use_views: bool = True) -> Table:
     """Parse, plan, execute; return the result table.
 
     Fallback is off by default so an explicitly requested strategy is
@@ -380,7 +424,8 @@ def run_percentage_query(db: Database,
     """
     report = run_resilient(db, query, strategy=strategy,
                            keep_temps=keep_temps, retry=retry,
-                           allow_fallback=allow_fallback)
+                           allow_fallback=allow_fallback,
+                           use_views=use_views)
     return report.result
 
 

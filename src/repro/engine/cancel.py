@@ -56,6 +56,7 @@ SAFEPOINTS = (
     "page-fetch",         # per column page run (storage/engine.py)
     "projection",         # final projection of a SELECT
     "dml",                # INSERT/UPDATE/DELETE entry
+    "view-maintenance",   # per measure re-aggregated (views/maintenance)
 )
 
 #: Cancellation reasons carried on the error and the metric label.

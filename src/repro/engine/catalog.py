@@ -59,6 +59,7 @@ class CatalogSavepoint:
     tables: dict[str, Table] = field(default_factory=dict)
     views: dict[str, object] = field(default_factory=dict)
     indexes: dict[str, HashIndex] = field(default_factory=dict)
+    matviews: dict[str, object] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -78,6 +79,8 @@ class CatalogSnapshot:
     views: Mapping[str, object]
     indexes: Mapping[str, HashIndex]
     fingerprint: tuple
+    matviews: Mapping[str, object] = \
+        field(default_factory=lambda: MappingProxyType({}))
 
 
 class Catalog:
@@ -115,13 +118,17 @@ class Catalog:
         self._tables: dict[str, Table] = {}
         self._indexes: dict[str, HashIndex] = {}
         self._views: dict[str, object] = {}  # name -> ast.Select
+        # name -> repro.views.state.MaterializedView (immutable;
+        # maintenance publishes replacement objects, never mutates)
+        self._matviews: dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # Copy-on-write publication
     # ------------------------------------------------------------------
     def _publish(self, tables: dict[str, Table] | None = None,
                  views: dict[str, object] | None = None,
-                 indexes: dict[str, HashIndex] | None = None) -> None:
+                 indexes: dict[str, HashIndex] | None = None,
+                 matviews: dict[str, object] | None = None) -> None:
         """Atomically swap in replacement name-space dicts.
 
         Callers pass *new* dict objects (never the published ones
@@ -135,6 +142,8 @@ class Catalog:
                 self._views = views
             if indexes is not None:
                 self._indexes = indexes
+            if matviews is not None:
+                self._matviews = matviews
             self.version += 1
 
     def snapshot(self) -> CatalogSnapshot:
@@ -143,15 +152,16 @@ class Catalog:
         reads, so capture can't interleave with a half-applied swap).
         """
         with self._publish_lock:
-            tables, views, indexes = \
-                self._tables, self._views, self._indexes
+            tables, views, indexes, matviews = \
+                self._tables, self._views, self._indexes, self._matviews
             version = self.version
         return CatalogSnapshot(
             version=version,
             tables=MappingProxyType(tables),
             views=MappingProxyType(views),
             indexes=MappingProxyType(indexes),
-            fingerprint=_fingerprint(tables, views, indexes))
+            fingerprint=_fingerprint(tables, views, indexes, matviews),
+            matviews=MappingProxyType(matviews))
 
     @classmethod
     def from_snapshot(cls, snapshot: CatalogSnapshot,
@@ -173,6 +183,7 @@ class Catalog:
         overlay._tables = dict(snapshot.tables)
         overlay._views = dict(snapshot.views)
         overlay._indexes = dict(snapshot.indexes)
+        overlay._matviews = dict(snapshot.matviews)
         overlay.version = snapshot.version
         return overlay
 
@@ -197,6 +208,8 @@ class Catalog:
             raise CatalogError(f"table {table.name!r} already exists")
         if key in self._views:
             raise CatalogError(f"{table.name!r} is a view")
+        if key in self._matviews:
+            raise CatalogError(f"{table.name!r} is a materialized view")
         self.validate_schema(table.schema)
         if replace and key in self._tables:
             self.encoding_cache.invalidate_table(key)
@@ -218,14 +231,22 @@ class Catalog:
         except KeyError:
             raise CatalogError(f"no such table: {name!r}") from None
 
-    def replace_table(self, table: Table) -> None:
+    def replace_table(self, table: Table,
+                      matviews: Mapping[str, object] | None = None
+                      ) -> None:
         """Swap in new contents for an existing table and refresh its
         indexes.  The replacement carries a fresh version, so its
         cached encodings start cold; the old version's entries are
         dropped eagerly.  Indexes on the table are replaced by freshly
         digested *new* objects (never rebuilt in place), so snapshot
         holders keep index digests consistent with their table
-        version."""
+        version.
+
+        ``matviews`` optionally carries delta-maintained replacement
+        materialized views (key -> MaterializedView); they are
+        published in the *same* atomic swap as the table, so no reader
+        can observe the new table with a stale view object (or vice
+        versa)."""
         key = table.name.lower()
         if key not in self._tables:
             raise CatalogError(f"no such table: {table.name!r}")
@@ -242,7 +263,11 @@ class Catalog:
                                     index.column_names)
                 rebuilt.rebuild(table, cache=self.encoding_cache)
                 indexes[idx_name] = rebuilt
-        self._publish(tables=tables, indexes=indexes)
+        merged = None
+        if matviews:
+            merged = dict(self._matviews)
+            merged.update(matviews)
+        self._publish(tables=tables, indexes=indexes, matviews=merged)
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
         key = name.lower()
@@ -258,7 +283,13 @@ class Catalog:
         indexes = {idx_name: idx for idx_name, idx in
                    self._indexes.items()
                    if idx.table_name.lower() != key}
-        self._publish(tables=tables, indexes=indexes)
+        # Dependent materialized views cannot outlive their base: drop
+        # them in the same atomic publish (their WAL records ride on
+        # the recorded base table, so recovery cascades identically).
+        matviews = {mv_key: mv for mv_key, mv in self._matviews.items()
+                    if mv.definition.base_table != key}
+        self._publish(tables=tables, indexes=indexes,
+                      matviews=matviews)
 
     def table_names(self) -> list[str]:
         return [t.name for t in self._tables.values()]
@@ -272,6 +303,8 @@ class Catalog:
         key = name.lower()
         if key in self._tables:
             raise CatalogError(f"{name!r} is a table")
+        if key in self._matviews:
+            raise CatalogError(f"{name!r} is a materialized view")
         if key in self._views and not replace:
             raise CatalogError(f"view {name!r} already exists")
         if len(name) > self.max_name_length:
@@ -307,6 +340,77 @@ class Catalog:
 
     def view_names(self) -> list[str]:
         return list(self._views)
+
+    # ------------------------------------------------------------------
+    # Materialized views (repro.views; delta-maintained snapshots of
+    # percentage/group-by queries over one base table)
+    # ------------------------------------------------------------------
+    def create_matview(self, mv) -> None:
+        """Register a freshly built MaterializedView."""
+        key = mv.key
+        if key in self._tables:
+            raise CatalogError(f"{mv.name!r} is a table")
+        if key in self._views:
+            raise CatalogError(f"{mv.name!r} is a view")
+        if key in self._matviews:
+            raise CatalogError(
+                f"materialized view {mv.name!r} already exists")
+        if len(mv.name) > self.max_name_length:
+            raise CatalogError(
+                f"identifier {mv.name!r} is {len(mv.name)} characters; "
+                f"the maximum is {self.max_name_length}")
+        if self.storage is not None:
+            self.storage.log_create_matview(
+                key, mv.definition.sql, mv.definition.base_table,
+                display_name=mv.definition.name)
+        matviews = dict(self._matviews)
+        matviews[key] = mv
+        self._publish(matviews=matviews)
+
+    def publish_matviews(self, replacements: Mapping[str, object]
+                         ) -> None:
+        """Swap in replacement view objects (refresh-on-read and
+        REFRESH publish through here; definitions are unchanged so
+        nothing needs logging)."""
+        if not replacements:
+            return
+        matviews = dict(self._matviews)
+        matviews.update(replacements)
+        self._publish(matviews=matviews)
+
+    def has_matview(self, name: str) -> bool:
+        return name.lower() in self._matviews
+
+    def matview(self, name: str):
+        try:
+            return self._matviews[name.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"no such materialized view: {name!r}") from None
+
+    def drop_matview(self, name: str, if_exists: bool = False) -> None:
+        key = name.lower()
+        if key not in self._matviews:
+            if if_exists:
+                return
+            raise CatalogError(f"no such materialized view: {name!r}")
+        if self.storage is not None:
+            self.storage.log_drop_matview(key)
+        matviews = dict(self._matviews)
+        del matviews[key]
+        self._publish(matviews=matviews)
+
+    def matview_names(self) -> list[str]:
+        return list(self._matviews)
+
+    def matviews(self) -> Mapping[str, object]:
+        return self._matviews
+
+    def matviews_on(self, table_name: str) -> list:
+        """Materialized views whose base is ``table_name``."""
+        key = table_name.lower()
+        return [mv for mv in self._matviews.values()
+                if mv.definition.base_table == key]
 
     # ------------------------------------------------------------------
     # Indexes
@@ -368,7 +472,8 @@ class Catalog:
         with self._publish_lock:
             return CatalogSavepoint(tables=dict(self._tables),
                                     views=dict(self._views),
-                                    indexes=dict(self._indexes))
+                                    indexes=dict(self._indexes),
+                                    matviews=dict(self._matviews))
 
     def fingerprint(self) -> tuple:
         """An identity snapshot for crash-consistency checks.
@@ -380,7 +485,8 @@ class Catalog:
         pin the objects (so ``id`` values cannot be recycled).
         """
         with self._publish_lock:
-            return _fingerprint(self._tables, self._views, self._indexes)
+            return _fingerprint(self._tables, self._views,
+                                self._indexes, self._matviews)
 
     def rollback(self, savepoint: CatalogSavepoint) -> None:
         """Restore the catalog to ``savepoint``.
@@ -414,17 +520,24 @@ class Catalog:
             # in the log, the restore record replayed after them lands
             # the recovered store back on the savepoint state.
             self.storage.log_restore(savepoint.tables, savepoint.views,
-                                     indexes)
+                                     indexes,
+                                     matviews=savepoint.matviews)
+        # Materialized views snap back with their tables: each captured
+        # MaterializedView is immutable and was published atomically
+        # with the table version it matches, so the restored pair is
+        # consistent by construction (no stale hit after rollback).
         self._publish(tables=dict(savepoint.tables),
                       views=dict(savepoint.views),
-                      indexes=indexes)
+                      indexes=indexes,
+                      matviews=dict(savepoint.matviews))
 
     # ------------------------------------------------------------------
     # Recovery (storage engine only)
     # ------------------------------------------------------------------
     def bootstrap(self, tables: Mapping[str, Table],
                   views: Mapping[str, object],
-                  indexes: Mapping[str, HashIndex]) -> None:
+                  indexes: Mapping[str, HashIndex],
+                  matviews: Mapping[str, object] | None = None) -> None:
         """Publish recovered name spaces wholesale, bypassing the
         storage hooks (the state *came from* the store; re-logging it
         would be circular).  Called once by
@@ -433,12 +546,16 @@ class Catalog:
         for table in tables.values():
             table.seal_cache_tokens()
         self._publish(tables=dict(tables), views=dict(views),
-                      indexes=dict(indexes))
+                      indexes=dict(indexes),
+                      matviews=dict(matviews) if matviews is not None
+                      else None)
 
 
 def _fingerprint(tables: Mapping[str, Table],
                  views: Mapping[str, object],
-                 indexes: Mapping[str, HashIndex]) -> tuple:
+                 indexes: Mapping[str, HashIndex],
+                 matviews: Mapping[str, object] = {}) -> tuple:
     return (tuple(sorted((k, id(t)) for k, t in tables.items())),
             tuple(sorted(views)),
-            tuple(sorted((k, id(i)) for k, i in indexes.items())))
+            tuple(sorted((k, id(i)) for k, i in indexes.items())),
+            tuple(sorted((k, id(m)) for k, m in matviews.items())))

@@ -88,6 +88,13 @@ class ExecutorOptions:
         behind a buffer pool).  Informational at the executor level
         (tables arrive already bound to their backend); EXPLAIN
         reports it.
+    ``matview_rewrite``:
+        when True (default), a SELECT that matches a registered
+        materialized view's canonical definition is answered from the
+        view (refreshing it first when stale), and percentage queries
+        short-circuit through :func:`repro.core.execute.generate_plan`
+        the same way.  ``Database.execute(..., use_views=False)``
+        disables it per statement for recompute baselines.
     """
 
     case_dispatch: str = "linear"
@@ -98,6 +105,7 @@ class ExecutorOptions:
     parallel_backend: str = "thread"
     morsel_rows: int = 8192
     storage: str = "memory"
+    matview_rewrite: bool = True
 
 
 #: Default row count below which parallel aggregation is not worth the
@@ -292,6 +300,14 @@ class Executor:
         if isinstance(statement, ast.DropView):
             self.catalog.drop_view(statement.name, statement.if_exists)
             return 0
+        if isinstance(statement, ast.CreateMaterializedView):
+            return self._create_matview(statement)
+        if isinstance(statement, ast.DropMaterializedView):
+            self.catalog.drop_matview(statement.name,
+                                      statement.if_exists)
+            return 0
+        if isinstance(statement, ast.RefreshMaterializedView):
+            return self._refresh_matview(statement)
         if isinstance(statement, ast.Explain):
             from repro.engine.explain import (explain_analyze_statement,
                                               explain_statement)
@@ -306,6 +322,9 @@ class Executor:
     # ------------------------------------------------------------------
     def run_select(self, select: ast.Select,
                    result_name: str = "result") -> Table:
+        mv = self.matview_for_select(select)
+        if mv is not None:
+            return self._serve_matview(mv).renamed(result_name)
         self._reject_extended(select)
         dataset = self._build_dataset(select)
         frame = dataset.frame()
@@ -408,6 +427,10 @@ class Executor:
     def _materialize_source(self, source: ast.FromSource
                             ) -> tuple[Table, Optional[str]]:
         if isinstance(source, ast.TableRef):
+            if self.catalog.has_matview(source.name):
+                mv = self.catalog.matview(source.name)
+                served = self._serve_matview(mv)
+                return served.renamed(source.binding), None
             if self.catalog.has_view(source.name):
                 view = self.run_select(self.catalog.view(source.name),
                                        result_name=source.binding)
@@ -834,6 +857,116 @@ class Executor:
     # ------------------------------------------------------------------
     # DML
     # ------------------------------------------------------------------
+    # ------------------------------------------------------------------
+    # Materialized views (repro.views)
+    # ------------------------------------------------------------------
+    def matview_for_select(self, select: ast.Select):
+        """The materialized view answering ``select`` whole, if any.
+
+        Matching is by canonical statement text (the whole-SELECT
+        structural rewrite); gated by ``options.matview_rewrite`` so
+        recompute baselines can bypass views.  No side effects --
+        EXPLAIN uses this too."""
+        if not self.options.matview_rewrite \
+                or not self.catalog.matviews():
+            return None
+        from repro.views.rewrite import match_view
+        return match_view(self.catalog, select)
+
+    def _serve_matview(self, mv) -> Table:
+        """The view's result, refreshed first when stale.
+
+        A fresh hit costs O(1); a stale view (its base was replaced
+        without maintenance, e.g. by CREATE TABLE ... REPLACE or a raw
+        catalog swap) is fully rebuilt and the replacement published
+        before serving, so no reader ever sees stale rows."""
+        base = self.catalog.table(mv.definition.base_table)
+        registry = self.stats.registry
+        lag = base.version - mv.base_version
+        registry.gauge(
+            "view_staleness_lag",
+            help="base-table versions ahead of the served view",
+            view=mv.name).set(max(0, lag))
+        if mv.fresh(base):
+            registry.counter(
+                "view_hits_total",
+                help="reads answered from a materialized view",
+                view=mv.name).inc()
+            return mv.result
+        refreshed, elapsed = self._timed_refresh(mv.definition, base)
+        self.catalog.publish_matviews({refreshed.key: refreshed})
+        self._observe_refresh(mv.name, "full", elapsed)
+        registry.gauge("view_staleness_lag",
+                       help="base-table versions ahead of the served "
+                            "view",
+                       view=mv.name).set(0)
+        return refreshed.result
+
+    def _timed_refresh(self, definition, table):
+        import time
+
+        from repro.views import maintenance
+        start = time.perf_counter()
+        refreshed = maintenance.refresh(definition, table, self.stats)
+        return refreshed, time.perf_counter() - start
+
+    def _observe_refresh(self, view_name: str, mode: str,
+                         elapsed: float) -> None:
+        registry = self.stats.registry
+        registry.counter(
+            "view_refreshes_total",
+            help="materialized-view refreshes by maintenance mode",
+            view=view_name, mode=mode).inc()
+        registry.gauge(
+            "view_maintenance_seconds",
+            help="seconds spent in the last refresh of this view",
+            view=view_name, mode=mode).set(elapsed)
+
+    def _maintain_matviews(self, old_table: Table, new_table: Table,
+                           change) -> Optional[dict]:
+        """Delta-maintain every view on ``old_table`` for one DML.
+
+        Returns replacement view objects for
+        :meth:`Catalog.replace_table` to publish atomically with the
+        new table, or None when the table has no dependent views."""
+        dependents = self.catalog.matviews_on(old_table.name)
+        if not dependents:
+            return None
+        import time
+
+        from repro.views import maintenance
+        replacements: dict[str, object] = {}
+        for mv in dependents:
+            start = time.perf_counter()
+            refreshed, mode = maintenance.maintain(
+                mv, old_table, new_table, change, self.stats)
+            elapsed = time.perf_counter() - start
+            replacements[refreshed.key] = refreshed
+            self._observe_refresh(mv.name, mode, elapsed)
+        return replacements
+
+    def _create_matview(self, statement: ast.CreateMaterializedView
+                        ) -> int:
+        from repro.views.maintenance import build_matview
+        if self.catalog.has_matview(statement.name):
+            from repro.errors import CatalogError
+            raise CatalogError(f"materialized view {statement.name!r} "
+                               f"already exists")
+        mv = build_matview(self.catalog, statement.name,
+                           statement.select, self.stats)
+        self.catalog.create_matview(mv)
+        self._charge("write", rows_written=mv.result.n_rows)
+        return mv.result.n_rows
+
+    def _refresh_matview(self, statement: ast.RefreshMaterializedView
+                         ) -> int:
+        mv = self.catalog.matview(statement.name)
+        base = self.catalog.table(mv.definition.base_table)
+        refreshed, elapsed = self._timed_refresh(mv.definition, base)
+        self.catalog.publish_matviews({refreshed.key: refreshed})
+        self._observe_refresh(mv.name, "full", elapsed)
+        return refreshed.result.n_rows
+
     def _create_table(self, statement: ast.CreateTable) -> int:
         if statement.if_not_exists \
                 and self.catalog.has_table(statement.name):
@@ -877,7 +1010,10 @@ class Executor:
             rows.append(tuple(values[c.name.lower()]
                               for c in schema.columns))
         appended = table.append(Table.from_rows(schema, rows))
-        self.catalog.replace_table(appended)
+        self.catalog.replace_table(
+            appended,
+            matviews=self._maintain_matviews(
+                table, appended, ("insert", table.n_rows)))
         self._charge("write", rows_written=len(rows))
         self.governor.charge_rows(len(rows), "insert")
         return len(rows)
@@ -905,7 +1041,10 @@ class Executor:
         # Reorder block columns into schema order before appending.
         ordered = {c.name: block.column(c.name) for c in schema.columns}
         appended = table.append(Table(schema, ordered))
-        self.catalog.replace_table(appended)
+        self.catalog.replace_table(
+            appended,
+            matviews=self._maintain_matviews(
+                table, appended, ("insert", table.n_rows)))
         self._charge("write", rows_written=result.n_rows)
         self.governor.charge_rows(result.n_rows, "insert-select")
         return result.n_rows
@@ -953,7 +1092,10 @@ class Executor:
             if col_def.name.lower() not in assigned:
                 updated = updated.replace_column(
                     col_def.name, updated.column(col_def.name).copy())
-        self.catalog.replace_table(updated)
+        self.catalog.replace_table(
+            updated,
+            matviews=self._maintain_matviews(
+                table, updated, ("update", to_update)))
         count = int(to_update.sum())
         self._charge("update", rows_updated=count)
         self.governor.charge_rows(n, "update")
@@ -1054,7 +1196,11 @@ class Executor:
             hit = np.asarray(mask_col.values, dtype=bool) & ~mask_col.nulls
             keep = ~hit
         deleted = n - int(keep.sum())
-        self.catalog.replace_table(table.filter(keep))
+        kept = table.filter(keep)
+        self.catalog.replace_table(
+            kept,
+            matviews=self._maintain_matviews(
+                table, kept, ("delete", keep)))
         self._charge("update", rows_updated=deleted)
         self.governor.charge_rows(n, "delete")
         return deleted

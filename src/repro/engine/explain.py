@@ -66,7 +66,11 @@ def _plan_table(lines: list[str]) -> Table:
 def _plan_lines(executor, statement: ast.Statement) -> list[str]:
     lines: list[str] = []
     if isinstance(statement, ast.Select):
-        _explain_select(executor, statement, lines, indent=0)
+        mv = executor.matview_for_select(statement)
+        if mv is not None:
+            lines.append(_matview_line(executor, mv))
+        else:
+            _explain_select(executor, statement, lines, indent=0)
     elif isinstance(statement, ast.InsertSelect):
         lines.append(f"insert into {statement.table}")
         _explain_select(executor, statement.select, lines, indent=1)
@@ -236,8 +240,20 @@ def _source_schema(executor, source: ast.FromSource):
     return None      # derived table
 
 
+def _matview_line(executor, mv) -> str:
+    """The answered-from-a-materialized-view plan row; freshness is
+    relative to the base table's current version."""
+    base = executor.catalog.table(mv.definition.base_table)
+    freshness = "fresh" if mv.fresh(base) else "stale"
+    return f"view: {mv.definition.name} ({freshness}@v{mv.base_version})"
+
+
 def _scan_line(executor, source: ast.FromSource) -> str:
     if isinstance(source, ast.TableRef):
+        if executor.catalog.has_matview(source.name):
+            return _matview_line(
+                executor, executor.catalog.matview(source.name)) \
+                .replace("view: ", "materialized view scan ", 1)
         if executor.catalog.has_view(source.name):
             return f"view scan {source.name}"
         if executor.catalog.has_table(source.name):

@@ -215,3 +215,7 @@ class TypeMismatchError(PlanningError):
 
 class PercentageQueryError(ReproError):
     """A percentage query violates the paper's usage rules."""
+
+
+class MaterializedViewError(PlanningError):
+    """A materialized-view definition or operation is unsupported."""

@@ -12,6 +12,9 @@ Examples::
     python -m repro.fuzz --seed 0 --budget 100 --storage disk
     python -m repro.fuzz --fault-sweep --storage disk --seed 0 --budget 20
     python -m repro.fuzz --cancel-sweep --seed 0 --budget 10
+    python -m repro.fuzz --views --seed 0 --budget 20
+    python -m repro.fuzz --views --budget 10 --inject-bug views-skip-retraction
+    python -m repro.fuzz --list-variants
 
 Exit status 0 means every case was consistent across all strategies
 and the sqlite oracle; 1 means at least one divergence (each one is
@@ -32,6 +35,13 @@ the unwind (typed error, no leaks, bit-identical re-run; see
 validates the trace after each run (well-formed span trees, charge
 audits, statement-count drift against the stats ledger); a malformed
 trace surfaces as a divergence.
+``--views`` switches to the materialized-view maintenance sweep: each
+case's query becomes a materialized view, a deterministic interleaved
+DML script mutates the base table, and after every statement the
+view-served answer must be bit-identical to a from-scratch recompute
+(see :mod:`repro.fuzz.views`).
+``--list-variants`` prints the backend x storage x trace variant
+matrix the sweeps iterate, with one-line descriptions, and exits.
 """
 
 from __future__ import annotations
@@ -47,6 +57,7 @@ from repro.fuzz.corpus import load_corpus, save_repro
 from repro.fuzz.generator import CaseGenerator, FuzzCase
 from repro.fuzz.reducer import reduce_case
 from repro.fuzz.runner import INJECTABLE_BUGS, run_case
+from repro.views.maintenance import VIEWS_BUGS
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -67,10 +78,13 @@ def build_parser() -> argparse.ArgumentParser:
                         default="fuzz-failures",
                         help="where minimized divergences are written "
                              "(default: fuzz-failures/)")
-    parser.add_argument("--inject-bug", choices=INJECTABLE_BUGS,
+    parser.add_argument("--inject-bug",
+                        choices=INJECTABLE_BUGS + VIEWS_BUGS,
                         default=None,
-                        help="deliberately mis-compile one variant; "
-                             "the run must diverge (harness self-test)")
+                        help="deliberately mis-compile one variant "
+                             "(or, with --views, break one maintenance "
+                             "path); the run must diverge (harness "
+                             "self-test)")
     parser.add_argument("--stop-on-first", action="store_true",
                         help="exit after minimizing the first "
                              "divergence")
@@ -130,17 +144,70 @@ def build_parser() -> argparse.ArgumentParser:
                              "typed QueryCancelledError with no "
                              "catalog/shm/store leakage and a "
                              "bit-identical re-run")
+    parser.add_argument("--views", action="store_true",
+                        help="run the materialized-view maintenance "
+                             "sweep: each case's query becomes a "
+                             "materialized view, interleaved DML "
+                             "mutates its base table, and every "
+                             "view-served read must match a "
+                             "from-scratch recompute bit-for-bit "
+                             "(per backend x storage variant; narrow "
+                             "with --backend/--storage)")
+    parser.add_argument("--list-variants", action="store_true",
+                        help="print the backend x storage x trace "
+                             "variant matrix and exit")
     parser.add_argument("-q", "--quiet", action="store_true",
                         help="suppress per-divergence detail")
     return parser
 
 
+#: One-line description per axis value of the variant matrix.
+_AXIS_DESCRIPTIONS = {
+    "serial": "interpreted engine, one worker (the baseline plans)",
+    "thread": "thread pool, 2 workers, row threshold 0 (every "
+              "aggregation partitions)",
+    "process": "shared-memory process pool, 2 workers, 2-row morsels "
+               "(leaked segments are divergences)",
+    "memory": "in-memory column store (the default substrate)",
+    "disk": "page-backed store, 8-page buffer pool (evictions on "
+            "purpose; stray files are divergences)",
+    "untraced": "no span capture (fastest)",
+    "traced": "span trees validated + charge audits after every run",
+}
+
+
+def _list_variants() -> int:
+    print("variant matrix (backend x storage x trace):")
+    for backend in ("serial", "thread", "process"):
+        for storage in ("memory", "disk"):
+            for trace in ("untraced", "traced"):
+                name = f"{backend}/{storage}/{trace}"
+                print(f"  {name:<24} backend: "
+                      f"{_AXIS_DESCRIPTIONS[backend]}")
+                print(f"  {'':<24} storage: "
+                      f"{_AXIS_DESCRIPTIONS[storage]}")
+                print(f"  {'':<24} trace:   "
+                      f"{_AXIS_DESCRIPTIONS[trace]}")
+    print("sweeps: differential (default), --fault-sweep, "
+          "--cancel-sweep, --views; select axes with --backend, "
+          "--storage, --trace")
+    return 0
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.fault_sweep and args.cancel_sweep:
-        print("error: --fault-sweep and --cancel-sweep are mutually "
-              "exclusive", file=sys.stderr)
+    if args.list_variants:
+        return _list_variants()
+    if sum((args.fault_sweep, args.cancel_sweep, args.views)) > 1:
+        print("error: --fault-sweep, --cancel-sweep and --views are "
+              "mutually exclusive", file=sys.stderr)
         return 2
+    if args.inject_bug in VIEWS_BUGS and not args.views:
+        print(f"error: --inject-bug {args.inject_bug} requires "
+              f"--views", file=sys.stderr)
+        return 2
+    if args.views:
+        return _views(args)
     if args.cancel_sweep:
         return _cancel_sweep(args)
     if args.fault_sweep:
@@ -261,6 +328,41 @@ def _cancel_sweep(args: argparse.Namespace) -> int:
           f"storages: {', '.join(storages)}) in {elapsed:.1f}s")
     for finding in stats.findings:
         print(f"FINDING: {finding.describe()}", file=sys.stderr)
+    return 0 if stats.ok else 1
+
+
+def _views(args: argparse.Namespace) -> int:
+    from repro.fuzz.views import (BACKENDS, STORAGES, ViewSweepStats,
+                                  sweep_case_views)
+
+    if args.inject_bug is not None and args.inject_bug not in VIEWS_BUGS:
+        print(f"error: --views supports --inject-bug "
+              f"{'/'.join(VIEWS_BUGS)} only", file=sys.stderr)
+        return 2
+    backends = tuple(args.backend or BACKENDS)
+    storages = tuple(args.storage or STORAGES)
+    generator = CaseGenerator(seed=args.seed)
+    started = time.monotonic()
+    stats = ViewSweepStats()
+    for case in generator.cases(args.budget):
+        if args.max_seconds is not None and \
+                time.monotonic() - started > args.max_seconds:
+            print(f"time budget reached after {stats.cases} cases")
+            break
+        sweep_case_views(case, stats, backends=backends,
+                         storages=storages,
+                         inject_bug=args.inject_bug)
+    elapsed = time.monotonic() - started
+    print(f"{stats.summary()} "
+          f"(backends: {', '.join(backends)}; "
+          f"storages: {', '.join(storages)}) in {elapsed:.1f}s")
+    if not args.quiet:
+        for finding in stats.findings:
+            print(f"FINDING: {finding.describe()}", file=sys.stderr)
+    if args.inject_bug and stats.ok:
+        print(f"error: --inject-bug {args.inject_bug} produced no "
+              f"finding -- the sweep is blind to it", file=sys.stderr)
+        return 1
     return 0 if stats.ok else 1
 
 

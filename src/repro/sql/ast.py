@@ -343,6 +343,28 @@ class DropView(Statement):
 
 
 @dataclass(frozen=True)
+class CreateMaterializedView(Statement):
+    """``CREATE MATERIALIZED VIEW name AS select`` -- snapshot a
+    percentage/group-by query as delta-maintained per-group state."""
+
+    name: str
+    select: Select
+
+
+@dataclass(frozen=True)
+class DropMaterializedView(Statement):
+    name: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class RefreshMaterializedView(Statement):
+    """``REFRESH MATERIALIZED VIEW name`` -- force a full recompute."""
+
+    name: str
+
+
+@dataclass(frozen=True)
 class Explain(Statement):
     """``EXPLAIN [ANALYZE] statement`` -- returns the evaluation plan
     as text; with ANALYZE the statement also *executes* and the plan is

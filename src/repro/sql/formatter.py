@@ -51,6 +51,16 @@ def format_statement(statement: ast.Statement) -> str:
     if isinstance(statement, ast.DropView):
         clause = "IF EXISTS " if statement.if_exists else ""
         return f"DROP VIEW {clause}{quote_ident(statement.name)}"
+    if isinstance(statement, ast.CreateMaterializedView):
+        return (f"CREATE MATERIALIZED VIEW {quote_ident(statement.name)}"
+                f" AS {format_select(statement.select)}")
+    if isinstance(statement, ast.DropMaterializedView):
+        clause = "IF EXISTS " if statement.if_exists else ""
+        return (f"DROP MATERIALIZED VIEW {clause}"
+                f"{quote_ident(statement.name)}")
+    if isinstance(statement, ast.RefreshMaterializedView):
+        return (f"REFRESH MATERIALIZED VIEW "
+                f"{quote_ident(statement.name)}")
     if isinstance(statement, ast.Explain):
         keyword = "EXPLAIN ANALYZE" if statement.analyze else "EXPLAIN"
         return f"{keyword} {format_statement(statement.statement)}"

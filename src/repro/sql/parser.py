@@ -151,6 +151,11 @@ class _Parser:
             return self._update()
         if self.peek_keyword("DELETE"):
             return self._delete()
+        if self.accept_keyword("REFRESH"):
+            self.expect_keyword("MATERIALIZED")
+            self.expect_keyword("VIEW")
+            name = self.expect_ident("view name")
+            return ast.RefreshMaterializedView(name)
         raise self.error("expected a SQL statement")
 
     # -- SELECT ---------------------------------------------------------
@@ -295,6 +300,11 @@ class _Parser:
             name = self.expect_ident("view name")
             self.expect_keyword("AS")
             return ast.CreateView(name, self.select())
+        if self.accept_keyword("MATERIALIZED"):
+            self.expect_keyword("VIEW")
+            name = self.expect_ident("view name")
+            self.expect_keyword("AS")
+            return ast.CreateMaterializedView(name, self.select())
         if self.accept_keyword("INDEX"):
             name = self.expect_ident("index name")
             self.expect_keyword("ON")
@@ -303,7 +313,8 @@ class _Parser:
             columns = self._ident_list()
             self.expect_symbol(")")
             return ast.CreateIndex(name, table, tuple(columns))
-        raise self.error("expected TABLE or INDEX after CREATE")
+        raise self.error("expected TABLE, VIEW, MATERIALIZED VIEW or "
+                         "INDEX after CREATE")
 
     def _create_table(self) -> ast.Statement:
         if_not_exists = False
@@ -353,11 +364,17 @@ class _Parser:
             if_exists = self._if_exists()
             name = self.expect_ident("view name")
             return ast.DropView(name, if_exists)
+        if self.accept_keyword("MATERIALIZED"):
+            self.expect_keyword("VIEW")
+            if_exists = self._if_exists()
+            name = self.expect_ident("view name")
+            return ast.DropMaterializedView(name, if_exists)
         if self.accept_keyword("INDEX"):
             if_exists = self._if_exists()
             name = self.expect_ident("index name")
             return ast.DropIndex(name, if_exists)
-        raise self.error("expected TABLE, VIEW or INDEX after DROP")
+        raise self.error("expected TABLE, VIEW, MATERIALIZED VIEW or "
+                         "INDEX after DROP")
 
     def _if_exists(self) -> bool:
         if self.accept_keyword("IF"):

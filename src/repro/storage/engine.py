@@ -213,6 +213,22 @@ class StorageEngine:
         with self._lock:
             self._commit({"op": "drop_view", "name": name.lower()})
 
+    def log_create_matview(self, name: str, sql: str, base: str,
+                           display_name: str | None = None) -> None:
+        """Materialized views are *definitions-durable*: the WAL and
+        checkpoint carry the defining SQL and base-table key; the
+        per-group state is rebuilt from the recovered base table at
+        reopen (rebuild-on-recovery keeps the bit-identity contract
+        without serializing float state)."""
+        with self._lock:
+            self._commit({"op": "create_matview", "name": name.lower(),
+                          "display_name": display_name or name,
+                          "sql": sql, "base": base})
+
+    def log_drop_matview(self, name: str) -> None:
+        with self._lock:
+            self._commit({"op": "drop_matview", "name": name.lower()})
+
     def log_create_index(self, index: HashIndex) -> None:
         with self._lock:
             self._commit({"op": "create_index",
@@ -224,7 +240,8 @@ class StorageEngine:
 
     def log_restore(self, tables: Mapping[str, Table],
                     views: Mapping[str, Any],
-                    indexes: Mapping[str, HashIndex]) -> None:
+                    indexes: Mapping[str, HashIndex],
+                    matviews: Mapping[str, Any] | None = None) -> None:
         """One record re-asserting the whole catalog state (savepoint
         rollback).  Every table must already be page-backed -- true by
         construction on a storage-backed catalog, where every publish
@@ -244,6 +261,8 @@ class StorageEngine:
                           for key, view in views.items()},
                 "indexes": [_index_entry(idx)
                             for idx in indexes.values()],
+                "matviews": {key: _matview_entry(mv)
+                             for key, mv in (matviews or {}).items()},
             })
 
     # ------------------------------------------------------------------
@@ -274,6 +293,8 @@ class StorageEngine:
                           for key, view in snap.views.items()},
                 "indexes": [_index_entry(idx)
                             for idx in snap.indexes.values()],
+                "matviews": {key: _matview_entry(mv)
+                             for key, mv in snap.matviews.items()},
             }
             tmp = os.path.join(self.path, _CHECKPOINT_TMP)
             with open(tmp, "w") as handle:
@@ -303,6 +324,7 @@ class StorageEngine:
             tables: dict[str, dict] = {}
             views: dict[str, str] = {}
             indexes: dict[str, dict] = {}
+            matviews: dict[str, dict] = {}
             next_page_id = 0
             had_state = False
             if os.path.exists(self._checkpoint_path):
@@ -323,11 +345,12 @@ class StorageEngine:
                 views = dict(state.get("views", {}))
                 indexes = {e["name"]: e
                            for e in state.get("indexes", [])}
+                matviews = dict(state.get("matviews", {}))
                 next_page_id = int(state.get("next_page_id", 0))
             records = self.wal.replay()
             had_state = had_state or bool(records)
             for record in records:
-                _apply_record(record, tables, views, indexes)
+                _apply_record(record, tables, views, indexes, matviews)
             if not had_state:
                 # Fresh store: nothing to recover; leave the catalog
                 # alone and start from a clean checkpoint baseline.
@@ -369,6 +392,22 @@ class StorageEngine:
                 recovered_indexes[key] = index
             catalog.bootstrap(recovered_tables, recovered_views,
                               recovered_indexes)
+            if matviews:
+                # Rebuild (never deserialize) each materialized view
+                # from its recorded definition against the recovered
+                # base tables: crash recovery and clean reopen land on
+                # the same state a fresh CREATE would produce.
+                from repro.views.maintenance import build_matview
+                recovered_matviews: dict[str, Any] = {}
+                for key, entry in matviews.items():
+                    if entry["base"] not in recovered_tables:
+                        continue
+                    select = parse_statement(entry["sql"])
+                    recovered_matviews[key] = build_matview(
+                        catalog, entry.get("display_name", key), select)
+                catalog.bootstrap(recovered_tables, recovered_views,
+                                  recovered_indexes,
+                                  matviews=recovered_matviews)
             self.checkpoint(catalog)
             return True
 
@@ -450,6 +489,15 @@ def _schema_from_entry(entry: dict) -> TableSchema:
         entry.get("primary_key", ()))
 
 
+def _matview_entry(mv) -> dict:
+    return {
+        "name": mv.key,
+        "display_name": mv.definition.name,
+        "sql": mv.definition.sql,
+        "base": mv.definition.base_table,
+    }
+
+
 def _index_entry(index: HashIndex) -> dict:
     return {
         "name": index.name.lower(),
@@ -460,9 +508,12 @@ def _index_entry(index: HashIndex) -> dict:
 
 
 def _apply_record(record: dict, tables: dict, views: dict,
-                  indexes: dict) -> None:
+                  indexes: dict,
+                  matviews: dict | None = None) -> None:
     """Redo one WAL record against the manifest dicts (idempotent:
     records always carry the full new state of the name they touch)."""
+    if matviews is None:
+        matviews = {}
     op = record.get("op")
     if op in ("create_table", "replace_table"):
         entry = record["table"]
@@ -473,10 +524,21 @@ def _apply_record(record: dict, tables: dict, views: dict,
         for idx_key in [k for k, e in indexes.items()
                         if e["table"].lower() == key]:
             indexes.pop(idx_key)
+        for mv_key in [k for k, e in matviews.items()
+                       if e["base"] == key]:
+            matviews.pop(mv_key)
     elif op == "create_view":
         views[record["name"]] = record["sql"]
     elif op == "drop_view":
         views.pop(record["name"], None)
+    elif op == "create_matview":
+        matviews[record["name"]] = {
+            "name": record["name"],
+            "display_name": record.get("display_name",
+                                       record["name"]),
+            "sql": record["sql"], "base": record["base"]}
+    elif op == "drop_matview":
+        matviews.pop(record["name"], None)
     elif op == "create_index":
         entry = record["index"]
         indexes[entry["name"]] = entry
@@ -489,6 +551,8 @@ def _apply_record(record: dict, tables: dict, views: dict,
         views.update(record["views"])
         indexes.clear()
         indexes.update({e["name"]: e for e in record["indexes"]})
+        matviews.clear()
+        matviews.update(record.get("matviews", {}))
     else:
         raise StorageError(f"unknown WAL record op {op!r}")
 

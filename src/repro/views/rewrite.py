@@ -1,0 +1,358 @@
+"""Deriving view results from state, and matching queries to views.
+
+Derivation replicates the engine's own evaluation strategies *column
+by column* so a view-answered read is bit-identical to a recompute:
+
+* **plain** group-by -- select items in position order, factorize row
+  order (sorted keys, NULL first / NaN last), raw kernel result types.
+* **vertical** (``Vpct``) -- the default join-insert strategy: REAL
+  fine sums (Fk), denominators accumulated through the fj lattice
+  (coarser totals sum the smallest finer total with the same
+  argument, in its sorted-key order -- the exact float addend order
+  the engine's ``sum(total) FROM fj GROUP BY ...`` consumes), the
+  three-way NULL/zero-denominator CASE division, result ordered by the
+  full GROUP BY.
+* **horizontal** (``Hpct``/``Hagg``) -- the direct (source=F)
+  strategy: combinations discovered as sorted DISTINCT BY-tuples of
+  WHERE-passing rows, CASE cells (absent combination 0 for Hpct /
+  NULL for Hagg, zero-or-NULL denominator nulls the Hpct row, count
+  guarded on match existence, DEFAULT coalesce), declared cell types.
+
+:func:`derive_delta` is the selective path: when a DML changes no
+group's existence (no births/deaths, and for horizontal views no
+combination changes) only the result rows whose numerator group was
+touched -- or, for Vpct, whose denominator group changed -- are
+re-derived; every other row's column data is reused bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.core import common, model
+from repro.core.naming import NamingPolicy, combo_column_name
+from repro.engine.column import ColumnData
+from repro.engine.table import Table
+from repro.engine.types import SQLType
+from repro.sql.formatter import format_select
+from repro.views.state import (HORIZONTAL, PLAIN, VERTICAL, DeltaInfo,
+                               ViewDefinition, ViewState,
+                               normalize_key, sort_key)
+
+
+# ----------------------------------------------------------------------
+# Full derivation
+# ----------------------------------------------------------------------
+def derive(definition: ViewDefinition, state: ViewState) -> Table:
+    """Derive the full result table; refreshes the patch caches."""
+    level = state.levels[0]
+    order = level.ordered_slots()
+    named = _key_columns(definition, state, order)
+    if definition.kind == PLAIN:
+        named = _interleave_plain(definition, named,
+                                  _cells(definition, state, order))
+    else:
+        if definition.kind == HORIZONTAL:
+            state.combos = _discover_combos(definition, state)
+        for (_, sql_type, values), name in zip(
+                _cells(definition, state, order),
+                _cell_names(definition, state)):
+            named.append((name, ColumnData.from_values(sql_type,
+                                                       values)))
+    table = Table.from_columns(definition.name, named)
+    state.result = table
+    state.row_of_slot = {slot: row for row, slot in enumerate(order)}
+    return table
+
+
+def _key_columns(definition, state, order) -> list:
+    level = state.levels[0]
+    named = []
+    if definition.kind == PLAIN:
+        return named
+    for i, column in enumerate(definition.group_by):
+        values = [level.keys[s][i] for s in order]
+        named.append((column, ColumnData.from_values(
+            definition.key_types[i], values)))
+    return named
+
+
+def _interleave_plain(definition, named, cells) -> list:
+    """Plain views emit keys and aggregates in select-item order."""
+    out = list(named)
+    for (pos, sql_type, values), name in zip(cells,
+                                             definition.plain_names):
+        out.append((name, ColumnData.from_values(sql_type, values)))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Selective re-derivation
+# ----------------------------------------------------------------------
+def derive_delta(definition: ViewDefinition, state: ViewState,
+                 delta: DeltaInfo) -> Table:
+    """Patch only changed rows of the previous result when no group
+    was born or retracted; otherwise fall back to a full derive."""
+    previous = state.result
+    if previous is None or state.row_of_slot is None \
+            or not delta.primary_stable():
+        return derive(definition, state)
+    if definition.kind == HORIZONTAL and not delta.fine_stable():
+        return derive(definition, state)
+    slots = _patch_slots(definition, state, delta)
+    if not slots:
+        return previous
+    rows = np.array([state.row_of_slot[s] for s in slots],
+                    dtype=np.int64)
+    patched = {pos: (sql_type, values)
+               for pos, sql_type, values in
+               _cells(definition, state, slots)}
+    named = []
+    for pos, col_def in enumerate(previous.schema.columns):
+        data = previous.column(col_def.name)
+        if pos in patched:
+            sql_type, values = patched[pos]
+            small = ColumnData.from_values(sql_type, values)
+            merged = data.values.copy()
+            nulls = data.nulls.copy()
+            merged[rows] = small.values
+            nulls[rows] = small.nulls
+            data = ColumnData(sql_type, merged, nulls)
+        named.append((col_def.name, data))
+    table = Table.from_columns(definition.name, named)
+    state.result = table
+    return table
+
+
+def _patch_slots(definition, state, delta) -> list[int]:
+    from repro.views import maintenance
+
+    touched = set(delta.touched[0])
+    if definition.kind == VERTICAL and \
+            maintenance.INJECT_BUG != "views-stale-denominator":
+        # Any row sharing a denominator group with a touched row may
+        # see a new percentage; fold those groups in.
+        level = state.levels[0]
+        group_by = definition.group_by
+        for plan in definition.vplans:
+            if not plan.is_vpct:
+                continue
+            pos = [group_by.index(c) for c in plan.totals]
+            changed = {normalize_key(tuple(level.keys[s][p]
+                                           for p in pos))
+                       for s in touched}
+            for slot in level.slots.values():
+                if normalize_key(tuple(level.keys[slot][p]
+                                       for p in pos)) in changed:
+                    touched.add(slot)
+    return sorted(touched)
+
+
+# ----------------------------------------------------------------------
+# Cell computation (shared by full derive and patching)
+# ----------------------------------------------------------------------
+def _cells(definition, state, slots
+           ) -> list[tuple[int, SQLType, list]]:
+    """Non-key cell values for the given primary slots, as
+    ``(result column position, type, values)`` triples."""
+    if definition.kind == PLAIN:
+        return _plain_cells(definition, state, slots)
+    if definition.kind == VERTICAL:
+        return _vertical_cells(definition, state, slots)
+    return _horizontal_cells(definition, state, slots)
+
+
+def _plain_cells(definition, state, slots):
+    level = state.levels[0]
+    cells = []
+    for pos, (kind, idx) in enumerate(definition.plain_items):
+        if kind == "key":
+            cells.append((pos, definition.key_types[idx],
+                          [level.keys[s][idx] for s in slots]))
+        else:
+            cells.append((pos, level.measure_types[idx],
+                          [level.values[idx][s] for s in slots]))
+    return cells
+
+
+def _vertical_cells(definition, state, slots):
+    level = state.levels[0]
+    group_by = definition.group_by
+    totals = _vertical_totals(definition, state)
+    cells = []
+    for idx, plan in enumerate(definition.vplans):
+        pos = len(group_by) + idx
+        if not plan.is_vpct:
+            cells.append((pos, plan.out_type,
+                          [level.values[idx][s] for s in slots]))
+            continue
+        projection = [group_by.index(c) for c in plan.totals]
+        total_map = totals[idx]
+        values: list[Any] = []
+        for s in slots:
+            raw = level.keys[s]
+            total = total_map[normalize_key(
+                tuple(raw[p] for p in projection))]
+            numerator = level.values[idx][s]
+            if total is None or total == 0 or numerator is None:
+                values.append(None)
+            else:
+                values.append(float(numerator) / total)
+        cells.append((pos, SQLType.REAL, values))
+    return cells
+
+
+def _vertical_totals(definition, state) -> dict[int, dict]:
+    """Denominator sums per Vpct term, via the engine's fj lattice.
+
+    Fine sums are accumulated in sorted fine-key order (the fk table's
+    row order); a coarser total that can source a finer one accumulates
+    that fj's totals in *its* sorted-key order instead -- replicating
+    ``sum(...) FROM <source> GROUP BY <totals>`` addend for addend.
+    NULL handling matches SQL ``sum``: NULLs are skipped and an
+    all-NULL group's total is NULL.
+    """
+    level = state.levels[0]
+    group_by = definition.group_by
+    order = level.ordered_slots()
+    entries_by_plan: dict[int, dict] = {}
+    for plan_idx, source_idx in definition.lattice:
+        plan = definition.vplans[plan_idx]
+        entries: dict[tuple, list] = {}
+        if source_idx is None:
+            projection = [group_by.index(c) for c in plan.totals]
+            for s in order:
+                raw_key = level.keys[s]
+                raw = tuple(raw_key[p] for p in projection)
+                value = level.values[plan_idx][s]
+                _accumulate(entries, raw,
+                            None if value is None else float(value))
+        else:
+            source = definition.vplans[source_idx]
+            projection = [source.totals.index(c)
+                          for c in plan.totals]
+            source_entries = sorted(
+                entries_by_plan[source_idx].values(),
+                key=lambda entry: sort_key(entry[0]))
+            for raw_source, value in source_entries:
+                raw = tuple(raw_source[p] for p in projection)
+                _accumulate(entries, raw, value)
+        entries_by_plan[plan_idx] = entries
+    return {plan_idx: {key: entry[1]
+                       for key, entry in entries.items()}
+            for plan_idx, entries in entries_by_plan.items()}
+
+
+def _accumulate(entries: dict, raw: tuple,
+                value: Optional[float]) -> None:
+    key = normalize_key(raw)
+    current = entries.get(key)
+    if current is None:
+        entries[key] = [raw, value]
+    elif value is not None:
+        current[1] = value if current[1] is None \
+            else current[1] + value
+
+
+def _discover_combos(definition, state) -> list[list[tuple]]:
+    """Distinct BY-tuples among live fine slots, sorted -- the same
+    combinations ``SELECT DISTINCT ... ORDER BY ...`` discovers over
+    the WHERE-passing rows."""
+    n_keys = len(definition.group_by)
+    combos = []
+    for level in state.levels[1:]:
+        seen: dict[tuple, tuple] = {}
+        for key, slot in level.slots.items():
+            seen.setdefault(key[n_keys:], level.keys[slot][n_keys:])
+        combos.append(sorted(seen.values(), key=sort_key))
+    return combos
+
+
+def _horizontal_cells(definition, state, slots):
+    coarse = state.levels[0]
+    n_keys = len(definition.group_by)
+    combos = state.combos
+    if combos is None:
+        combos = _discover_combos(definition, state)
+        state.combos = combos
+    cells = []
+    pos = n_keys
+    for plan in definition.hplans:
+        if plan.kind == model.VERTICAL:
+            cells.append((pos, plan.out_type,
+                          [coarse.values[plan.coarse_measure][s]
+                           for s in slots]))
+            pos += 1
+            continue
+        fine = state.levels[plan.level]
+        fine_values = fine.values[plan.fine_measure]
+        for combo in combos[plan.level - 1]:
+            combo_key = normalize_key(combo)
+            values: list[Any] = []
+            for s in slots:
+                slot = fine.slots.get(
+                    normalize_key(coarse.keys[s]) + combo_key)
+                if plan.kind == model.HPCT:
+                    total = coarse.values[plan.coarse_measure][s]
+                    if total is None or total == 0:
+                        values.append(None)
+                    elif slot is None:
+                        values.append(0.0)
+                    else:
+                        numerator = fine_values[slot]
+                        values.append(
+                            None if numerator is None
+                            else float(numerator) / float(total))
+                else:
+                    value = None if slot is None else fine_values[slot]
+                    if value is None and plan.default is not None:
+                        value = plan.default
+                    values.append(value)
+            cells.append((pos, plan.out_type, values))
+            pos += 1
+    return cells
+
+
+def _cell_names(definition, state) -> list[str]:
+    """Non-key output column names, in cell order.
+
+    Horizontal names interleave plain-term names with per-combination
+    names through one shared ``used`` set, exactly as the engine's
+    direct strategy builds its FH column list."""
+    if definition.kind == VERTICAL:
+        return [plan.name for plan in definition.vplans]
+    used = {c.lower() for c in definition.group_by}
+    policy = NamingPolicy()
+    names = []
+    for plan in definition.hplans:
+        term = definition.query.terms[plan.position]
+        if plan.kind == model.VERTICAL:
+            names.append(common.vertical_term_name(term, used))
+            continue
+        label = f"{term.label()}_" if definition.multiple else ""
+        for combo in state.combos[plan.level - 1]:
+            names.append(combo_column_name(
+                term.by_columns, combo, policy,
+                definition.max_name_length, used, prefix=label))
+    return names
+
+
+# ----------------------------------------------------------------------
+# Query matching
+# ----------------------------------------------------------------------
+def match_view(catalog, select) -> Optional[object]:
+    """The materialized view whose canonical definition text equals
+    this SELECT's, if any (whole-statement structural rewrite)."""
+    matviews = catalog.matviews()
+    if not matviews:
+        return None
+    try:
+        canonical = format_select(select)
+    except TypeError:  # pragma: no cover - non-select statements
+        return None
+    for mv in matviews.values():
+        if mv.definition.sql == canonical:
+            return mv
+    return None

@@ -1,0 +1,580 @@
+"""Materialized-view definitions and per-group aggregate state.
+
+A materialized percentage view keeps, for each *group level* it needs,
+a base-row-aligned group-id array plus per-slot membership counts and
+partial-aggregate values.  Slots are append-only: a group that loses
+its last member row is retracted (removed from the key index, count
+pinned at zero) but its slot number is never reused, so stale
+references cannot alias a new group.
+
+Levels per view kind:
+
+* **plain** group-by -- one level keyed by the GROUP BY columns, one
+  measure per aggregate select item.
+* **vertical** (``Vpct``) -- one fine level keyed by the full GROUP BY;
+  per term either the fine ``sum`` (Vpct numerators; coarse
+  denominators are re-accumulated from the fine sums at derive time,
+  replicating the engine's fj lattice) or the plain aggregate.
+* **horizontal** (``Hpct``/``Hagg``) -- a coarse level keyed by the
+  GROUP BY (row denominators and plain terms) plus one fine level per
+  distinct ``BY`` column set (cell numerators; slot liveness doubles
+  as the "combination has rows" predicate of the paper's CASE cells).
+
+NULL group keys are first-class: a key component of ``None`` is a real
+slot key (SQL GROUP BY groups NULLs together), and NaN is mapped to a
+module sentinel because ``float('nan') != float('nan')`` would
+otherwise split one group per row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.core import common, model
+from repro.core import validate as validate_mod
+from repro.engine.types import SQLType
+from repro.errors import MaterializedViewError
+from repro.sql import ast
+from repro.sql.formatter import format_select
+
+PLAIN = "plain"
+VERTICAL = "vertical"
+HORIZONTAL = "horizontal"
+
+
+class _NanKey:
+    """Dictionary-stable stand-in for NaN group-key components."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NaN"
+
+
+NAN_KEY = _NanKey()
+
+
+def normalize_component(value: Any) -> Any:
+    """A hashable, self-equal form of one key component."""
+    if isinstance(value, float) and value != value:
+        return NAN_KEY
+    return value
+
+
+def normalize_key(values: tuple) -> tuple:
+    return tuple(normalize_component(v) for v in values)
+
+
+def sort_component(value: Any) -> tuple:
+    """Mirror the engine's encoded order: NULL first, NaN last.
+
+    :func:`repro.engine.groupby.encode_column` gives NULL code 0 and
+    ranks non-NULL values by ``np.unique`` (ascending, NaN sorted
+    last), so derived result rows ordered by these tuples match the
+    executor's factorize order and ``ORDER BY`` output exactly.
+    """
+    if value is None:
+        return (0, 0)
+    if value is NAN_KEY or (isinstance(value, float) and value != value):
+        return (2, 0)
+    return (1, value)
+
+
+def sort_key(values: tuple) -> tuple:
+    return tuple(sort_component(v) for v in values)
+
+
+# ----------------------------------------------------------------------
+# State layout
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MeasureSpec:
+    """One partial aggregate maintained at a level."""
+
+    func: str                       # count/sum/avg/min/max/var/stdev
+    argument: Optional[ast.Expr]    # None => count(*)
+    distinct: bool = False
+
+
+class GroupLevel:
+    """Per-group state for one key set.
+
+    ``group_ids`` is aligned with the base table's rows; ``-1`` marks
+    rows failing the view's WHERE clause.  ``slots`` maps normalized
+    key tuples to slot numbers; ``keys``/``counts``/``values`` are
+    indexed by slot (``values`` holds one native-Python value, or
+    ``None`` for SQL NULL, per measure per slot).
+    """
+
+    __slots__ = ("columns", "measures", "measure_types", "group_ids",
+                 "slots", "keys", "counts", "values")
+
+    def __init__(self, columns: tuple[str, ...],
+                 measures: tuple[MeasureSpec, ...]):
+        self.columns = tuple(columns)
+        self.measures = tuple(measures)
+        self.measure_types: list[Optional[SQLType]] = \
+            [None] * len(measures)
+        self.group_ids = np.empty(0, dtype=np.int64)
+        self.slots: dict[tuple, int] = {}
+        self.keys: list[tuple] = []
+        self.counts: list[int] = []
+        self.values: list[list[Any]] = [[] for _ in measures]
+
+    @property
+    def n_slots(self) -> int:
+        return len(self.keys)
+
+    def live_slots(self) -> list[int]:
+        return list(self.slots.values())
+
+    def ordered_slots(self) -> list[int]:
+        """Live slots in the engine's result-row order."""
+        return sorted(self.slots.values(),
+                      key=lambda s: sort_key(self.keys[s]))
+
+    def clone(self) -> "GroupLevel":
+        """A maintenance working copy; shared immutables stay shared.
+
+        ``group_ids`` is shared by reference -- every maintenance path
+        replaces it wholesale (concatenate/filter/copy-then-assign),
+        never mutates the published array in place.
+        """
+        twin = GroupLevel.__new__(GroupLevel)
+        twin.columns = self.columns
+        twin.measures = self.measures
+        twin.measure_types = list(self.measure_types)
+        twin.group_ids = self.group_ids
+        twin.slots = dict(self.slots)
+        twin.keys = list(self.keys)
+        twin.counts = list(self.counts)
+        twin.values = [list(v) for v in self.values]
+        return twin
+
+
+class ViewState:
+    """All levels of one view plus derive caches.
+
+    The caches (last derived result, its slot-to-row map, discovered
+    BY combinations) let delta maintenance patch only changed result
+    rows; they are replaced -- never mutated -- alongside the state.
+    """
+
+    __slots__ = ("levels", "n_rows", "result", "row_of_slot", "combos")
+
+    def __init__(self, levels: list[GroupLevel]):
+        self.levels = levels
+        self.n_rows = 0
+        self.result = None           # Table of the last derive
+        self.row_of_slot: Optional[dict[int, int]] = None
+        self.combos: Optional[list[list[tuple]]] = None
+
+    def clone(self) -> "ViewState":
+        twin = ViewState([level.clone() for level in self.levels])
+        twin.n_rows = self.n_rows
+        twin.result = self.result
+        twin.row_of_slot = self.row_of_slot
+        twin.combos = self.combos
+        return twin
+
+
+@dataclass
+class DeltaInfo:
+    """What one maintenance step touched, per level."""
+
+    touched: list[list[int]]
+    births: list[bool]
+    deaths: list[bool]
+
+    def primary_stable(self) -> bool:
+        return not (self.births[0] or self.deaths[0])
+
+    def fine_stable(self) -> bool:
+        return not (any(self.births[1:]) or any(self.deaths[1:]))
+
+
+# ----------------------------------------------------------------------
+# Definition analysis
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class VTermPlan:
+    """Derive plan for one term of a vertical (Vpct) view."""
+
+    position: int                   # index into query.terms
+    name: str                       # FV output column
+    out_type: SQLType               # FV column type (Vpct -> REAL)
+    is_vpct: bool
+    totals: tuple[str, ...] = ()    # denominator key (group_by - by)
+
+
+@dataclass(frozen=True)
+class HTermPlan:
+    """Derive plan for one term of a horizontal (Hpct/Hagg) view."""
+
+    position: int
+    kind: str                       # model.VERTICAL / HPCT / HAGG
+    func: str
+    out_type: SQLType               # declared FH cell type
+    by_columns: tuple[str, ...] = ()
+    coarse_measure: Optional[int] = None   # denominator / plain agg
+    level: Optional[int] = None            # fine level index in state
+    fine_measure: Optional[int] = None
+    default: Optional[Any] = None
+
+
+@dataclass(frozen=True)
+class ViewDefinition:
+    """Everything data-independent about one materialized view."""
+
+    name: str
+    select: ast.Select
+    sql: str                        # canonical format_select text
+    kind: str                       # PLAIN / VERTICAL / HORIZONTAL
+    base_table: str                 # lower-case catalog key
+    binding: str                    # alias or table name for evaluation
+    group_by: tuple[str, ...]
+    key_types: tuple[SQLType, ...]
+    where: Optional[ast.Expr] = None
+    max_name_length: int = 128
+    # plain views: select items as ("key", key index) / ("agg",
+    # measure index), plus precomputed deduped output names.
+    plain_items: tuple[tuple[str, int], ...] = ()
+    plain_names: tuple[str, ...] = ()
+    # vertical views: one plan per term (term order) and the fj
+    # lattice: (vplan index, source vplan index or None) in the
+    # engine's generation order.
+    vplans: tuple[VTermPlan, ...] = ()
+    lattice: tuple[tuple[int, Optional[int]], ...] = ()
+    # horizontal views.
+    hplans: tuple[HTermPlan, ...] = ()
+    by_sets: tuple[tuple[str, ...], ...] = ()
+    multiple: bool = False
+    query: Optional[model.PercentageQuery] = field(default=None,
+                                                   compare=False)
+
+    def level_specs(self) -> list[tuple[tuple[str, ...],
+                                        tuple[MeasureSpec, ...]]]:
+        """(columns, measures) per level; index 0 is the primary."""
+        if self.kind == PLAIN:
+            measures = tuple(
+                _plain_measures(self.select))
+            return [(self.group_by, measures)]
+        if self.kind == VERTICAL:
+            measures = []
+            for term in self.query.terms:
+                if term.kind == model.VPCT:
+                    measures.append(MeasureSpec("sum", term.argument))
+                else:
+                    measures.append(MeasureSpec(
+                        term.func, term.argument, term.distinct))
+            return [(self.group_by, tuple(measures))]
+        # Horizontal: coarse denominators/plain terms + one fine level
+        # per BY set.
+        coarse: list[MeasureSpec] = []
+        fine: dict[tuple[str, ...], list[MeasureSpec]] = \
+            {by: [] for by in self.by_sets}
+        for plan in self.hplans:
+            term = self.query.terms[plan.position]
+            if plan.kind == model.HPCT:
+                coarse.append(MeasureSpec("sum", term.argument))
+                fine[plan.by_columns].append(
+                    MeasureSpec("sum", term.argument))
+            elif plan.kind == model.HAGG:
+                fine[plan.by_columns].append(MeasureSpec(
+                    term.func, term.argument, term.distinct))
+            else:
+                coarse.append(MeasureSpec(
+                    term.func, term.argument, term.distinct))
+        levels = [(self.group_by, tuple(coarse))]
+        for by in self.by_sets:
+            levels.append((self.group_by + by, tuple(fine[by])))
+        return levels
+
+
+def _plain_measures(select: ast.Select) -> list[MeasureSpec]:
+    measures = []
+    for item in select.items:
+        if isinstance(item.expr, ast.FuncCall):
+            call = item.expr
+            if call.args and isinstance(call.args[0], ast.Star):
+                measures.append(MeasureSpec("count", None))
+            else:
+                measures.append(MeasureSpec(
+                    call.name, call.args[0], call.distinct))
+    return measures
+
+
+def _reject(condition: bool, why: str) -> None:
+    if condition:
+        raise MaterializedViewError(
+            f"unsupported materialized-view definition: {why}")
+
+
+def analyze_view(catalog, name: str, select: ast.Select
+                 ) -> ViewDefinition:
+    """Classify and pre-plan a CREATE MATERIALIZED VIEW definition.
+
+    Raises :class:`~repro.errors.MaterializedViewError` for anything
+    the delta-maintenance engine cannot keep exactly equal to a
+    from-scratch recompute (joins, subqueries, HAVING/ORDER BY/LIMIT/
+    DISTINCT, expression group keys, empty GROUP BY).
+    """
+    _reject(select.from_ is None, "a FROM clause is required")
+    _reject(bool(select.from_.joins), "joins are not supported")
+    _reject(not isinstance(select.from_.first, ast.TableRef),
+            "subquery sources are not supported")
+    ref = select.from_.first
+    base = catalog.table(ref.name)   # raises CatalogError if missing
+    _reject(catalog.has_view(ref.name),
+            "the base must be a table, not a view")
+    _reject(select.distinct, "DISTINCT is not supported")
+    _reject(select.having is not None, "HAVING is not supported")
+    _reject(bool(select.order_by), "ORDER BY is not supported")
+    _reject(select.limit is not None, "LIMIT is not supported")
+    _reject(not select.group_by, "a non-empty GROUP BY is required")
+    if select.where is not None:
+        _reject(ast.contains_aggregate(select.where),
+                "aggregates in WHERE are not supported")
+
+    sql = format_select(select)
+    is_percentage = any(
+        isinstance(item.expr, ast.FuncCall)
+        and (item.expr.name in ("vpct", "hpct") or item.expr.by_columns)
+        for item in select.items)
+    if is_percentage:
+        return _analyze_percentage(catalog, name, select, sql, ref,
+                                   base)
+    return _analyze_plain(catalog, name, select, sql, ref, base)
+
+
+def _key_types(base, group_by) -> tuple[SQLType, ...]:
+    types = []
+    for column in group_by:
+        _reject(not base.schema.has_column(column),
+                f"no column {column!r} in table {base.name!r}")
+        types.append(base.schema.column_type(column))
+    return tuple(types)
+
+
+class _SchemaShim:
+    """Just enough of the Database surface for infer_expr_type."""
+
+    def __init__(self, catalog):
+        self._catalog = catalog
+
+    def table(self, name: str):
+        return self._catalog.table(name)
+
+
+def _analyze_percentage(catalog, name, select, sql, ref, base
+                        ) -> ViewDefinition:
+    query = model.build_percentage_query(select, sql)
+    validate_mod.validate(query)
+    _reject(query.source_select is not None,
+            "multi-table percentage sources are not supported")
+    _reject(ref.alias is not None,
+            "aliased percentage sources are not supported")
+    group_by = tuple(query.group_by)
+    key_types = _key_types(base, group_by)
+    shim = _SchemaShim(catalog)
+    kind = VERTICAL if query.has_vertical_pct else HORIZONTAL
+    if kind == VERTICAL:
+        vplans, lattice = _plan_vertical(shim, query)
+        return ViewDefinition(
+            name=name, select=select, sql=sql, kind=kind,
+            base_table=query.table.lower(), binding=ref.binding,
+            group_by=group_by, key_types=key_types, where=query.where,
+            max_name_length=catalog.max_name_length, vplans=vplans,
+            lattice=lattice, query=query)
+    hplans, by_sets = _plan_horizontal(shim, query)
+    return ViewDefinition(
+        name=name, select=select, sql=sql, kind=kind,
+        base_table=query.table.lower(), binding=ref.binding,
+        group_by=group_by, key_types=key_types, where=query.where,
+        max_name_length=catalog.max_name_length, hplans=hplans,
+        by_sets=by_sets,
+        multiple=len(query.horizontal_terms()) > 1, query=query)
+
+
+def _plan_vertical(shim, query) -> tuple[tuple[VTermPlan, ...],
+                                         tuple[tuple[int,
+                                                     Optional[int]],
+                                               ...]]:
+    """Mirror generate_vertical's naming, typing and fj lattice."""
+    used = {c.lower() for c in query.group_by}
+    plans = []
+    for position, term in enumerate(query.terms):
+        column = common.vertical_term_name(term, used)
+        if term.kind == model.VPCT:
+            # _totals_of: GROUP BY minus BY; no BY => global totals.
+            if term.by_columns:
+                by = set(term.by_columns)
+                totals = tuple(c for c in query.group_by
+                               if c not in by)
+            else:
+                totals = ()
+            plans.append(VTermPlan(position, column, SQLType.REAL,
+                                   True, totals))
+        else:
+            if term.argument is not None:
+                arg_type = common.infer_expr_type(
+                    shim, query.table, term.argument)
+                out = common.storage_type(term.func, arg_type)
+            else:
+                out = SQLType.INTEGER
+            plans.append(VTermPlan(position, column, out, False))
+    # fj generation order: Vpct plans by descending totals arity
+    # (stable), each sourcing the smallest already-generated plan with
+    # an AST-equal argument and strictly finer totals -- so coarse
+    # denominators accumulate finer denominators in exactly the
+    # engine's float addend order.
+    vpct = [i for i, p in enumerate(plans) if p.is_vpct]
+    order = sorted(vpct, key=lambda i: -len(plans[i].totals))
+    lattice = []
+    generated: list[int] = []
+    for i in order:
+        source: Optional[int] = None
+        for j in generated:
+            if query.terms[j].argument != query.terms[i].argument:
+                continue
+            if not set(plans[i].totals) < set(plans[j].totals):
+                continue
+            if source is None or \
+                    len(plans[j].totals) < len(plans[source].totals):
+                source = j
+        lattice.append((i, source))
+        generated.append(i)
+    return tuple(plans), tuple(lattice)
+
+
+def _plan_horizontal(shim, query) -> tuple[tuple[HTermPlan, ...],
+                                           tuple[tuple[str, ...],
+                                                 ...]]:
+    """Mirror the direct (source=F) horizontal strategy's cells."""
+    by_sets: list[tuple[str, ...]] = []
+    coarse = 0
+    fine_counts: dict[tuple[str, ...], int] = {}
+    plans = []
+    for position, term in enumerate(query.terms):
+        if term.is_horizontal:
+            by = tuple(term.by_columns)
+            if by not in fine_counts:
+                fine_counts[by] = 0
+                by_sets.append(by)
+            level = by_sets.index(by) + 1
+            fine_measure = fine_counts[by]
+            fine_counts[by] += 1
+            if term.kind == model.HPCT:
+                plans.append(HTermPlan(
+                    position, term.kind, term.func, SQLType.REAL,
+                    by_columns=by, coarse_measure=coarse, level=level,
+                    fine_measure=fine_measure))
+                coarse += 1
+            else:
+                if term.func == "count":
+                    out = SQLType.INTEGER
+                else:
+                    arg_type = common.infer_expr_type(
+                        shim, query.table, term.argument)
+                    out = arg_type if term.func in ("min", "max") \
+                        else SQLType.REAL
+                plans.append(HTermPlan(
+                    position, term.kind, term.func, out,
+                    by_columns=by, level=level,
+                    fine_measure=fine_measure, default=term.default))
+        else:
+            if term.argument is None or term.func == "count":
+                out = SQLType.INTEGER
+            else:
+                arg_type = common.infer_expr_type(
+                    shim, query.table, term.argument)
+                out = arg_type if term.func in ("min", "max") \
+                    else SQLType.REAL
+            plans.append(HTermPlan(position, term.kind, term.func,
+                                   out, coarse_measure=coarse))
+            coarse += 1
+    return tuple(plans), tuple(by_sets)
+
+
+def _analyze_plain(catalog, name, select, sql, ref, base
+                   ) -> ViewDefinition:
+    group_by: list[str] = []
+    for expr in select.group_by:
+        _reject(not isinstance(expr, ast.ColumnRef),
+                "GROUP BY must list plain columns")
+        group_by.append(expr.name.lower())
+    group_set = set(group_by)
+    items: list[tuple[str, int]] = []
+    measure = 0
+    for item in select.items:
+        expr = item.expr
+        if isinstance(expr, ast.ColumnRef):
+            _reject(expr.name.lower() not in group_set,
+                    f"select column {expr.name!r} is not grouped")
+            items.append(("key", group_by.index(expr.name.lower())))
+        elif isinstance(expr, ast.FuncCall):
+            _reject(expr.name not in ast.AGGREGATE_NAMES,
+                    f"{expr.name}() is not a plain aggregate")
+            _reject(bool(expr.by_columns) or expr.default is not None
+                    or expr.over is not None,
+                    "extended aggregate syntax is not supported")
+            if expr.args and isinstance(expr.args[0], ast.Star):
+                _reject(expr.name != "count",
+                        f"{expr.name}(*) is not supported")
+            else:
+                _reject(len(expr.args) != 1,
+                        f"{expr.name}() needs exactly one argument")
+                _reject(ast.contains_aggregate(expr.args[0]),
+                        "nested aggregates are not supported")
+            _reject(expr.distinct and expr.name != "count",
+                    "DISTINCT is only supported with count")
+            items.append(("agg", measure))
+            measure += 1
+        else:
+            _reject(True, "select items must be group columns or "
+                          "aggregate calls")
+    key_types = _key_types(base, tuple(group_by))
+    # Output names mirror the executor's _output_name/_dedupe_names.
+    from repro.engine.executor import _dedupe_names, _output_name
+    raw = [(_output_name(item, i), None)
+           for i, item in enumerate(select.items)]
+    names = tuple(n for n, _ in _dedupe_names(raw))
+    return ViewDefinition(
+        name=name, select=select, sql=sql, kind=PLAIN,
+        base_table=ref.name.lower(), binding=ref.binding,
+        group_by=tuple(group_by), key_types=key_types,
+        where=select.where, max_name_length=catalog.max_name_length,
+        plain_items=tuple(items), plain_names=names)
+
+
+# ----------------------------------------------------------------------
+# The catalog object
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MaterializedView:
+    """One published materialized view.
+
+    Immutable: maintenance builds a *new* MaterializedView around
+    cloned state and publishes it atomically with the base table, so a
+    catalog savepoint rollback restores a (table, view) pair whose
+    ``base_version`` match holds by construction.
+    """
+
+    definition: ViewDefinition
+    state: ViewState
+    result: "Table"                 # noqa: F821 - engine Table
+    base_version: int
+
+    @property
+    def name(self) -> str:
+        return self.definition.name
+
+    @property
+    def key(self) -> str:
+        return self.definition.name.lower()
+
+    def fresh(self, base_table) -> bool:
+        return self.base_version == base_table.version

@@ -1,0 +1,31 @@
+"""Views-test hygiene: the temp-table leak guard from the integration
+suite, plus a small fact table every test builds its views over."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.database import Database
+from tests.conftest import assert_no_temp_leaks, install_database_tracker
+
+
+@pytest.fixture(autouse=True)
+def no_temp_leaks(request, monkeypatch):
+    if request.node.get_closest_marker("allow_temp_leaks"):
+        yield
+        return
+    created = install_database_tracker(monkeypatch)
+    yield
+    assert_no_temp_leaks(created)
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database()
+    database.execute_script("""
+        CREATE TABLE f (d1 INT, d2 VARCHAR, a REAL);
+        INSERT INTO f VALUES (1, 'x', 10.0), (1, 'y', 30.0),
+                             (2, 'x', 60.0), (2, 'y', 0.25),
+                             (3, 'x', NULL)
+    """)
+    return database
