@@ -30,7 +30,7 @@ Quickstart::
 
 from repro.api.database import Database
 from repro.api.dbapi import connect
-from repro.errors import (CatalogError, ExecutionError,
+from repro.errors import (CatalogError, ExecutionError, GroupingSetError,
                           PercentageQueryError, PlanningError, ReproError,
                           SQLSyntaxError, TypeMismatchError)
 
@@ -46,5 +46,6 @@ __all__ = [
     "CatalogError",
     "TypeMismatchError",
     "PercentageQueryError",
+    "GroupingSetError",
     "__version__",
 ]

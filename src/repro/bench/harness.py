@@ -280,7 +280,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--suite",
                         choices=("encoding-cache", "concurrency",
                                  "obs", "multicore", "storage",
-                                 "overload", "views"),
+                                 "overload", "views", "cube"),
                         default="encoding-cache",
                         help="encoding-cache: cold/warm dictionary-"
                              "encoding sweep; concurrency: service "
@@ -298,7 +298,10 @@ def main(argv: Optional[list[str]] = None) -> int:
                              "materialized percentage views -- delta "
                              "maintenance vs full recompute at a 1% "
                              "update rate, and view-answered reads vs "
-                             "cold Vpct evaluation")
+                             "cold Vpct evaluation; cube: shared-scan "
+                             "grouping-sets evaluation vs the per-set "
+                             "GROUP BY rewrite, with bit-identity "
+                             "checks")
     parser.add_argument("--out", default=None,
                         help="output path (default: BENCH_<suite>.json)")
     parser.add_argument("--employee", type=int, default=100_000)
@@ -371,6 +374,22 @@ def main(argv: Optional[list[str]] = None) -> int:
               f"Vpct (>=10x bar: "
               f"{summary['view_read_speedup_at_least_10x']}), "
               f"bit-identical={summary['view_bit_identical']}")
+        return 0
+
+    if args.suite == "cube":
+        from repro.bench.cube import run_cube_benchmark
+
+        out = args.out or "BENCH_cube.json"
+        report = run_cube_benchmark(sales_n=args.sales,
+                                    repeats=args.repeats)
+        write_report(report, out, args.suite)
+        summary = report["summary"]
+        print(f"wrote {out}: shared-scan "
+              f"x{summary['min_speedup_at_4plus_sets']} min at 4+ "
+              f"sets (>=2x bar: "
+              f"{summary['speedup_at_least_2x_at_4plus_sets']}), "
+              f"best x{summary['best_speedup']}, "
+              f"bit-identical={summary['all_bit_identical']}")
         return 0
 
     if args.suite == "multicore":

@@ -30,6 +30,7 @@ from repro.engine.catalog import Catalog
 from repro.engine.column import ColumnData
 from repro.engine.expressions import Frame, evaluate, untyped_null
 from repro.engine.governor import ResourceGovernor
+from repro.engine import groupingsets as gs_mod
 from repro.engine.groupby import (PartitionedGrouping, distinct_indices,
                                   encode_column, factorize,
                                   factorize_partitioned)
@@ -41,8 +42,8 @@ from repro.engine.stats import StatsCollector
 from repro.engine.table import Table
 from repro.engine.types import SQLType, coerce_scalar, type_from_name
 from repro.engine.window import evaluate_window
-from repro.errors import (ExecutionError, PlanningError,
-                          TypeMismatchError)
+from repro.errors import (ExecutionError, GroupingSetError,
+                          PlanningError, TypeMismatchError)
 from repro.obs.tracer import Tracer
 from repro.sql import ast
 
@@ -330,9 +331,13 @@ class Executor:
         frame = dataset.frame()
 
         order_fallback: Optional[Frame] = None
-        if _is_aggregate_query(select):
+        if ast.has_grouping_sets(select):
+            result = self._run_grouping_sets(select, frame, result_name)
+        elif _is_aggregate_query(select):
+            self._reject_grouping_funcs(select)
             result = self._run_aggregate(select, frame, result_name)
         else:
+            self._reject_grouping_funcs(select)
             if select.having is not None:
                 raise PlanningError("HAVING requires GROUP BY or "
                                     "aggregates")
@@ -690,6 +695,286 @@ class Executor:
             result = result.take(np.nonzero(mask)[0])
         return result
 
+    def _reject_grouping_funcs(self, select: ast.Select) -> None:
+        """grouping()/pct() only mean something against a grouping-sets
+        lattice; anywhere else they get a typed error, not an unknown-
+        function failure."""
+        exprs = [item.expr for item in select.items
+                 if not isinstance(item.expr, ast.Star)]
+        if select.having is not None:
+            exprs.append(select.having)
+        for expr in exprs:
+            if ast.contains_grouping_func(expr):
+                raise GroupingSetError(
+                    "grouping() and pct() require GROUP BY "
+                    "CUBE/ROLLUP/GROUPING SETS")
+
+    def _run_grouping_sets(self, select: ast.Select, frame: Frame,
+                           result_name: str) -> Table:
+        """Shared-scan evaluation of a CUBE/ROLLUP/GROUPING SETS query.
+
+        One factorize over the union of all grouping dims; every set's
+        grouping is derived from it at group level (bit-identical to a
+        standalone GROUP BY of that set, see repro.engine.groupingsets).
+        Exact aggregates fold from the fold source's partials along
+        lattice edges; order-sensitive ones recompute from base rows.
+        Output rows carry NULL placeholders for absent dims and are
+        emitted set by set in request order.
+        """
+        for item in select.items:
+            if isinstance(item.expr, ast.Star):
+                raise PlanningError("'*' cannot appear in an aggregate "
+                                    "select list")
+            if ast.contains_window(item.expr):
+                raise PlanningError(
+                    "window functions are not supported with "
+                    "CUBE/ROLLUP/GROUPING SETS")
+        raw_sets = gs_mod.expand_group_by(
+            select.group_by,
+            lambda e: self._resolve_group_expr(e, select))
+        plan = gs_mod.build_plan(raw_sets,
+                                 key_of=lambda e: _normalize(e, frame))
+        key_columns = [evaluate(e, frame, self.stats)
+                       for e in plan.dims]
+        dim_map = {_normalize(e, frame): i
+                   for i, e in enumerate(plan.dims)}
+
+        with self.tracer.span("grouping-sets-build", kind="operator",
+                              input_rows=frame.n_rows, sets=plan.n_sets,
+                              dims=len(plan.dims)) as build_span:
+            union = factorize(key_columns, frame.n_rows,
+                              self.encoding_cache)
+            if build_span is not None:
+                build_span.attrs["union_groups"] = union.n_groups
+
+        # -- per-set item rewriting (masks differ per set; aggregate
+        # and pct specs are shared across sets via the maps) ----------
+        agg_specs: list[ast.FuncCall] = []
+        agg_map: dict[Any, str] = {}
+        pct_specs: list[ast.FuncCall] = []
+        pct_map: dict[Any, str] = {}
+
+        def make_rewrite(set_dims: tuple[int, ...]):
+            def rewrite(node: ast.Expr) -> ast.Expr:
+                norm = _normalize(node, frame)
+                if norm in dim_map:
+                    return ast.ColumnRef(f"__dim{dim_map[norm]}")
+                if isinstance(node, ast.FuncCall) \
+                        and node.name == "grouping":
+                    if not node.args:
+                        raise GroupingSetError(
+                            "grouping() requires at least one argument")
+                    arg_dims = []
+                    for arg in node.args:
+                        key = _normalize(arg, frame)
+                        if key not in dim_map:
+                            raise GroupingSetError(
+                                "grouping() arguments must be grouping "
+                                "columns of the query",
+                                gs_mod.render_set(node.args))
+                        arg_dims.append(dim_map[key])
+                    return ast.Literal(
+                        gs_mod.grouping_mask(arg_dims, set_dims))
+                if isinstance(node, ast.FuncCall) and node.name == "pct":
+                    if (len(node.args) != 1 or node.distinct
+                            or node.by_columns or node.default is not None
+                            or node.over is not None):
+                        raise GroupingSetError(
+                            "pct() takes exactly one plain argument")
+                    if norm in pct_map:
+                        return ast.ColumnRef(pct_map[norm])
+                    name = f"__pct{len(pct_specs)}"
+                    pct_specs.append(node)
+                    pct_map[norm] = name
+                    return ast.ColumnRef(name)
+                if isinstance(node, ast.FuncCall) \
+                        and node.name in ast.AGGREGATE_NAMES \
+                        and node.over is None:
+                    if norm in agg_map:
+                        return ast.ColumnRef(agg_map[norm])
+                    name = f"__agg{len(agg_specs)}"
+                    agg_specs.append(node)
+                    agg_map[norm] = name
+                    return ast.ColumnRef(name)
+                if isinstance(node, ast.ColumnRef):
+                    raise PlanningError(
+                        f"column {node.name!r} must appear in GROUP BY "
+                        f"or inside an aggregate")
+                return _rebuild(node, rewrite)
+            return rewrite
+
+        per_set_items: list[list[tuple[ast.SelectItem, ast.Expr]]] = []
+        per_set_having: list[Optional[ast.Expr]] = []
+        for spec in plan.sets:
+            rewrite = make_rewrite(spec.dims)
+            per_set_items.append([(item, rewrite(item.expr))
+                                  for item in select.items])
+            per_set_having.append(rewrite(select.having)
+                                  if select.having is not None else None)
+
+        # -- evaluate aggregate arguments once (the shared scan) -------
+        arg_cols: list[Optional[ColumnData]] = []
+        for spec in agg_specs:
+            if spec.args and isinstance(spec.args[0], ast.Star):
+                if spec.name != "count":
+                    raise PlanningError(
+                        f"{spec.name}(*) is not valid; only count(*)")
+                arg_cols.append(None)
+            else:
+                if len(spec.args) != 1:
+                    raise PlanningError(
+                        f"{spec.name}() takes exactly one argument")
+                arg_cols.append(_concrete(
+                    evaluate(spec.args[0], frame, self.stats)))
+        pct_args = [_concrete(evaluate(spec.args[0], frame, self.stats))
+                    for spec in pct_specs]
+
+        # The internal compute list: aggregate specs first, then one
+        # sum per pct measure (the shared partials percentages read).
+        compute: list[tuple[str, str, Optional[ColumnData], bool]] = []
+        for i, spec in enumerate(agg_specs):
+            compute.append((f"__agg{i}", spec.name, arg_cols[i],
+                            spec.distinct))
+        for j in range(len(pct_specs)):
+            compute.append((f"__pctsum{j}", "sum", pct_args[j], False))
+
+        backend = self.options.parallel_backend
+        degree = 1 if backend == "serial" \
+            else self._parallel_degree_for(frame.n_rows)
+
+        # -- compute each distinct set once, finest first, so fold
+        # sources exist before their dependants ------------------------
+        by_dims: dict[tuple[int, ...], gs_mod.SetGrouping] = {}
+        partials: dict[tuple[int, ...], dict[str, ColumnData]] = {}
+        fold_source_of: dict[tuple[int, ...], Optional[tuple[int, ...]]] \
+            = {}
+        for spec in plan.sets:
+            if spec.dims not in fold_source_of:
+                fold_source_of[spec.dims] = (
+                    plan.sets[spec.fold_source].dims
+                    if spec.fold_source is not None else None)
+        order = sorted(fold_source_of, key=lambda d: (-len(d), d))
+        for dims in order:
+            cancel.checkpoint("group-by")
+            label = gs_mod.render_set(
+                tuple(plan.dims[i] for i in dims))
+            with self.tracer.span("grouping-set", kind="operator",
+                                  set=label) as set_span:
+                sg = gs_mod.derive_set_grouping(union, dims,
+                                                frame.n_rows)
+                self.governor.charge_rows(sg.grouping.n_groups,
+                                          "group-by")
+                by_dims[dims] = sg
+                source = fold_source_of[dims]
+                folded = 0
+                local: dict[str, ColumnData] = {}
+                recompute: list[tuple[str, str, Optional[ColumnData],
+                                      bool]] = []
+                for name, func, arg, distinct in compute:
+                    can_fold = (
+                        source is not None
+                        and by_dims[source].grouping.n_groups > 0
+                        and gs_mod.fold_eligible(func, arg, distinct))
+                    if can_fold:
+                        mapping = gs_mod.fine_to_coarse(by_dims[source],
+                                                        sg)
+                        local[name] = gs_mod.fold_aggregate(
+                            func, partials[source][name], mapping,
+                            sg.grouping.n_groups)
+                        folded += 1
+                    else:
+                        recompute.append((name, func, arg, distinct))
+                self._compute_set_aggregates(recompute, sg.grouping,
+                                             local, degree)
+                partials[dims] = local
+                if set_span is not None:
+                    set_span.attrs["groups"] = sg.grouping.n_groups
+                    set_span.attrs["folded"] = folded
+                    set_span.attrs["recomputed"] = len(recompute)
+
+        # -- emit per requested set, in request order ------------------
+        result: Optional[Table] = None
+        for spec in plan.sets:
+            sg = by_dims[spec.dims]
+            n_groups = sg.grouping.n_groups
+            group_frame = Frame(n_groups)
+            dim_positions = {dim: pos
+                             for pos, dim in enumerate(spec.dims)}
+            for i, key_col in enumerate(key_columns):
+                if i in dim_positions:
+                    data = sg.grouping.key_column(dim_positions[i])
+                else:
+                    data = ColumnData.all_null(key_col.sql_type,
+                                               n_groups)
+                group_frame.add_column(f"__dim{i}", data)
+            for name, data in partials[spec.dims].items():
+                if not name.startswith("__pctsum"):
+                    group_frame.add_column(name, data)
+            for j in range(len(pct_specs)):
+                own = partials[spec.dims][f"__pctsum{j}"]
+                if spec.pct_parent is None:
+                    parent_sums = own
+                    parent_ids = np.arange(n_groups, dtype=np.int64)
+                else:
+                    parent_dims = plan.sets[spec.pct_parent].dims
+                    parent_sums = partials[parent_dims][f"__pctsum{j}"]
+                    parent_ids = gs_mod.fine_to_coarse(
+                        sg, by_dims[parent_dims])
+                group_frame.add_column(
+                    f"__pct{j}", gs_mod.percentage_column(
+                        own, parent_sums, parent_ids))
+
+            named: list[tuple[str, ColumnData]] = []
+            for i, (item, expr) in enumerate(per_set_items[spec.position]):
+                data = evaluate(expr, group_frame, self.stats)
+                named.append((_output_name(item, i), _concrete(data)))
+            piece = Table.from_columns(result_name, _dedupe_names(named))
+            having = per_set_having[spec.position]
+            if having is not None:
+                mask_col = evaluate(having, group_frame, self.stats)
+                mask = np.asarray(mask_col.values, dtype=bool) & \
+                    ~mask_col.nulls
+                piece = piece.take(np.nonzero(mask)[0])
+            result = piece if result is None else result.append(piece)
+        assert result is not None  # expansion yields >= 1 set
+        return result
+
+    def _compute_set_aggregates(self, items: list[tuple[str, str,
+                                                        Optional[ColumnData],
+                                                        bool]],
+                                grouping, out: dict[str, ColumnData],
+                                degree: int) -> None:
+        """Aggregate pre-evaluated argument columns under one derived
+        set grouping.  With the process backend the whole batch ships
+        as one shared-memory dispatch (morsel partials merge per set);
+        the thread backend's partition fan-out needs the raw key
+        columns, so derived groupings aggregate serially there."""
+        if not items:
+            return
+        use_process = (degree > 1
+                       and self.options.parallel_backend == "process")
+        if use_process:
+            from repro.engine import process_backend
+            results = process_backend.run_grouped_aggregates(
+                [(i, func, arg, distinct)
+                 for i, (_, func, arg, distinct) in enumerate(items)],
+                grouping.group_ids, grouping.n_groups,
+                self.encoding_cache,
+                morsel_rows=self.options.morsel_rows,
+                metrics=self.stats.registry, tracer=self.tracer,
+                on_parallel=self.note_parallel_degree)
+            for i, data in results.items():
+                out[items[i][0]] = data
+            return
+        for name, func, arg, distinct in items:
+            if arg is None:
+                out[name] = agg_mod.count_star(grouping.group_ids,
+                                               grouping.n_groups)
+            else:
+                out[name] = agg_mod.compute_aggregate(
+                    func, arg, distinct, grouping.group_ids,
+                    grouping.n_groups, self.encoding_cache)
+
     def _compute_aggregates(self, agg_specs: list[ast.FuncCall],
                             frame: Frame, grouping, group_frame,
                             pgrouping: Optional[PartitionedGrouping]
@@ -801,23 +1086,27 @@ class Executor:
             group_frame.add_column(f"__agg{i}", data)
 
     def _resolve_group_by(self, select: ast.Select) -> list[ast.Expr]:
-        resolved = []
-        for expr in select.group_by:
-            if isinstance(expr, ast.Literal) \
-                    and isinstance(expr.value, int):
-                position = expr.value
-                if not 1 <= position <= len(select.items):
-                    raise PlanningError(
-                        f"GROUP BY position {position} is out of range")
-                target = select.items[position - 1].expr
-                if ast.contains_aggregate(target):
-                    raise PlanningError(
-                        f"GROUP BY position {position} refers to an "
-                        f"aggregate expression")
-                resolved.append(target)
-            else:
-                resolved.append(expr)
-        return resolved
+        return [self._resolve_group_expr(e, select)
+                for e in select.group_by]
+
+    @staticmethod
+    def _resolve_group_expr(expr: ast.Expr,
+                            select: ast.Select) -> ast.Expr:
+        """Positional GROUP BY resolution for one expression (also
+        applied inside CUBE/ROLLUP/GROUPING SETS elements)."""
+        if isinstance(expr, ast.Literal) \
+                and isinstance(expr.value, int):
+            position = expr.value
+            if not 1 <= position <= len(select.items):
+                raise PlanningError(
+                    f"GROUP BY position {position} is out of range")
+            target = select.items[position - 1].expr
+            if ast.contains_aggregate(target):
+                raise PlanningError(
+                    f"GROUP BY position {position} refers to an "
+                    f"aggregate expression")
+            return target
+        return expr
 
     # -- ORDER BY -----------------------------------------------------------
     def _apply_order(self, select: ast.Select, result: Table,

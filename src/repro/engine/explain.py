@@ -42,6 +42,7 @@ def explain_analyze_statement(executor, statement: ast.Statement,
     was_enabled = tracer.enabled
     tracer.enable()
     try:
+        before = executor.stats.snapshot()
         with tracer_mod.activate(tracer), \
                 tracer.span("statement", kind="statement",
                             sql=format_statement(statement)) as span:
@@ -50,6 +51,10 @@ def explain_analyze_statement(executor, statement: ast.Statement,
                 span.attrs["result_rows"] = (
                     result.n_rows if isinstance(result, Table)
                     else int(result))
+                # Counter deltas, mirroring Database._run_locked, so
+                # this statement span passes the charge audit too.
+                span.attrs.update(
+                    executor.stats.diff_since(before).counters())
     finally:
         if not was_enabled:
             tracer.disable()
@@ -180,6 +185,9 @@ def _explain_select(executor, select: ast.Select, lines: list[str],
         group = ", ".join(format_expr(e) for e in select.group_by)
         emit("aggregate" + (f" group by {group}" if group
                             else " (global)"))
+        if ast.has_grouping_sets(select):
+            emit(f"grouping-sets: {_count_grouping_sets(select)} sets, "
+                 f"shared-scan", 1)
         if select.having is not None:
             emit(f"having {format_expr(select.having)}", 1)
 
@@ -222,6 +230,20 @@ def _explain_select(executor, select: ast.Select, lines: list[str],
         if join.residual is not None:
             emit(f"filter {format_expr(join.residual)}", 1)
     emit(_scan_line(executor, plan.first.source))
+
+
+def _count_grouping_sets(select: ast.Select) -> int:
+    """How many grouping sets the GROUP BY clause requests (the cross
+    product of its elements' expansions)."""
+    total = 1
+    for element in select.group_by:
+        if isinstance(element, ast.Cube):
+            total *= 2 ** len(element.exprs)
+        elif isinstance(element, ast.Rollup):
+            total *= len(element.exprs) + 1
+        elif isinstance(element, ast.GroupingSets):
+            total *= len(element.sets)
+    return total
 
 
 def _is_aggregate(select: ast.Select) -> bool:

@@ -70,6 +70,18 @@ class PlanningError(ReproError):
     """The statement is syntactically valid but cannot be planned."""
 
 
+class GroupingSetError(PlanningError):
+    """A CUBE/ROLLUP/GROUPING SETS clause is malformed (duplicate or
+    empty grouping set, bad GROUPING() argument...).  The message
+    always names the offending set so repros are self-describing."""
+
+    def __init__(self, message: str, grouping_set: str | None = None):
+        self.grouping_set = grouping_set
+        if grouping_set is not None:
+            message = f"{message}: {grouping_set}"
+        super().__init__(message)
+
+
 class ExecutionError(ReproError):
     """A failure occurred while executing a plan."""
 

@@ -54,7 +54,7 @@ from pathlib import Path
 from typing import Optional
 
 from repro.fuzz.corpus import load_corpus, save_repro
-from repro.fuzz.generator import CaseGenerator, FuzzCase
+from repro.fuzz.generator import FAMILIES, CaseGenerator, FuzzCase
 from repro.fuzz.reducer import reduce_case
 from repro.fuzz.runner import INJECTABLE_BUGS, run_case
 from repro.views.maintenance import VIEWS_BUGS
@@ -71,6 +71,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="number of cases to run (default 200)")
     parser.add_argument("--max-seconds", type=float, default=None,
                         help="stop early after this wall-clock budget")
+    parser.add_argument("--family", action="append",
+                        choices=FAMILIES, default=None,
+                        metavar="FAMILY",
+                        help="restrict generated cases to this query "
+                             "family (repeatable; default: all of "
+                             f"{', '.join(FAMILIES)}).  e.g. "
+                             "--family cube for a grouping-sets-only "
+                             "sweep against the UNION ALL oracle")
     parser.add_argument("--replay", metavar="DIR", default=None,
                         help="replay a corpus directory instead of "
                              "generating new cases")
@@ -219,7 +227,8 @@ def main(argv: Optional[list[str]] = None) -> int:
 
 # ----------------------------------------------------------------------
 def _fuzz(args: argparse.Namespace) -> int:
-    generator = CaseGenerator(seed=args.seed)
+    generator = CaseGenerator(seed=args.seed,
+                              families=tuple(args.family or FAMILIES))
     started = time.monotonic()
     families: Counter = Counter()
     divergences = 0
@@ -284,7 +293,8 @@ def _sweep(args: argparse.Namespace) -> int:
                                   sweep_case_storage)
 
     sweep_disk = "disk" in (args.storage or ())
-    generator = CaseGenerator(seed=args.seed)
+    generator = CaseGenerator(seed=args.seed,
+                              families=tuple(args.family or FAMILIES))
     started = time.monotonic()
     stats = SweepStats()
     for case in generator.cases(args.budget):
@@ -312,7 +322,8 @@ def _cancel_sweep(args: argparse.Namespace) -> int:
 
     backends = tuple(args.backend or BACKENDS)
     storages = tuple(args.storage or STORAGES)
-    generator = CaseGenerator(seed=args.seed)
+    generator = CaseGenerator(seed=args.seed,
+                              families=tuple(args.family or FAMILIES))
     started = time.monotonic()
     stats = CancelSweepStats()
     for case in generator.cases(args.budget):
@@ -341,7 +352,8 @@ def _views(args: argparse.Namespace) -> int:
         return 2
     backends = tuple(args.backend or BACKENDS)
     storages = tuple(args.storage or STORAGES)
-    generator = CaseGenerator(seed=args.seed)
+    generator = CaseGenerator(seed=args.seed,
+                              families=tuple(args.family or FAMILIES))
     started = time.monotonic()
     stats = ViewSweepStats()
     for case in generator.cases(args.budget):

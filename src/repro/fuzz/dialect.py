@@ -133,9 +133,17 @@ def _rewrite_expr(expr: ast.Expr) -> ast.Expr:
                        else_=_rewrite_optional(expr.else_))
     if isinstance(expr, ast.Cast):
         return replace(expr, operand=_rewrite_expr(expr.operand))
+    if isinstance(expr, (ast.Cube, ast.Rollup, ast.GroupingSets)):
+        raise DialectError(
+            "sqlite has no CUBE/ROLLUP/GROUPING SETS; expand with "
+            "cube_to_union_sql() first")
     if isinstance(expr, ast.FuncCall):
         if expr.name in UNSUPPORTED_FUNCS:
             raise DialectError(f"sqlite has no {expr.name}() aggregate")
+        if expr.name in ast.GROUPING_SET_FUNCS:
+            raise DialectError(
+                f"sqlite has no {expr.name}(); expand with "
+                f"cube_to_union_sql() first")
         if expr.by_columns or expr.default is not None:
             raise DialectError(
                 "extended BY/DEFAULT syntax must be rewritten by the "
@@ -147,3 +155,97 @@ def _rewrite_expr(expr: ast.Expr) -> ast.Expr:
                 _rewrite_expr(e) for e in over.partition_by))
         return replace(expr, args=args, over=over)
     raise DialectError(f"no sqlite rendering for {type(expr).__name__}")
+
+
+# ----------------------------------------------------------------------
+# Grouping-sets oracle: UNION ALL expansion
+# ----------------------------------------------------------------------
+def cube_to_union_sql(sql: str) -> str:
+    """Rewrite a CUBE/ROLLUP/GROUPING SETS query as the UNION ALL of
+    its per-set plain group-bys, in sqlite dialect.
+
+    This is the differential oracle for the engine's shared-scan
+    evaluation: sqlite computes every set independently, so any fold or
+    group-derivation bug in the engine diverges from it.  Per set, dim
+    columns missing from the set project as NULL literals and
+    ``grouping()`` calls become their constant bitmask.  The rewrite is
+    syntactic (dims keyed by formatted text), which covers everything
+    the fuzz generator emits; anything fancier raises DialectError.
+    """
+    from repro.engine.groupingsets import expand_group_by
+    from repro.sql.formatter import format_expr
+
+    statement = parse_statement(sql)
+    if not isinstance(statement, ast.Select) \
+            or not ast.has_grouping_sets(statement):
+        raise DialectError("not a grouping-sets query")
+    if statement.distinct or statement.order_by \
+            or statement.limit is not None \
+            or statement.having is not None:
+        raise DialectError("cube oracle covers plain grouping-sets "
+                           "queries only")
+    raw_sets = expand_group_by(statement.group_by, lambda e: e)
+
+    dim_keys: list[str] = []
+    set_keys: list[list[str]] = []
+    for raw in raw_sets:
+        keys: list[str] = []
+        for expr in raw:
+            key = format_expr(expr)
+            if key not in dim_keys:
+                dim_keys.append(key)
+            if key not in keys:
+                keys.append(key)
+        set_keys.append(sorted(keys, key=dim_keys.index))
+
+    expr_of = {}
+    for raw in raw_sets:
+        for expr in raw:
+            expr_of.setdefault(format_expr(expr), expr)
+
+    pieces = []
+    for keys in set_keys:
+        present = set(keys)
+
+        def subst(node: ast.Expr) -> ast.Expr:
+            if isinstance(node, ast.FuncCall) \
+                    and node.name == "grouping":
+                mask = 0
+                for j, arg in enumerate(node.args):
+                    if format_expr(arg) not in present:
+                        mask |= 1 << (len(node.args) - 1 - j)
+                return ast.Literal(mask)
+            if isinstance(node, ast.FuncCall) \
+                    and node.name in ast.AGGREGATE_NAMES:
+                return node
+            key = format_expr(node)
+            if key in dim_keys:
+                return node if key in present else ast.Literal(None)
+            # composite items (e.g. sum(a) / count(*)): substitute in
+            # the children; only a bare non-dim leaf is unprojectable.
+            if isinstance(node, ast.Literal):
+                return node
+            if isinstance(node, ast.UnaryOp):
+                return replace(node, operand=subst(node.operand))
+            if isinstance(node, ast.BinaryOp):
+                return replace(node, left=subst(node.left),
+                               right=subst(node.right))
+            if isinstance(node, ast.IsNull):
+                return replace(node, operand=subst(node.operand))
+            if isinstance(node, ast.Cast):
+                return replace(node, operand=subst(node.operand))
+            if isinstance(node, ast.CaseWhen):
+                whens = tuple((subst(c), subst(r))
+                              for c, r in node.whens)
+                else_ = subst(node.else_) if node.else_ is not None \
+                    else None
+                return replace(node, whens=whens, else_=else_)
+            raise DialectError(
+                f"cube oracle cannot project {key} per set")
+
+        items = tuple(replace(i, expr=subst(i.expr))
+                      for i in statement.items)
+        piece = replace(statement, items=items,
+                        group_by=tuple(expr_of[k] for k in keys))
+        pieces.append(format_statement(_rewrite_select(piece)))
+    return " UNION ALL ".join(pieces)

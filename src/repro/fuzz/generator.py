@@ -19,7 +19,7 @@ from typing import Any, Optional, Sequence
 
 #: families of generated queries; each maps to a strategy set in
 #: :mod:`repro.fuzz.runner`.
-FAMILIES = ("vpct", "hpct", "hagg", "plain")
+FAMILIES = ("vpct", "hpct", "hagg", "plain", "cube")
 
 #: aggregate functions safe on both engines (sqlite has no var/stdev).
 PLAIN_FUNCS = ("sum", "count", "avg", "min", "max")
@@ -43,6 +43,10 @@ class TermSpec:
     default: Optional[Any] = None  # literal for ``DEFAULT`` (hagg only)
 
     def sql(self) -> str:
+        if self.kind == "grouping":
+            # grouping() takes the dim list in ``by`` (``argument`` is
+            # unused); it tags each output row with its set's bitmask.
+            return f"grouping({', '.join(self.by)})"
         inner = self.argument
         if self.by:
             inner += " BY " + ", ".join(self.by)
@@ -76,6 +80,10 @@ class FuzzCase:
     terms: tuple[TermSpec, ...]
     family: str
     note: str = ""
+    #: cube family only: the full GROUP BY clause text (e.g.
+    #: ``CUBE(d1, d2)``); ``group_by`` then lists the union dims the
+    #: select list projects.
+    group_by_clause: str = ""
 
     @property
     def table(self) -> str:
@@ -88,7 +96,9 @@ class FuzzCase:
         items = list(self.group_by)
         items += [t.sql() for t in self.terms]
         sql = f"SELECT {', '.join(items)} FROM {self.table}"
-        if self.group_by:
+        if self.group_by_clause:
+            sql += " GROUP BY " + self.group_by_clause
+        elif self.group_by:
             sql += " GROUP BY " + ", ".join(self.group_by)
         return sql
 
@@ -98,7 +108,8 @@ class FuzzCase:
                 "rows": [list(r) for r in self.rows],
                 "group_by": list(self.group_by),
                 "terms": [t.to_dict() for t in self.terms],
-                "family": self.family, "note": self.note}
+                "family": self.family, "note": self.note,
+                "group_by_clause": self.group_by_clause}
 
     @staticmethod
     def from_dict(data: dict) -> "FuzzCase":
@@ -108,7 +119,8 @@ class FuzzCase:
             rows=tuple(tuple(r) for r in data["rows"]),
             group_by=tuple(data["group_by"]),
             terms=tuple(TermSpec.from_dict(t) for t in data["terms"]),
-            family=data["family"], note=data.get("note", ""))
+            family=data["family"], note=data.get("note", ""),
+            group_by_clause=data.get("group_by_clause", ""))
 
     # Convenience for the reducer --------------------------------------
     def with_rows(self, rows: Sequence[Sequence[Any]]) -> "FuzzCase":
@@ -125,23 +137,45 @@ class FuzzCase:
 
 
 class CaseGenerator:
-    """Seeded stream of :class:`FuzzCase` values."""
+    """Seeded stream of :class:`FuzzCase` values.
 
-    def __init__(self, seed: int = 0):
+    ``families`` narrows the query-family mix (e.g. a nightly
+    cube-only sweep); the default covers every family.  Narrowing
+    changes which case each index produces, so corpus repros always
+    record the full case, never just (seed, index).
+    """
+
+    def __init__(self, seed: int = 0,
+                 families: Sequence[str] = FAMILIES):
+        unknown = [f for f in families if f not in FAMILIES]
+        if unknown:
+            raise ValueError(f"unknown family(ies) "
+                             f"{', '.join(unknown)}; known: "
+                             f"{', '.join(FAMILIES)}")
+        if not families:
+            raise ValueError("at least one family is required")
         self.seed = seed
+        self.families = tuple(families)
 
     def case(self, index: int) -> FuzzCase:
         rng = random.Random(f"{self.seed}:{index}")
-        family = rng.choice(FAMILIES)
+        family = rng.choice(self.families)
         dims = sorted(rng.sample(_DIM_POOL,
                                  rng.randint(1 if family != "plain" else 0,
                                              len(_DIM_POOL))))
         measures = sorted(rng.sample(_MEASURE_POOL,
                                      rng.randint(1, len(_MEASURE_POOL))))
-        if family in ("hpct", "hagg") and not dims:
+        if family in ("hpct", "hagg", "cube") and not dims:
             dims = [rng.choice(_DIM_POOL)]
         columns = tuple(dims + measures)
         rows = self._rows(rng, columns)
+        if family == "cube":
+            group_by, terms, clause = self._cube_query(
+                rng, [d for d, _ in dims], [m for m, _ in measures])
+            return FuzzCase(seed=self.seed, index=index,
+                            columns=columns, rows=rows,
+                            group_by=group_by, terms=terms,
+                            family=family, group_by_clause=clause)
         group_by, terms = self._query(rng, family,
                                       [d for d, _ in dims],
                                       [m for m, _ in measures])
@@ -253,6 +287,53 @@ class CaseGenerator:
         terms = tuple(self._plain_term(rng, measures)
                       for _ in range(rng.randint(1, 3)))
         return group_by, terms
+
+    def _cube_query(self, rng: random.Random, dims: list[str],
+                    measures: list[str]
+                    ) -> tuple[tuple[str, ...], tuple[TermSpec, ...],
+                               str]:
+        """A CUBE/ROLLUP/GROUPING SETS query over the dim columns.
+
+        The select list projects every union dim (testing the NULL
+        placeholders), plain aggregates, and -- often -- a
+        ``grouping()`` bitmask term, which is also what lets the
+        comparator tell a placeholder NULL from a genuine NULL key.
+        """
+        shape = rng.choice(("cube", "rollup", "gsets"))
+        construct_dims = sorted(rng.sample(
+            dims, rng.randint(1, len(dims))))
+        plain_dims = [d for d in dims if d not in construct_dims]
+        leading = sorted(rng.sample(
+            plain_dims, rng.randint(0, min(1, len(plain_dims)))))
+
+        if shape == "cube":
+            clause = f"CUBE({', '.join(construct_dims)})"
+        elif shape == "rollup":
+            clause = f"ROLLUP({', '.join(construct_dims)})"
+        else:
+            subsets: list[tuple[str, ...]] = []
+            pool = [tuple(sorted(rng.sample(
+                        construct_dims,
+                        rng.randint(0, len(construct_dims)))))
+                    for _ in range(rng.randint(1, 4))]
+            for subset in pool:
+                if subset not in subsets:
+                    subsets.append(subset)
+            rendered = ", ".join("(" + ", ".join(s) + ")"
+                                 for s in subsets)
+            clause = f"GROUPING SETS ({rendered})"
+        if leading:
+            clause = ", ".join(leading) + ", " + clause
+
+        union_dims = tuple(leading + construct_dims)
+        terms = [self._plain_term(rng, measures)
+                 for _ in range(rng.randint(1, 3))]
+        if rng.random() < 0.6:
+            args = tuple(sorted(rng.sample(
+                list(union_dims), rng.randint(1, len(union_dims)))))
+            terms.append(TermSpec("grouping", "grouping", "*",
+                                  by=args))
+        return union_dims, tuple(terms), clause
 
     def _plain_term(self, rng: random.Random,
                     measures: list[str]) -> TermSpec:

@@ -54,6 +54,16 @@ class SqliteOracle:
         """Adapt one SELECT to the sqlite dialect and fetch its rows."""
         return [tuple(r) for r in self.conn.execute(to_sqlite(sql))]
 
+    def run_raw(self, sql: str) -> list[tuple[Any, ...]]:
+        """Fetch rows for SQL that is **already** in sqlite dialect.
+
+        Used for compound queries the engine's parser cannot re-parse,
+        e.g. the ``UNION ALL`` expansion that
+        :func:`repro.fuzz.dialect.cube_to_union_sql` produces (each
+        piece was individually rewritten before joining).
+        """
+        return [tuple(r) for r in self.conn.execute(sql)]
+
     def replay_plan(self, statements: Sequence[str],
                     result_select: str) -> list[tuple[Any, ...]]:
         """Replay a generated plan's statements, then its result query."""

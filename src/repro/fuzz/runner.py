@@ -17,6 +17,13 @@ Per family:
 ``plain``
     the engine executing the query directly versus sqlite -- a pure
     engine-vs-oracle check with no code generator in the loop.
+``cube``
+    the engine's shared-scan grouping-sets operator versus sqlite
+    running the same CUBE/ROLLUP/GROUPING SETS query expanded into a
+    UNION ALL of per-set plain group-bys (sqlite has no native
+    grouping sets).  Any shared-scan derivation, partial-fold, or
+    GROUPING() bitmask bug diverges from the independent per-set
+    recomputation.
 
 An exception is an outcome, not a crash: if **every** variant raises,
 the engines agree the input is degenerate and the case is consistent;
@@ -47,6 +54,7 @@ from repro.core.model import parse_percentage_query
 from repro.core.vertical import VerticalStrategy
 from repro.errors import QueryTimeout
 from repro.fuzz.comparator import compare_outcomes
+from repro.fuzz.dialect import cube_to_union_sql
 from repro.fuzz.generator import FuzzCase
 from repro.fuzz.oracle import (SqliteOracle, supports_update_from,
                                supports_windows)
@@ -305,6 +313,20 @@ def _sqlite_direct_rows(case: FuzzCase) -> list:
         oracle.close()
 
 
+def _sqlite_union_rows(case: FuzzCase) -> list:
+    """Grouping-sets oracle: expand CUBE/ROLLUP/GROUPING SETS into the
+    UNION ALL of its per-set plain group-bys and run that in sqlite.
+    sqlite computes every set independently from the base rows, so any
+    shared-scan derivation or partial-fold bug in the engine diverges
+    from it."""
+    sql = cube_to_union_sql(case.query_sql())
+    oracle = SqliteOracle(case.table, case.columns, case.rows)
+    try:
+        return oracle.run_raw(sql)
+    finally:
+        oracle.close()
+
+
 #: Engine options for the parallel fuzz variants: two workers and a
 #: zero row threshold force every eligible aggregation down the
 #: hash-partitioned path even on the fuzzer's tiny tables.
@@ -375,6 +397,12 @@ def _storage_variants(case: FuzzCase, kw: dict[str, Any]
             ("engine:case-indirect-disk",
              lambda: _disk_rows(lambda **skw: _strategy_rows(
                  case, HorizontalStrategy(source="FV"), **skw, **kw))),
+        ]
+    if case.family == "cube":
+        return [
+            ("engine:shared-scan-disk",
+             lambda: _disk_rows(lambda **skw: _direct_rows(
+                 case, **skw, **kw))),
         ]
     return [
         ("engine:direct-disk",
@@ -453,6 +481,23 @@ def _variants(case: FuzzCase, inject_bug: Optional[str],
                      case, HorizontalStrategy(source="F"),
                      case_dispatch="hash", **_BACKEND_KW[b], **kw)),
             ]
+        if "disk" in storages:
+            variants += _storage_variants(case, kw)
+        return variants
+    if case.family == "cube":
+        variants = [
+            ("engine:shared-scan", lambda: _direct_rows(case, **kw)),
+            ("sqlite:union-all", lambda: _sqlite_union_rows(case)),
+        ]
+        if parallel:
+            variants.insert(
+                1, ("engine:shared-scan-parallel",
+                    lambda: _direct_rows(case, **_PARALLEL_KW, **kw)))
+        for backend in backends:
+            variants.append(
+                (f"engine:shared-scan-{backend}",
+                 lambda b=backend: _direct_rows(case, **_BACKEND_KW[b],
+                                                **kw)))
         if "disk" in storages:
             variants += _storage_variants(case, kw)
         return variants

@@ -160,6 +160,56 @@ class FuncCall(Expr):
 AGGREGATE_NAMES = frozenset({"sum", "count", "avg", "min", "max",
                              "var", "stdev"})
 
+#: Function names only meaningful inside a grouping-sets query:
+#: ``grouping(d1, ...)`` yields the per-set NULL-placeholder bitmask and
+#: ``pct(m)`` the multi-level percentage against the parent lattice
+#: level.  Both are computed by the shared-scan grouping-sets operator,
+#: never by the scalar evaluator.
+GROUPING_SET_FUNCS = frozenset({"grouping", "pct"})
+
+
+# ----------------------------------------------------------------------
+# GROUP BY grouping-set constructs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Cube(Expr):
+    """``CUBE (e1, ..., ek)`` inside GROUP BY: all 2**k subsets."""
+
+    exprs: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Rollup(Expr):
+    """``ROLLUP (e1, ..., ek)`` inside GROUP BY: the k+1 prefixes,
+    finest first."""
+
+    exprs: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class GroupingSets(Expr):
+    """``GROUPING SETS ((a, b), (a), ())`` inside GROUP BY: an explicit
+    list of grouping sets, each a (possibly empty) expression tuple."""
+
+    sets: tuple[tuple[Expr, ...], ...]
+
+
+#: The GROUP BY element types expanded by the grouping-sets planner.
+GROUPING_CONSTRUCTS = (Cube, Rollup, GroupingSets)
+
+
+def has_grouping_sets(select: "Select") -> bool:
+    """True when the query's GROUP BY uses CUBE/ROLLUP/GROUPING SETS."""
+    return any(isinstance(e, GROUPING_CONSTRUCTS)
+               for e in select.group_by)
+
+
+def contains_grouping_func(expr: Expr) -> bool:
+    """True when ``expr`` calls ``grouping()`` or ``pct()``."""
+    return any(isinstance(node, FuncCall)
+               and node.name in GROUPING_SET_FUNCS
+               for node in walk(expr))
+
 
 # ----------------------------------------------------------------------
 # FROM clause
@@ -407,6 +457,13 @@ def walk(expr: Expr):
         if expr.over is not None:
             for part in expr.over.partition_by:
                 yield from walk(part)
+    elif isinstance(expr, (Cube, Rollup)):
+        for sub in expr.exprs:
+            yield from walk(sub)
+    elif isinstance(expr, GroupingSets):
+        for gset in expr.sets:
+            for sub in gset:
+                yield from walk(sub)
 
 
 def contains_aggregate(expr: Expr) -> bool:

@@ -208,6 +208,17 @@ def format_expr(expr: ast.Expr) -> str:
         return f"CAST({format_expr(expr.operand)} AS {expr.type_name})"
     if isinstance(expr, ast.FuncCall):
         return _format_func(expr)
+    if isinstance(expr, ast.Cube):
+        columns = ", ".join(format_expr(e) for e in expr.exprs)
+        return f"CUBE ({columns})"
+    if isinstance(expr, ast.Rollup):
+        columns = ", ".join(format_expr(e) for e in expr.exprs)
+        return f"ROLLUP ({columns})"
+    if isinstance(expr, ast.GroupingSets):
+        sets = ", ".join(
+            "(" + ", ".join(format_expr(e) for e in gset) + ")"
+            for gset in expr.sets)
+        return f"GROUPING SETS ({sets})"
     raise TypeError(f"cannot format expression {expr!r}")
 
 

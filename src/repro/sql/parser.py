@@ -21,9 +21,15 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.errors import SQLSyntaxError
+from repro.errors import GroupingSetError, SQLSyntaxError
 from repro.sql import ast
 from repro.sql.tokens import Token, TokenType, tokenize
+
+
+def _render_set(exprs: tuple[ast.Expr, ...]) -> str:
+    """Render a grouping set for error messages, e.g. ``(d1, d2)``."""
+    from repro.sql.formatter import format_expr
+    return "(" + ", ".join(format_expr(e) for e in exprs) + ")"
 
 
 def parse_statement(text: str) -> ast.Statement:
@@ -175,7 +181,7 @@ class _Parser:
         group_by: tuple[ast.Expr, ...] = ()
         if self.accept_keyword("GROUP"):
             self.expect_keyword("BY")
-            group_by = tuple(self._expression_list())
+            group_by = tuple(self._group_by_list())
         having = self.expression() if self.accept_keyword("HAVING") \
             else None
         order_by: tuple[ast.OrderItem, ...] = ()
@@ -277,6 +283,89 @@ class _Parser:
         while self.accept_symbol(","):
             exprs.append(self.expression())
         return exprs
+
+    # -- GROUP BY grouping elements -------------------------------------
+    def _group_by_list(self) -> list[ast.Expr]:
+        elements = [self._group_by_element()]
+        while self.accept_symbol(","):
+            elements.append(self._group_by_element())
+        return elements
+
+    def _group_by_element(self) -> ast.Expr:
+        """One GROUP BY element: ``CUBE (...)``, ``ROLLUP (...)``,
+        ``GROUPING SETS (...)`` or a plain expression.  CUBE/ROLLUP/
+        GROUPING stay contextual keywords -- they only take effect when
+        followed by the construct's parenthesis, so columns named
+        ``cube`` etc. keep working everywhere else."""
+        if self.peek_keyword("CUBE") and self.peek_symbol("(", 1):
+            self.advance()
+            return ast.Cube(self._construct_columns("CUBE"))
+        if self.peek_keyword("ROLLUP") and self.peek_symbol("(", 1):
+            self.advance()
+            return ast.Rollup(self._construct_columns("ROLLUP"))
+        if self.peek_keyword("GROUPING") and self.peek(1).matches_keyword("SETS") \
+                and self.peek_symbol("(", 2):
+            self.advance()
+            self.advance()
+            return self._grouping_sets()
+        return self.expression()
+
+    def _construct_columns(self, construct: str) -> tuple[ast.Expr, ...]:
+        """The parenthesized expression list of CUBE/ROLLUP, validated
+        non-empty and duplicate-free (typed errors name the set)."""
+        self.expect_symbol("(")
+        if self.accept_symbol(")"):
+            raise GroupingSetError(
+                f"{construct} requires at least one expression",
+                f"{construct} ()")
+        exprs = tuple(self._expression_list())
+        self.expect_symbol(")")
+        self._check_set_duplicates(exprs, construct)
+        return exprs
+
+    def _grouping_sets(self) -> ast.GroupingSets:
+        self.expect_symbol("(")
+        if self.accept_symbol(")"):
+            raise GroupingSetError(
+                "GROUPING SETS requires at least one grouping set",
+                "GROUPING SETS ()")
+        sets = [self._grouping_set()]
+        while self.accept_symbol(","):
+            sets.append(self._grouping_set())
+        self.expect_symbol(")")
+        seen: dict[str, None] = {}
+        for gset in sets:
+            self._check_set_duplicates(gset, "grouping set")
+            rendered = _render_set(gset)
+            if rendered in seen:
+                raise GroupingSetError("duplicate grouping set",
+                                       rendered)
+            seen[rendered] = None
+        return ast.GroupingSets(tuple(sets))
+
+    def _grouping_set(self) -> tuple[ast.Expr, ...]:
+        """One member of a GROUPING SETS list: ``(a, b)``, ``()`` (the
+        grand total) or a bare expression."""
+        if self.accept_symbol("("):
+            if self.accept_symbol(")"):
+                return ()
+            exprs = tuple(self._expression_list())
+            self.expect_symbol(")")
+            return exprs
+        return (self.expression(),)
+
+    @staticmethod
+    def _check_set_duplicates(exprs: tuple[ast.Expr, ...],
+                              what: str) -> None:
+        from repro.sql.formatter import format_expr
+        seen: set[str] = set()
+        for expr in exprs:
+            rendered = format_expr(expr)
+            if rendered in seen:
+                raise GroupingSetError(
+                    f"duplicate expression {rendered} in {what}",
+                    _render_set(exprs))
+            seen.add(rendered)
 
     def _order_items(self) -> list[ast.OrderItem]:
         items = []

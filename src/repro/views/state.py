@@ -330,6 +330,14 @@ def analyze_view(catalog, name: str, select: ast.Select
     base = catalog.table(ref.name)   # raises CatalogError if missing
     _reject(catalog.has_view(ref.name),
             "the base must be a table, not a view")
+    _reject(ast.has_grouping_sets(select),
+            "CUBE/ROLLUP/GROUPING SETS cannot be incrementally "
+            "maintained (grouping-set lattices are computed per query "
+            "by the shared-scan operator)")
+    _reject(any(not isinstance(item.expr, ast.Star)
+                and ast.contains_grouping_func(item.expr)
+                for item in select.items),
+            "grouping()/pct() are not supported")
     _reject(select.distinct, "DISTINCT is not supported")
     _reject(select.having is not None, "HAVING is not supported")
     _reject(bool(select.order_by), "ORDER BY is not supported")

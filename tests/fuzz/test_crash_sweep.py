@@ -11,8 +11,10 @@ from repro.fuzz.generator import CaseGenerator
 from repro.fuzz.runner import run_case
 
 
-def _cases(count, seed=0):
-    return list(CaseGenerator(seed=seed).cases(count))
+def _cases(count, seed=0, families=None):
+    generator = CaseGenerator(seed=seed) if families is None \
+        else CaseGenerator(seed=seed, families=families)
+    return list(generator.cases(count))
 
 
 class TestSweep:
@@ -40,12 +42,11 @@ class TestSweep:
         monkeypatch.setattr(execute_mod, "cleanup_plan",
                             lambda db, plan: None)
         stats = SweepStats()
-        for case in _cases(8):
-            if case.family in ("vpct", "hpct", "hagg"):
-                sweep_case(case, stats)
-                break
-        else:  # pragma: no cover - generator always mixes families
-            pytest.skip("no plan-generating case in sample")
+        # pin to a percentage case whose plan materializes temp
+        # tables, so the self-test stays deterministic as new
+        # families join the default stream
+        case = _cases(1, families=("vpct", "hpct", "hagg"))[0]
+        sweep_case(case, stats)
         assert any(f.problem == "temp tables leaked"
                    for f in stats.findings)
 

@@ -36,7 +36,11 @@ class TestViewsSweep:
         """Self-test: each injectable maintenance bug must produce a
         divergence finding, or the sweep proves nothing."""
         stats = ViewSweepStats()
-        for case in _cases(8):
+        # pin to percentage families: both injectable bugs live in
+        # percentage-view maintenance, and the default stream now
+        # mixes in families the views sweep only rejects (cube)
+        generator = CaseGenerator(seed=0, families=("vpct", "hpct"))
+        for case in generator.cases(8):
             sweep_case_views(case, stats, backends=("serial",),
                              storages=("memory",), inject_bug=bug)
             if not stats.ok:

@@ -1,0 +1,255 @@
+"""Property-based tests for the shared-scan grouping-sets operator.
+
+The central claim (docs/cube.md): one ``GROUP BY GROUPING SETS``
+evaluation is **bit-identical** -- values, SQL types, and row order --
+to running one plain ``GROUP BY`` per set and concatenating the
+results in request order.  Hypothesis drives random schemas, NULL
+densities, and set lattices through that equivalence, plus the
+GROUPING() bitmask invariants, the fold-vs-recompute split, and the
+degenerate corners (empty tables, all-NULL key columns).
+"""
+
+import math
+import struct
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database
+
+DIMS = ("d1", "d2", "d3")
+
+#: dim values: small pools plus NULL so groups collide and NULL groups
+#: appear often.
+D1 = st.one_of(st.none(), st.integers(min_value=0, max_value=2))
+D2 = st.one_of(st.none(), st.sampled_from(("x", "y")))
+D3 = st.one_of(st.none(), st.integers(min_value=0, max_value=1))
+M1 = st.one_of(st.none(), st.integers(min_value=-50, max_value=50))
+M2 = st.one_of(st.none(),
+               st.floats(min_value=-8, max_value=8, width=32,
+                         allow_nan=False))
+
+ROWS = st.lists(st.tuples(D1, D2, D3, M1, M2), min_size=0, max_size=30)
+
+#: random lattices: 1-5 distinct subsets of the dims (the parser
+#: rejects duplicate sets, so draw them unique).
+GROUPING_SETS = st.lists(
+    st.sets(st.sampled_from(DIMS)).map(
+        lambda s: tuple(d for d in DIMS if d in s)),
+    min_size=1, max_size=5, unique=True)
+
+AGGS = ("count(*)", "count(m1)", "sum(m1)", "min(m1)", "max(m1)",
+        "sum(m2)", "avg(m2)")
+
+
+def _sql_value(value):
+    if value is None:
+        return "NULL"
+    if isinstance(value, str):
+        return f"'{value}'"
+    return repr(value)
+
+
+def load(rows):
+    db = Database()
+    db.execute("CREATE TABLE t (d1 INT, d2 VARCHAR, d3 INT, "
+               "m1 INT, m2 REAL)")
+    if rows:
+        values = ", ".join(
+            "(" + ", ".join(_sql_value(v) for v in row) + ")"
+            for row in rows)
+        db.execute(f"INSERT INTO t VALUES {values}")
+    return db
+
+
+def bits(value):
+    """Bit-level identity key: 8 != 8.0, -0.0 != 0.0, NaN == NaN."""
+    if isinstance(value, float):
+        return ("f", struct.pack("<d", value))
+    return (type(value).__name__, value)
+
+
+def bit_rows(rows):
+    return [tuple(bits(v) for v in row) for row in rows]
+
+
+def union_dims(sets):
+    """First-appearance dim order across the raw sets -- the engine's
+    union order and therefore its output column order."""
+    seen = []
+    for group in sets:
+        for dim in group:
+            if dim not in seen:
+                seen.append(dim)
+    return seen
+
+
+def sets_sql(sets):
+    return "GROUPING SETS (" + ", ".join(
+        "(" + ", ".join(group) + ")" for group in sets) + ")"
+
+
+def grouping_mask(args, present):
+    mask = 0
+    for j, arg in enumerate(args):
+        if arg not in present:
+            mask |= 1 << (len(args) - 1 - j)
+    return mask
+
+
+def n_query_reference(db, dims, sets, aggs, grouping_args=()):
+    """The N-separate-queries answer, shaped like the union output.
+
+    Per set, GROUP BY lists the set's dims in union order (matching
+    the shared-scan operator's canonical per-set dim order), absent
+    dims become None placeholders, and grouping() becomes its
+    constant bitmask.  Pieces concatenate in request order.
+    """
+    rows = []
+    for group in sets:
+        present = [d for d in dims if d in group]
+        select = present + list(aggs)
+        sql = f"SELECT {', '.join(select)} FROM t"
+        if present:
+            sql += f" GROUP BY {', '.join(present)}"
+        for piece in db.query(sql):
+            keys = dict(zip(present, piece))
+            row = [keys.get(d) for d in dims]
+            row += list(piece[len(present):])
+            if grouping_args:
+                row.append(grouping_mask(grouping_args, present))
+            rows.append(tuple(row))
+    return rows
+
+
+@given(ROWS, GROUPING_SETS)
+@settings(max_examples=60, deadline=None)
+def test_shared_scan_bit_identical_to_n_queries(rows, sets):
+    db = load(rows)
+    dims = union_dims(sets)
+    gargs = tuple(dims) if dims else ()
+    items = dims + list(AGGS)
+    if gargs:
+        items.append(f"grouping({', '.join(gargs)})")
+    actual = db.query(
+        f"SELECT {', '.join(items)} FROM t GROUP BY {sets_sql(sets)}")
+    expected = n_query_reference(db, dims, sets, AGGS, gargs)
+    assert bit_rows(actual) == bit_rows(expected)
+
+
+@given(ROWS)
+@settings(max_examples=60, deadline=None)
+def test_cube_bit_identical_to_n_queries(rows):
+    db = load(rows)
+    actual = db.query(
+        "SELECT d1, d2, count(*), sum(m1), avg(m2), grouping(d1, d2) "
+        "FROM t GROUP BY CUBE(d1, d2)")
+    # CUBE expansion order: leftmost varies slowest, r = k..0.
+    sets = (("d1", "d2"), ("d1",), ("d2",), ())
+    expected = n_query_reference(db, ["d1", "d2"], sets, AGGS[:1] +
+                                 ("sum(m1)", "avg(m2)"), ("d1", "d2"))
+    assert bit_rows(actual) == bit_rows(expected)
+
+
+@given(ROWS)
+@settings(max_examples=60, deadline=None)
+def test_rollup_fold_chain_matches_direct(rows):
+    """ROLLUP over every dim with exclusively fold-eligible aggregates
+    (count/count(*)/INTEGER sum/min/max): every coarse level folds
+    from the finer partials, and must still be bit-identical to
+    recomputing each level from the base rows."""
+    db = load(rows)
+    aggs = ("count(*)", "count(m1)", "sum(m1)", "min(m1)", "max(m1)")
+    actual = db.query(
+        f"SELECT d1, d2, d3, {', '.join(aggs)} FROM t "
+        f"GROUP BY ROLLUP(d1, d2, d3)")
+    sets = (("d1", "d2", "d3"), ("d1", "d2"), ("d1",), ())
+    expected = n_query_reference(db, ["d1", "d2", "d3"], sets, aggs)
+    assert bit_rows(actual) == bit_rows(expected)
+
+
+@given(ROWS)
+@settings(max_examples=40, deadline=None)
+def test_grouping_bits_track_placeholder_nulls(rows):
+    """With no NULLs in the key data, a dim column is NULL exactly
+    when its grouping() bit says the set omitted it."""
+    solid = [(d1 or 0, d2 or "x", d3, m1, m2)
+             for d1, d2, d3, m1, m2 in rows]
+    db = load(solid)
+    result = db.query(
+        "SELECT d1, d2, count(*), grouping(d1, d2) FROM t "
+        "GROUP BY CUBE(d1, d2)")
+    for d1, d2, _, mask in result:
+        assert 0 <= mask <= 3
+        assert bool(mask & 2) == (d1 is None)
+        assert bool(mask & 1) == (d2 is None)
+    if solid:
+        # one grand-total row, and each lattice level is non-empty
+        assert [r for r in result if r[3] == 3] == [
+            (None, None, len(solid), 3)]
+        assert {mask for _, _, _, mask in result} == {0, 1, 2, 3}
+
+
+@given(ROWS)
+@settings(max_examples=40, deadline=None)
+def test_all_null_keys_collapse_to_one_group_per_set(rows):
+    """Every key NULL: each set has exactly one (all-NULL) group, and
+    only grouping() separates the lattice levels."""
+    nulled = [(None, None, None, m1, m2)
+              for _, _, _, m1, m2 in rows]
+    db = load(nulled)
+    actual = db.query(
+        "SELECT d1, d2, count(*), sum(m1), grouping(d1, d2) FROM t "
+        "GROUP BY CUBE(d1, d2)")
+    sets = (("d1", "d2"), ("d1",), ("d2",), ())
+    expected = n_query_reference(db, ["d1", "d2"], sets,
+                                 ("count(*)", "sum(m1)"),
+                                 ("d1", "d2"))
+    assert bit_rows(actual) == bit_rows(expected)
+    if nulled:
+        assert len(actual) == 4
+        assert all(d1 is None and d2 is None
+                   for d1, d2, _, _, _ in actual)
+
+
+def test_empty_table_keeps_only_the_global_set():
+    """Empty input: non-empty sets produce no rows; the empty set
+    still produces its single global row with count 0 / NULL sum."""
+    db = load([])
+    rows = db.query(
+        "SELECT d1, count(*), sum(m1), grouping(d1) FROM t "
+        "GROUP BY GROUPING SETS ((d1), ())")
+    assert rows == [(None, 0, None, 1)]
+
+
+@given(st.lists(st.tuples(D1, D2, st.integers(min_value=1,
+                                              max_value=20)),
+                min_size=1, max_size=25))
+@settings(max_examples=60, deadline=None)
+def test_pct_hierarchy_sums_to_one_per_parent(rows):
+    """pct(m) divides each group's sum by its parent lattice level's:
+    the grand total's pct is 1.0 and each parent's children sum to 1
+    (measures are strictly positive, so no NULL/zero denominators)."""
+    db = load([(d1, d2, None, m, None) for d1, d2, m in rows])
+    result = db.query(
+        "SELECT d1, d2, sum(m1), pct(m1), grouping(d1, d2) FROM t "
+        "GROUP BY ROLLUP(d1, d2)")
+    by_mask = {}
+    for row in result:
+        by_mask.setdefault(row[4], []).append(row)
+    # grand total vs itself
+    [(_, _, total, pct, _)] = by_mask[3]
+    assert pct == 1.0
+    assert total == sum(m for _, _, m in rows)
+    # each (d1) level row against the grand total
+    assert math.isclose(sum(r[3] for r in by_mask[1]), 1.0)
+    for d1, _, subtotal, pct, _ in by_mask[1]:
+        assert math.isclose(pct, subtotal / total)
+    # (d1, d2) children sum to 1 within each d1 parent
+    children = {}
+    for d1, d2, subtotal, pct, _ in by_mask[0]:
+        children.setdefault(d1, 0.0)
+        children[d1] += pct
+    for d1, share in children.items():
+        assert math.isclose(share, 1.0)
+    assert set(children) == {r[0] for r in by_mask[1]}

@@ -42,6 +42,8 @@ def test_sqlite_dialect_output_reparses():
     for case in CASES:
         if any(t.kind in ("vpct", "hpct") or t.by for t in case.terms):
             continue  # unreduced BY never reaches the oracle directly
+        if case.family == "cube":
+            continue  # reaches sqlite via cube_to_union_sql instead
         rewritten = to_sqlite(case.query_sql())
         assert parse_statement(rewritten) is not None
         checked += 1

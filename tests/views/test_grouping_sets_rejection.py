@@ -1,0 +1,50 @@
+"""Grouping-sets queries and materialized views: the lattice is
+computed per query by the shared-scan operator, never incrementally
+maintained, so CREATE MATERIALIZED VIEW must reject the shapes with a
+typed error -- and an unrelated matview must not hijack a CUBE query
+over the same base table."""
+
+import pytest
+
+from repro.errors import MaterializedViewError
+
+
+@pytest.mark.parametrize("sql", (
+    "SELECT d1, count(*) FROM f GROUP BY CUBE(d1, d2)",
+    "SELECT d1, sum(a) FROM f GROUP BY ROLLUP(d1)",
+    "SELECT d1, sum(a) FROM f GROUP BY GROUPING SETS ((d1), ())",
+))
+def test_grouping_sets_views_rejected(db, sql):
+    with pytest.raises(MaterializedViewError,
+                       match="cannot be incrementally maintained"):
+        db.execute(f"CREATE MATERIALIZED VIEW v AS {sql}")
+    assert not db.catalog.has_matview("v")
+
+
+@pytest.mark.parametrize("sql", (
+    "SELECT d1, grouping(d1) FROM f GROUP BY d1",
+    "SELECT d1, pct(a) FROM f GROUP BY d1",
+))
+def test_grouping_funcs_in_views_rejected(db, sql):
+    with pytest.raises(MaterializedViewError,
+                       match="grouping\\(\\)/pct\\(\\)"):
+        db.execute(f"CREATE MATERIALIZED VIEW v AS {sql}")
+    assert not db.catalog.has_matview("v")
+
+
+def test_cube_query_bypasses_unrelated_matview(db):
+    """A plain-group-by matview over the same base table must not
+    answer a CUBE query (the matching is exact, not subsumption)."""
+    db.execute("CREATE MATERIALIZED VIEW v AS "
+               "SELECT d1, sum(a), count(*) FROM f GROUP BY d1")
+    rows = db.query("SELECT d1, sum(a), count(*) FROM f "
+                    "GROUP BY ROLLUP(d1)")
+    plain = db.query("SELECT d1, sum(a), count(*) FROM f GROUP BY d1")
+    assert rows[:len(plain)] == plain
+    assert len(rows) == len(plain) + 1          # + grand total
+    grand = rows[-1]
+    assert grand[0] is None and grand[2] == 5
+    lines = [r[0] for r in db.query(
+        "EXPLAIN SELECT d1, sum(a), count(*) FROM f "
+        "GROUP BY ROLLUP(d1)")]
+    assert not any("view: v" in line for line in lines)
